@@ -1,0 +1,60 @@
+"""E11 — ablation: persistence scale.
+
+Save/load round-trip cost over growing instance populations: both should
+be linear in object count, and a loaded database must preserve the value-
+inheritance read path (asserted).
+"""
+
+import pytest
+
+from repro.engine import Database, dump_image, load_image
+from repro.ddl.paper import load_gate_schema
+from repro.workloads import gate_database, generate_library
+
+LIBRARY_SIZES = [10, 50, 200]
+
+
+def library_db(n_interfaces):
+    db = gate_database("e11")
+    generate_library(db, n_interfaces, implementations_per_interface=2)
+    return db
+
+
+def fresh_target():
+    db = Database("e11")
+    load_gate_schema(db.catalog)
+    return db
+
+
+class TestPersistenceScale:
+    @pytest.mark.parametrize("n_interfaces", LIBRARY_SIZES)
+    def test_dump_image(self, benchmark, n_interfaces):
+        db = library_db(n_interfaces)
+        image = benchmark(dump_image, db)
+        assert len(image["objects"]) == db.count()
+
+    @pytest.mark.parametrize("n_interfaces", LIBRARY_SIZES)
+    def test_load_image(self, benchmark, n_interfaces):
+        db = library_db(n_interfaces)
+        image = dump_image(db)
+
+        def setup():
+            return (fresh_target(),), {}
+
+        def run(target):
+            load_image(image, target)
+            return target
+
+        benchmark.pedantic(run, setup=setup, rounds=5)
+
+    def test_loaded_inheritance_is_live(self):
+        db = library_db(5)
+        image = dump_image(db)
+        target = fresh_target()
+        load_image(image, target)
+        impls = target.objects_of_type("GateImplementation", include_subtypes=False)
+        assert impls
+        impl = impls[0]
+        iface = impl.inheritance_links[0].transmitter
+        iface.set_attribute("Length", 499)
+        assert impl["Length"] == 499

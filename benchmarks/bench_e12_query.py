@@ -1,0 +1,52 @@
+"""E12 — ablation: query-language execution scale.
+
+Queries over growing extents: where-filtering and projection are linear in
+the candidate count, ordering adds the sort, aggregates in the where pay
+per-object collection scans (compare `count(Pins)` vs. plain attribute
+predicates).
+"""
+
+import pytest
+
+from repro.query import parse_query
+from repro.workloads import gate_database, make_interface
+
+EXTENT_SIZES = [10, 100, 400]
+
+
+def library(n):
+    db = gate_database("e12")
+    db.create_class("Cells", "GateInterface")
+    for i in range(n):
+        iface = make_interface(db, length=(i * 7) % 100, width=(i * 3) % 20)
+        db.add_to_class(iface, "Cells")
+    return db
+
+
+class TestQueryScale:
+    @pytest.mark.parametrize("n", EXTENT_SIZES)
+    def test_attribute_filter(self, benchmark, n):
+        db = library(n)
+        result = benchmark(db.query, "select Length from Cells where Length > 50")
+        assert len(result) == sum(1 for i in range(n) if (i * 7) % 100 > 50)
+
+    @pytest.mark.parametrize("n", EXTENT_SIZES)
+    def test_aggregate_filter(self, benchmark, n):
+        db = library(n)
+        result = benchmark(db.query, "select * from Cells where count(Pins) = 3")
+        assert len(result) == n
+
+    @pytest.mark.parametrize("n", EXTENT_SIZES)
+    def test_order_by_with_limit(self, benchmark, n):
+        db = library(n)
+        result = benchmark(
+            db.query, "select Length from Cells order by Length desc limit 5"
+        )
+        assert len(result) == min(5, n)
+
+    def test_parse_cost(self, benchmark):
+        benchmark(
+            parse_query,
+            "select distinct Length, Length * Width from Cells "
+            "where count(Pins) = 3 and Length > 10 order by Width desc limit 7",
+        )

@@ -1,0 +1,125 @@
+"""E6 — §2 ablation: copy vs. view vs. inheritance composition.
+
+The paper's qualitative argument, measured on identical workloads:
+
+* **incorporation** — copy pays O(component size); view and inheritance
+  pay O(1);
+* **read after component update** — copy reads stale data fast; view and
+  inheritance read fresh data through one indirection;
+* **visibility** — view leaks every member, inheritance only the
+  permeable subset (asserted, not timed).
+"""
+
+import pytest
+
+from repro.composition import (
+    add_component,
+    copy_component,
+    stale_members,
+    view_component,
+)
+from repro.core import INTEGER, ObjectType
+from repro.workloads import gate_database, make_implementation, make_interface
+
+COMPONENT_PINS = [3, 30, 120]
+
+
+def db_with_view_holder():
+    """A database with two baseline slot types.
+
+    * ``CopySlot`` mirrors the component's structure (a Pins subclass), so
+      copy composition must materialise the pins — the O(size) cost;
+    * ``ViewSlot`` is bare, as a raw view requires (the view relationship
+      would clash with locally declared members).
+    """
+    db = gate_database("e6-bench")
+    pin_type = db.catalog.object_type("PinType")
+    copy_slot = ObjectType(
+        "CopySlot", attributes={"X": INTEGER}, subclasses={"Pins": pin_type}
+    )
+    view_slot = ObjectType("ViewSlot", attributes={"X": INTEGER})
+    holder_type = ObjectType(
+        "Holder", subclasses={"CopyParts": copy_slot, "ViewParts": view_slot}
+    )
+    db.catalog.register(copy_slot)
+    db.catalog.register(view_slot)
+    db.catalog.register(holder_type)
+    return db
+
+
+class TestIncorporationCost:
+    @pytest.mark.parametrize("n_pins", COMPONENT_PINS)
+    def test_copy_composition(self, benchmark, n_pins):
+        db = db_with_view_holder()
+        component = make_interface(db, n_in=n_pins - 1, n_out=1)
+        holder = db.create_object("Holder")
+        benchmark(copy_component, holder, "CopyParts", component)
+
+    @pytest.mark.parametrize("n_pins", COMPONENT_PINS)
+    def test_view_composition(self, benchmark, n_pins):
+        db = db_with_view_holder()
+        component = make_interface(db, n_in=n_pins - 1, n_out=1)
+        holder = db.create_object("Holder")
+        benchmark(view_component, holder, "ViewParts", component)
+
+    @pytest.mark.parametrize("n_pins", COMPONENT_PINS)
+    def test_inheritance_composition(self, benchmark, n_pins):
+        db = gate_database("e6-bench")
+        component = make_interface(db, n_in=n_pins - 1, n_out=1)
+        composite = make_implementation(db, make_interface(db))
+        benchmark(
+            add_component, composite, "SubGates", component,
+            GateLocation={"X": 0, "Y": 0},
+        )
+
+
+class TestReadAfterUpdate:
+    def _component(self, db, n_pins=30):
+        return make_interface(db, n_in=n_pins - 1, n_out=1)
+
+    def test_copy_read_is_local_but_stale(self, benchmark):
+        db = db_with_view_holder()
+        component = self._component(db)
+        holder = db.create_object("Holder")
+        copy = copy_component(holder, "CopyParts", component)
+        component.set_attribute("Length", 999)
+        value = benchmark(copy.get_member, "Length")
+        assert value != 999  # stale!
+        assert stale_members(copy, component) == ["Length"]
+
+    def test_view_read_is_fresh(self, benchmark):
+        db = db_with_view_holder()
+        component = self._component(db)
+        holder = db.create_object("Holder")
+        view = view_component(holder, "ViewParts", component)
+        component.set_attribute("Length", 999)
+        value = benchmark(view.get_member, "Length")
+        assert value == 999
+
+    def test_inherit_read_is_fresh(self, benchmark):
+        db = gate_database("e6-bench")
+        component = self._component(db)
+        composite = make_implementation(db, make_interface(db))
+        slot = add_component(composite, "SubGates", component,
+                             GateLocation={"X": 0, "Y": 0})
+        component.set_attribute("Length", 999)
+        value = benchmark(slot.get_member, "Length")
+        assert value == 999
+
+
+class TestVisibility:
+    def test_view_leaks_everything_inherit_is_selective(self):
+        db = db_with_view_holder()
+        component = make_interface(db)
+        holder = db.create_object("Holder")
+        view = view_component(holder, "ViewParts", component)
+        view_names = set(view.visible_member_names())
+        assert {"Length", "Width", "Pins"} <= view_names
+
+        composite = make_implementation(db, make_interface(db))
+        slot = add_component(composite, "SubGates", component,
+                             GateLocation={"X": 0, "Y": 0})
+        rel = db.catalog.inheritance_type("AllOf_GateInterface")
+        # Inheritance exposes exactly the permeable subset plus own data.
+        assert set(rel.inheriting) == {"Length", "Width", "Pins"}
+        assert "GateLocation" in slot.visible_member_names()

@@ -1,0 +1,115 @@
+"""E8 — §6 ablation: generic-relationship selection policies.
+
+Selection cost over growing version sets: the top-down query scans all
+candidates (O(N)); bottom-up default and environment lookup are O(1) plus
+the candidate-eligibility scan.  Re-resolution (unbind + select + bind) is
+the assembly-time price of staying on the newest version.
+"""
+
+import pytest
+
+from repro.versions import (
+    DefaultSelection,
+    EnvironmentRegistry,
+    EnvironmentSelection,
+    GenericRelationship,
+    QuerySelection,
+    VersionGraph,
+)
+from repro.workloads import gate_database, make_interface
+
+VERSION_COUNTS = [10, 100, 400]
+
+
+def graph_with_versions(db, n):
+    anchor = make_interface(db)
+    graph = VersionGraph(design_object=anchor)
+    versions = []
+    for i in range(n):
+        version = make_interface(db, length=i + 1)
+        graph.add_version(version)
+        versions.append(version)
+    return anchor, graph, versions
+
+
+def fresh_slot(db):
+    return db.create_object("GateImplementation")
+
+
+class TestSelectionPolicies:
+    @pytest.mark.parametrize("n_versions", VERSION_COUNTS)
+    def test_query_selection(self, benchmark, n_versions):
+        db = gate_database("e8-bench")
+        _, graph, versions = graph_with_versions(db, n_versions)
+        rel = db.catalog.inheritance_type("AllOf_GateInterface")
+        policy = QuerySelection(f"Length = {n_versions}")
+
+        def setup():
+            return (GenericRelationship(fresh_slot(db), rel, graph),), {}
+
+        def resolve(generic):
+            link = generic.resolve(policy)
+            assert link.transmitter is versions[-1]
+
+        benchmark.pedantic(resolve, setup=setup, rounds=10)
+
+    @pytest.mark.parametrize("n_versions", VERSION_COUNTS)
+    def test_default_selection(self, benchmark, n_versions):
+        db = gate_database("e8-bench")
+        _, graph, versions = graph_with_versions(db, n_versions)
+        graph.set_default(versions[-1])
+        rel = db.catalog.inheritance_type("AllOf_GateInterface")
+        policy = DefaultSelection()
+
+        def setup():
+            return (GenericRelationship(fresh_slot(db), rel, graph),), {}
+
+        benchmark.pedantic(
+            lambda generic: generic.resolve(policy), setup=setup, rounds=10
+        )
+
+    @pytest.mark.parametrize("n_versions", VERSION_COUNTS)
+    def test_environment_selection(self, benchmark, n_versions):
+        db = gate_database("e8-bench")
+        anchor, graph, versions = graph_with_versions(db, n_versions)
+        registry = EnvironmentRegistry()
+        env = registry.create("bench")
+        env.assign(anchor, versions[n_versions // 2])
+        registry.activate("bench")
+        rel = db.catalog.inheritance_type("AllOf_GateInterface")
+        policy = EnvironmentSelection(registry)
+
+        def setup():
+            return (GenericRelationship(fresh_slot(db), rel, graph),), {}
+
+        benchmark.pedantic(
+            lambda generic: generic.resolve(policy), setup=setup, rounds=10
+        )
+
+
+class TestReResolution:
+    @pytest.mark.parametrize("n_versions", [10, 100])
+    def test_re_resolve(self, benchmark, n_versions):
+        db = gate_database("e8-bench")
+        _, graph, versions = graph_with_versions(db, n_versions)
+        graph.set_default(versions[-1])
+        rel = db.catalog.inheritance_type("AllOf_GateInterface")
+        generic = GenericRelationship(fresh_slot(db), rel, graph)
+        generic.resolve(DefaultSelection())
+        benchmark(generic.re_resolve, DefaultSelection())
+
+
+class TestGraphOperations:
+    @pytest.mark.parametrize("n_versions", VERSION_COUNTS)
+    def test_history_walk(self, benchmark, n_versions):
+        db = gate_database("e8-bench")
+        anchor = make_interface(db)
+        graph = VersionGraph(design_object=anchor)
+        base = None
+        last = None
+        for i in range(n_versions):
+            last = make_interface(db, length=i + 1)
+            graph.add_version(last, derived_from=base)
+            base = last
+        history = benchmark(graph.history_of, last)
+        assert len(history) == n_versions

@@ -1,0 +1,69 @@
+"""E1 — Figure 1: complex-object construction and navigation.
+
+Regenerates the Figure 1 scenario at scale: building Gate objects with N
+elementary subgates (pins + wiring), deep traversal, deep constraint
+checking and cascade deletion.  Expected shape: all four operations grow
+linearly in the number of subobjects.
+"""
+
+import pytest
+
+from repro.engine.query import walk_tree
+from repro.workloads import gate_database, make_flipflop
+
+
+def build_gate(db, n_subgates):
+    gate = db.create_object("Gate", Length=100, Width=50)
+    out_prev = None
+    ext_in = gate.subclass("Pins").create(InOut="IN", PinLocation=(0, 0))
+    wires = gate.subrel("Wires")
+    for i in range(n_subgates):
+        sub = gate.subclass("SubGates").create(
+            Function="NAND", GatePosition={"X": i, "Y": 0}
+        )
+        a = sub.subclass("Pins").create(InOut="IN", PinLocation=(0, 0))
+        sub.subclass("Pins").create(InOut="IN", PinLocation=(0, 1))
+        out = sub.subclass("Pins").create(InOut="OUT", PinLocation=(1, 0))
+        wires.create({"Pin1": out_prev if out_prev is not None else ext_in, "Pin2": a})
+        out_prev = out
+    return gate
+
+
+class TestFig1Construction:
+    def test_build_flipflop(self, benchmark):
+        db = gate_database("fig1-bench")
+        benchmark(make_flipflop, db)
+
+    @pytest.mark.parametrize("n_subgates", [10, 50, 200])
+    def test_build_gate_chain(self, benchmark, n_subgates):
+        db = gate_database("fig1-bench")
+        benchmark(build_gate, db, n_subgates)
+
+
+class TestFig1Navigation:
+    @pytest.mark.parametrize("n_subgates", [10, 50, 200])
+    def test_walk_tree(self, benchmark, n_subgates):
+        db = gate_database("fig1-bench")
+        gate = build_gate(db, n_subgates)
+        result = benchmark(lambda: sum(1 for _ in walk_tree(gate)))
+        assert result == 2 + 4 * n_subgates
+
+    @pytest.mark.parametrize("n_subgates", [10, 50, 200])
+    def test_deep_constraint_check(self, benchmark, n_subgates):
+        db = gate_database("fig1-bench")
+        gate = build_gate(db, n_subgates)
+        benchmark(gate.check_constraints, True)
+
+
+class TestFig1Deletion:
+    @pytest.mark.parametrize("n_subgates", [10, 100])
+    def test_cascade_delete(self, benchmark, n_subgates):
+        db = gate_database("fig1-bench")
+
+        def setup():
+            return (build_gate(db, n_subgates),), {}
+
+        def run(gate):
+            gate.delete()
+
+        benchmark.pedantic(run, setup=setup, rounds=10)

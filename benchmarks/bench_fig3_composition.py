@@ -1,0 +1,86 @@
+"""E3 — Figure 3: building composites through the component relationship.
+
+Measures incorporating components into a composite: the inheritance
+relationship pays O(1) per component regardless of component size, and the
+same relationship type serves interface and component roles.
+"""
+
+import pytest
+
+from repro.composition import add_component, components_of
+from repro.workloads import (
+    gate_database,
+    make_implementation,
+    make_interface,
+)
+
+COMPONENT_COUNTS = [5, 25, 100]
+
+
+def fresh_composite(db):
+    return make_implementation(db, make_interface(db, length=200, width=100))
+
+
+class TestIncorporation:
+    @pytest.mark.parametrize("n_components", COMPONENT_COUNTS)
+    def test_add_components(self, benchmark, n_components):
+        db = gate_database("fig3-bench")
+        component_if = make_interface(db)
+
+        def setup():
+            return (fresh_composite(db),), {}
+
+        def incorporate(composite):
+            for i in range(n_components):
+                add_component(
+                    composite, "SubGates", component_if,
+                    GateLocation={"X": i, "Y": 0},
+                )
+
+        benchmark.pedantic(incorporate, setup=setup, rounds=5)
+
+    @pytest.mark.parametrize("component_pins", [3, 30, 120])
+    def test_add_component_size_independent(self, benchmark, component_pins):
+        """Incorporation cost must not grow with component size (the data
+        is linked, not moved)."""
+        db = gate_database("fig3-bench")
+        component_if = make_interface(
+            db, n_in=component_pins - 1, n_out=1
+        )
+
+        def setup():
+            return (fresh_composite(db),), {}
+
+        def incorporate(composite):
+            add_component(composite, "SubGates", component_if,
+                          GateLocation={"X": 0, "Y": 0})
+
+        benchmark.pedantic(incorporate, setup=setup, rounds=20)
+
+
+class TestCompositeInspection:
+    @pytest.mark.parametrize("n_components", COMPONENT_COUNTS)
+    def test_components_of(self, benchmark, n_components):
+        db = gate_database("fig3-bench")
+        composite = fresh_composite(db)
+        component_if = make_interface(db)
+        for i in range(n_components):
+            add_component(composite, "SubGates", component_if,
+                          GateLocation={"X": i, "Y": 0})
+        result = benchmark(components_of, composite)
+        assert len(result) == n_components
+
+    @pytest.mark.parametrize("n_components", COMPONENT_COUNTS)
+    def test_read_all_component_data(self, benchmark, n_components):
+        """Touch every slot's inherited Length (the composite's view)."""
+        db = gate_database("fig3-bench")
+        composite = fresh_composite(db)
+        component_if = make_interface(db)
+        for i in range(n_components):
+            add_component(composite, "SubGates", component_if,
+                          GateLocation={"X": i, "Y": 0})
+
+        def read_all():
+            return sum(slot["Length"] for slot in composite["SubGates"])
+
+        benchmark(read_all)

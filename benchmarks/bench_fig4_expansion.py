@@ -1,0 +1,44 @@
+"""E4 — Figure 4: composite expansion over growing hierarchies.
+
+Expansion (§6) materialises a composite with its components.  Expected
+shape: cost linear in the number of objects the expansion touches, i.e.
+exponential in depth for a fixed fanout tree — and depth-limited expansion
+cuts it correspondingly.
+"""
+
+import pytest
+
+from repro.composition import configuration, expand, provides_all_components
+from repro.workloads import gate_database, generate_component_tree
+
+DEPTHS = [1, 3, 5]
+
+
+class TestExpansion:
+    @pytest.mark.parametrize("depth", DEPTHS)
+    def test_expand_full(self, benchmark, depth):
+        db = gate_database("fig4-bench")
+        top, created = generate_component_tree(db, depth=depth, fanout=2)
+        expansion = benchmark(expand, top)
+        assert len(expansion.objects) > created
+
+    def test_expand_depth_limited(self, benchmark):
+        db = gate_database("fig4-bench")
+        top, _ = generate_component_tree(db, depth=5, fanout=2)
+        shallow = benchmark(expand, top, 1)
+        assert len(shallow.objects) < len(expand(top).objects)
+
+
+class TestConfigurationTraversal:
+    @pytest.mark.parametrize("depth", DEPTHS)
+    def test_configuration_tree(self, benchmark, depth):
+        db = gate_database("fig4-bench")
+        top, created = generate_component_tree(db, depth=depth, fanout=2)
+        tree = benchmark(configuration, top)
+        assert tree.size() == created
+
+    @pytest.mark.parametrize("depth", [1, 3])
+    def test_provides_all_components(self, benchmark, depth):
+        db = gate_database("fig4-bench")
+        top, _ = generate_component_tree(db, depth=depth, fanout=2)
+        assert benchmark(provides_all_components, top)

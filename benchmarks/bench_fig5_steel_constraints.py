@@ -1,0 +1,65 @@
+"""E5 — Figure 5 / §5: constraint checking on weight-carrying structures.
+
+The §5 schema concentrates the expression engine's features: quantified
+constraints over relationship subclasses and participants, aggregates, and
+the structure-level where restriction.  Expected shape: deep checking
+grows linearly with the number of screwings; the where restriction is paid
+once per screwing creation.
+"""
+
+import pytest
+
+from repro.workloads import generate_structure, steel_database
+
+SCREWING_COUNTS = [4, 16, 64]
+
+
+class TestSteelConstruction:
+    @pytest.mark.parametrize("n_screwings", SCREWING_COUNTS)
+    def test_generate_structure(self, benchmark, n_screwings):
+        def build():
+            db = steel_database("fig5-bench")
+            return generate_structure(
+                db, n_girders=4, n_plates=4, n_screwings=n_screwings
+            )
+
+        structure, screwings = benchmark(build)
+        assert len(screwings) == n_screwings
+
+
+class TestSteelConstraintChecking:
+    @pytest.mark.parametrize("n_screwings", SCREWING_COUNTS)
+    def test_deep_structure_check(self, benchmark, n_screwings):
+        db = steel_database("fig5-bench")
+        structure, _ = generate_structure(
+            db, n_girders=4, n_plates=4, n_screwings=n_screwings
+        )
+        benchmark(structure.check_constraints, True)
+
+    def test_single_screwing_check(self, benchmark):
+        """One full ScrewingType evaluation: two counts, the nested
+        quantifier, the aggregate sum."""
+        db = steel_database("fig5-bench")
+        _, screwings = generate_structure(db, 1, 1, 1)
+        benchmark(screwings[0].check_constraints)
+
+    @pytest.mark.parametrize("n_bores", [2, 8, 32])
+    def test_where_restriction_cost(self, benchmark, n_bores):
+        """The structure-level `for x in Bores: …` restriction vs. the
+        number of bores a screwing joins."""
+        db = steel_database("fig5-bench")
+        structure, _ = generate_structure(db, 1, 1, 1)
+        girder_if = structure.subclass("Girders").members()[0] \
+            .inheritance_links[0].transmitter
+        bores = [
+            girder_if.subclass("Bores").create(Diameter=12, Length=5)
+            for _ in range(n_bores)
+        ]
+
+        def create_and_discard():
+            screwing = structure.subrel("Screwings").create(
+                {"Bores": bores}, Strength=1
+            )
+            screwing.delete()
+
+        benchmark(create_and_discard)

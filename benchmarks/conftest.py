@@ -1,0 +1,20 @@
+"""Shared benchmark fixtures and scale parameters.
+
+Every benchmark regenerates one experiment of DESIGN.md's index (E1–E9).
+Scales are kept laptop-friendly; the *shapes* (who wins, how costs grow)
+are what EXPERIMENTS.md records, not absolute numbers.
+"""
+
+import pytest
+
+from repro.workloads import gate_database, steel_database
+
+
+@pytest.fixture
+def db():
+    return gate_database("bench")
+
+
+@pytest.fixture
+def steel_db():
+    return steel_database("bench-steel")

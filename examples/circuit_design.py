@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Circuit design: the paper's chip-design scenario end to end.
+
+Covers Figures 1–4:
+* the Flip-Flop complex object (elementary gates + cross-coupled wires);
+* an interface hierarchy (GateInterface_I → GateInterface);
+* a composite gate built from *interface components*, wired through the
+  restricted Wire subrelationship;
+* configuration queries: components-of, where-used, bill of materials.
+
+Run:  python examples/circuit_design.py
+"""
+
+from repro.composition import (
+    add_component,
+    bill_of_materials,
+    components_of,
+    configuration,
+    expand,
+    where_used,
+)
+from repro.workloads import (
+    gate_database,
+    make_flipflop,
+    make_implementation,
+    make_interface,
+)
+
+
+def figure1_flipflop(db) -> None:
+    print("== Figure 1: the Flip-Flop complex object ==")
+    ff, subgates = make_flipflop(db)
+    print(f"flip-flop: {len(ff['Pins'])} external pins, "
+          f"{len(ff['SubGates'])} NAND subgates, {len(ff['Wires'])} wires")
+    ff.check_constraints(deep=True)
+    print("all §3 constraints hold (2 IN + 1 OUT per elementary gate)")
+
+
+def figure2_interface_hierarchy(db) -> None:
+    print("\n== §4.2: interface hierarchy ==")
+    # The super-interface fixes the pins; versions differ in expansion.
+    pins_only = db.create_object("GateInterface_I")
+    for direction, y in (("IN", 0), ("IN", 2), ("OUT", 1)):
+        pins_only.subclass("Pins").create(InOut=direction, PinLocation=(0, y))
+    compact = db.create_object(
+        "GateInterface", transmitter=pins_only, Length=8, Width=4
+    )
+    roomy = db.create_object(
+        "GateInterface", transmitter=pins_only, Length=20, Width=10
+    )
+    print(f"two interface versions share {len(compact['Pins'])} pins, "
+          f"expansions {compact['Length']}x{compact['Width']} vs "
+          f"{roomy['Length']}x{roomy['Width']}")
+    implementation = make_implementation(db, compact)
+    print(f"implementation inherits through two levels: "
+          f"pins={len(implementation['Pins'])}, length={implementation['Length']}")
+
+
+def figure4_composite(db) -> None:
+    print("\n== Figure 4: composite gate from interface components ==")
+    nand_if = make_interface(db, length=10, width=5, n_in=2, n_out=1)
+    xor_if = make_interface(db, length=40, width=20, n_in=2, n_out=1)
+    xor_impl = make_implementation(db, xor_if)
+
+    slots = [
+        add_component(xor_impl, "SubGates", nand_if, GateLocation=(10 * i, 0))
+        for i in range(4)  # XOR from 4 NANDs
+    ]
+
+    def pins(obj, direction):
+        return [p for p in obj.get_member("Pins") if p["InOut"] == direction]
+
+    wires = xor_impl.subrel("Wire")
+    a, b = pins(xor_if, "IN")
+    out = pins(xor_if, "OUT")[0]
+    wires.create({"Pin1": a, "Pin2": pins(slots[0], "IN")[0]})
+    wires.create({"Pin1": b, "Pin2": pins(slots[0], "IN")[1]})
+    wires.create({"Pin1": pins(slots[3], "OUT")[0], "Pin2": out})
+
+    print(f"XOR uses {len(components_of(xor_impl))} components "
+          f"(all the same NAND interface)")
+    print(f"where-used of the NAND interface: "
+          f"{[str(u.surrogate) for u in where_used(nand_if)]}")
+    print(f"bill of materials: {dict(bill_of_materials(xor_impl))}")
+
+    expansion = expand(xor_impl)
+    print(f"expansion touches {len(expansion)} objects "
+          f"(composite tree + visible component parts)")
+
+    # Component update propagates into every slot of the composite.
+    nand_if.set_attribute("Length", 11)
+    assert all(slot["Length"] == 11 for slot in slots)
+    print("component interface update visible in all 4 slots")
+
+    tree = configuration(xor_impl)
+    print(f"configuration tree: {tree.size()} nodes, "
+          f"{len(tree.leaves())} leaves")
+
+
+def main() -> None:
+    db = gate_database("circuit-design")
+    figure1_flipflop(db)
+    figure2_interface_hierarchy(db)
+    figure4_composite(db)
+    print(f"\ndatabase holds {db.count()} objects; done.")
+
+
+if __name__ == "__main__":
+    main()

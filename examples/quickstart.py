@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: value inheritance in five minutes.
+
+Builds the paper's Figure 2 situation — a gate interface with three
+implementations — and demonstrates the three defining properties of the
+inheritance relationship (§4.1):
+
+1. implementations inherit the interface's attributes *and values*;
+2. inherited data is read-only in the inheritor;
+3. interface updates are transmitted to every implementation immediately.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Database
+from repro.ddl.paper import load_gate_schema
+from repro.errors import InheritanceError
+
+
+def main() -> None:
+    db = Database("quickstart")
+    load_gate_schema(db.catalog)  # the paper's §3/§4 schema, parsed from DDL
+
+    # -- the interface: the external image of a NAND gate ---------------------
+    nand_if = db.create_object("GateInterface", Length=10, Width=5)
+    nand_if.subclass("Pins").create(InOut="IN", PinLocation=(0, 0))
+    nand_if.subclass("Pins").create(InOut="IN", PinLocation=(0, 2))
+    nand_if.subclass("Pins").create(InOut="OUT", PinLocation=(10, 1))
+    print(f"interface: Length={nand_if['Length']}, pins={len(nand_if['Pins'])}")
+
+    # -- three implementations, bound at creation time ------------------------
+    implementations = [
+        db.create_object("GateImplementation", transmitter=nand_if, TimeBehavior=t)
+        for t in (3, 5, 8)
+    ]
+    for index, impl in enumerate(implementations):
+        print(
+            f"implementation {index}: Length={impl['Length']} (inherited), "
+            f"TimeBehavior={impl['TimeBehavior']} (own)"
+        )
+
+    # -- 2: inherited data must not be updated in the inheritor ---------------
+    try:
+        implementations[0].set_attribute("Length", 1)
+    except InheritanceError as exc:
+        print(f"write to inherited attribute rejected: {exc}")
+
+    # -- 3: updates of the transmitter reach every inheritor ------------------
+    nand_if.set_attribute("Length", 12)
+    nand_if.subclass("Pins").create(InOut="IN", PinLocation=(0, 4))
+    assert all(impl["Length"] == 12 for impl in implementations)
+    assert all(len(impl["Pins"]) == 4 for impl in implementations)
+    print("interface update visible in all implementations immediately")
+
+    # -- selective permeability: SomeOf_Gate exposes TimeBehavior too ---------
+    someof = db.catalog.inheritance_type("SomeOf_Gate")
+    print(f"{someof.name} inherits: {', '.join(someof.inheriting)}")
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Schemas from the paper's own DDL, plus persistence.
+
+Shows that the published listings are executable: parse a custom schema in
+the paper's syntax, populate it, save the database image to JSON, and load
+it back into a fresh database with identical inheritance behaviour.
+
+Run:  python examples/schema_from_ddl.py
+"""
+
+import os
+import tempfile
+
+from repro import Database
+from repro.ddl import load_schema
+from repro.engine import load, save
+
+SCHEMA = """
+domain Material = (aluminium, titanium);
+
+obj-type RibType =
+    attributes:
+        Station: integer;
+end RibType;
+
+obj-type WingProfile =
+    attributes:
+        Span, Chord: integer;
+    types-of-subclasses:
+        Ribs: RibType;
+    constraints:
+        Span < 40 * Chord;
+end WingProfile;
+
+inher-rel-type AllOf_WingProfile =
+    transmitter: object-of-type WingProfile;
+    inheritor: object;
+    inheriting: Span, Chord, Ribs;
+end AllOf_WingProfile;
+
+obj-type Wing =
+    inheritor-in: AllOf_WingProfile;
+    attributes:
+        Material: Material;
+end Wing;
+"""
+
+
+def build_schema(db: Database) -> None:
+    load_schema(SCHEMA, db.catalog)
+    notes = getattr(db.catalog, "ddl_notes", [])
+    print(f"schema loaded: {len(db.catalog)} types, {len(notes)} parser notes")
+
+
+def main() -> None:
+    db = Database("aircraft")
+    build_schema(db)
+
+    profile = db.create_object("WingProfile", Span=300, Chord=20)
+    for station in (0, 100, 200, 300):
+        profile.subclass("Ribs").create(Station=station)
+    profile.check_constraints()
+
+    wing_left = db.create_object("Wing", transmitter=profile, Material="titanium")
+    wing_right = db.create_object("Wing", transmitter=profile, Material="aluminium")
+    print(f"wings inherit Span={wing_left['Span']}, "
+          f"{len(wing_right['Ribs'])} ribs each; materials differ: "
+          f"{wing_left['Material']} / {wing_right['Material']}")
+
+    # Persistence round-trip: schema is code, instances are data.
+    fd, path = tempfile.mkstemp(suffix=".json")
+    os.close(fd)
+    try:
+        save(db, path)
+        print(f"saved image: {os.path.getsize(path)} bytes")
+
+        fresh = Database("aircraft")
+        build_schema(fresh)
+        load(path, fresh)
+        profile2 = fresh.get(profile.surrogate)
+        wing2 = fresh.get(wing_left.surrogate)
+        profile2.set_attribute("Span", 310)
+        assert wing2["Span"] == 310  # inheritance live after reload
+        print(f"reload ok: {fresh.count()} objects, value inheritance intact")
+    finally:
+        os.unlink(path)
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

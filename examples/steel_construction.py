@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Steel construction (§5): weight-carrying structures.
+
+Assembles a small bridge section from girders and plates, joined by
+screwings — the paper's showcase for *complex relationships*: the
+ScrewingType relationship object owns its bolt and nut as inheriting
+subobjects and enforces the fit constraints:
+
+    #s in Bolt = 1;  #n in Nut = 1;
+    for (s in Bolt, n in Nut): s.Diameter = n.Diameter;
+        for b in Bores: s.Diameter <= b.Diameter;
+        s.Length = n.Length + sum(Bores.Length)
+
+Run:  python examples/steel_construction.py
+"""
+
+from repro.consistency import AdaptationTracker
+from repro.errors import ConstraintViolation
+from repro.workloads import steel_database
+
+
+def main() -> None:
+    db = steel_database("bridge")
+    tracker = AdaptationTracker(db)
+
+    # -- the part library (interfaces = what the catalogue promises) ----------
+    girder_if = db.create_object(
+        "GirderInterface", Length=120, Height=12, Width=8
+    )
+    g_bore1 = girder_if.subclass("Bores").create(
+        Diameter=12, Length=10, Position=(10, 0)
+    )
+    g_bore2 = girder_if.subclass("Bores").create(
+        Diameter=12, Length=10, Position=(110, 0)
+    )
+    plate_if = db.create_object(
+        "PlateInterface", Thickness=8, Area={"Length": 60, "Width": 40}
+    )
+    p_bore = plate_if.subclass("Bores").create(
+        Diameter=12, Length=8, Position=(30, 20)
+    )
+    girder_if.check_constraints()  # Length < 100*Height*Width
+    print(f"catalogue: girder {girder_if['Length']} long with "
+          f"{len(girder_if['Bores'])} bores; plate {plate_if['Thickness']} thick")
+
+    # -- the structure: components inherit the catalogue data -----------------
+    structure = db.create_object(
+        "WeightCarrying_Structure",
+        Designer="G. Pegels",
+        Description="bridge section, two girders + deck plate",
+    )
+    girder_a = structure.subclass("Girders").create(transmitter=girder_if)
+    girder_b = structure.subclass("Girders").create(transmitter=girder_if)
+    deck = structure.subclass("Plates").create(transmitter=plate_if)
+    print(f"structure uses girders of length {girder_a['Length']} "
+          f"(inherited from the catalogue)")
+
+    # -- screwing: bolt + nut hidden inside the relationship ------------------
+    bolt = db.create_object("BoltType", Length=28, Diameter=11)  # 10 + 10+8
+    nut = db.create_object("NutType", Length=10, Diameter=11)
+    screwing = structure.subrel("Screwings").create(
+        {"Bores": [g_bore1, p_bore]}, Strength=7
+    )
+    screwing.subclass("Bolt").create(transmitter=bolt)
+    screwing.subclass("Nut").create(transmitter=nut)
+    screwing.check_constraints()
+    print(f"screwing ok: bolt {bolt['Length']}mm = nut {nut['Length']}mm "
+          f"+ bores {sum(b['Length'] for b in screwing['Bores'])}mm")
+
+    # -- constraint violations are caught --------------------------------------
+    try:
+        short_bolt = db.create_object("BoltType", Length=5, Diameter=11)
+        short_nut = db.create_object("NutType", Length=1, Diameter=11)
+        bad = structure.subrel("Screwings").create(
+            {"Bores": [g_bore2, p_bore]}, Strength=3
+        )
+        bad.subclass("Bolt").create(transmitter=short_bolt)
+        bad.subclass("Nut").create(transmitter=short_nut)
+        bad.check_constraints()
+    except ConstraintViolation as exc:
+        print(f"short bolt rejected: {exc}")
+        bad.delete()  # discard the failed assembly attempt
+
+    # -- a catalogue change flags every user for adaptation -------------------
+    girder_if.set_attribute("Length", 130)
+    worklist = tracker.inheritors_needing_adaptation()
+    print(f"catalogue update: {len(worklist)} component slots flagged "
+          f"for adaptation (both girders of the structure)")
+    for record in tracker.pending(girder_a):
+        print(f"  - {record.describe()}")
+    tracker.acknowledge(girder_a)
+    tracker.acknowledge(girder_b)
+    print(f"adaptation acknowledged; pending now: {len(tracker.all_pending())}")
+
+    structure.check_constraints(deep=True)
+    print("structure consistent; done.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Team design: workspaces, parallel alternatives, merge, group locks.
+
+Two designers work on the same cell library:
+
+1. both check out working copies of a released interface;
+2. both check in — the second checkin is flagged as parallel work;
+3. the alternatives are merged three-way, with one conflict to resolve;
+4. meanwhile their transactions run in a cooperative group, sharing locks
+   against outsiders.
+
+Run:  python examples/team_design.py
+"""
+
+from repro.errors import LockConflictError
+from repro.txn import TransactionGroup, TransactionManager
+from repro.versions import (
+    StateGuard,
+    VersionGraph,
+    Workspace,
+    merge_versions,
+)
+from repro.workloads import gate_database, make_interface
+
+
+def main() -> None:
+    db = gate_database("team")
+    guard = StateGuard(db)
+    tm = TransactionManager(db)
+
+    # -- the shared design object ------------------------------------------------
+    cell_v1 = make_interface(db, length=20, width=10)
+    graph = VersionGraph(design_object=cell_v1, guard=guard)
+    graph.add_version(cell_v1)
+    graph.release(cell_v1)
+    print(f"v1 released: {cell_v1['Length']}x{cell_v1['Width']}, "
+          f"{len(cell_v1['Pins'])} pins")
+
+    # -- two designers, two workspaces ---------------------------------------------
+    alice_ws = Workspace(db, user="alice")
+    bob_ws = Workspace(db, user="bob")
+    alice_copy = alice_ws.checkout(graph, cell_v1)
+    bob_copy = bob_ws.checkout(graph, cell_v1)
+
+    alice_copy.set_attribute("Length", 18)      # alice shrinks the length
+    bob_copy.set_attribute("Width", 8)          # bob shrinks the width
+    bob_copy.set_attribute("Length", 16)        # ... and also the length!
+
+    alice_version = alice_ws.checkin(alice_copy).version
+    bob_result = bob_ws.checkin(bob_copy)
+    print(f"alice checked in Length={alice_version['Length']}")
+    print(f"bob checked in Length={bob_result.version['Length']}, "
+          f"parallel={bob_result.parallel}")
+
+    # -- three-way merge -------------------------------------------------------------
+    result = merge_versions(graph, cell_v1, alice_version, bob_result.version)
+    print(f"merge applied {len(result.applied_from_right)} change(s) from bob, "
+          f"{len(result.conflicts)} conflict(s):")
+    for conflict in result.conflicts:
+        print(f"  {conflict}")
+    # Resolve the Length conflict by taking the smaller value.
+    merged = result.merged
+    merged.set_attribute("Length", min(c.right for c in result.conflicts))
+    print(f"resolved: merged version is "
+          f"{merged['Length']}x{merged['Width']}")
+    print(f"merge parents: base={graph.base_of(merged)['Length']}, "
+          f"other={[v['Length'] for v in graph.merge_parents_of(merged)]}")
+
+    # -- cooperative locking around the merge -------------------------------------------
+    team = TransactionGroup(tm, "cell-team")
+    alice_txn = team.begin(user="alice")
+    bob_txn = team.begin(user="bob")
+    alice_txn.write(merged)
+    bob_txn.read(merged)  # same group: no conflict
+    outsider = tm.begin(user="eve")
+    try:
+        outsider.read(merged)
+    except LockConflictError:
+        print("outsider blocked while the team holds the merged version")
+    outsider.abort()
+    alice_txn.commit()
+    bob_txn.commit()
+    team.end()
+    graph.release(merged)
+    print(f"released: graph now has {len(graph)} versions, "
+          f"{len(graph.leaves())} leaf/leaves")
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

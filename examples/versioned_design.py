@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Versioned design (§6): version graphs, states, generic relationships.
+
+A NAND design object evolves through versions; a composite consumes it
+through a *generic relationship* resolved at assembly time by each of the
+paper's three selection policies: top-down query, bottom-up default, and
+environment-based selection.
+
+Run:  python examples/versioned_design.py
+"""
+
+from repro.errors import VersionError
+from repro.versions import (
+    DefaultSelection,
+    EnvironmentRegistry,
+    EnvironmentSelection,
+    GenericRelationship,
+    QuerySelection,
+    StateGuard,
+    VersionGraph,
+    VersionState,
+)
+from repro.workloads import gate_database, make_interface
+
+
+def main() -> None:
+    db = gate_database("versioned")
+    guard = StateGuard(db)
+
+    # -- versions of the NAND interface (the design object) -------------------
+    graph = VersionGraph(name="NAND-interface", guard=guard)
+    v1 = make_interface(db, length=20, width=10)
+    graph.add_version(v1)
+    v2 = make_interface(db, length=14, width=8)   # shrink
+    graph.derive(v1, v2)
+    v3a = make_interface(db, length=12, width=8)  # two parallel alternatives
+    v3b = make_interface(db, length=14, width=6)
+    graph.derive(v2, v3a)
+    graph.derive(v2, v3b)
+    print(f"graph: {len(graph)} versions, "
+          f"history of v3a = {[v['Length'] for v in graph.history_of(v3a)]}, "
+          f"alternatives of v3a = {[v['Length'] for v in graph.alternatives_of(v3a)]}")
+
+    # -- states: released versions are immutable ------------------------------
+    graph.release(v2)
+    try:
+        v2.set_attribute("Length", 1)
+    except VersionError as exc:
+        print(f"update of released version rejected: {exc}")
+    print(f"classification: released={len(graph.versions_in_state(VersionState.RELEASED))}, "
+          f"in design={len(graph.versions_in_state(VersionState.IN_DESIGN))}")
+
+    # -- generic relationship: selection deferred to assembly time ------------
+    rel = db.catalog.inheritance_type("AllOf_GateInterface")
+
+    def fresh_slot():
+        return db.create_object("GateImplementation")
+
+    # Policy 1: top-down — the composite states required properties.
+    slot = fresh_slot()
+    generic = GenericRelationship(slot, rel, graph)
+    link = generic.resolve(QuerySelection("Length <= 12"))
+    print(f"top-down query 'Length <= 12' selected the version with "
+          f"Length={link.transmitter['Length']}")
+
+    # Policy 2: bottom-up — the design object supplies a default.
+    graph.set_default(v2)
+    slot = fresh_slot()
+    link = GenericRelationship(slot, rel, graph).resolve(
+        DefaultSelection(released_only=True)
+    )
+    print(f"bottom-up default (released only) selected Length={link.transmitter['Length']}")
+
+    # Policy 3: environment-based — selection outside both objects.  The
+    # environment maps *design objects* to versions, so this graph is
+    # anchored at an explicit design-object anchor.
+    anchor = make_interface(db)
+    anchored_graph = VersionGraph(design_object=anchor)
+    for v in (v1, v2, v3a, v3b):
+        anchored_graph.add_version(v)
+    registry = EnvironmentRegistry()
+    release_env = registry.create("release-1.0", "frozen component choices")
+    release_env.assign(anchor, v2)
+    testing_env = registry.create("testing", "experimental components")
+    testing_env.assign(anchor, v3b)
+
+    for name in ("release-1.0", "testing"):
+        registry.activate(name)
+        slot = fresh_slot()
+        link = GenericRelationship(slot, rel, anchored_graph).resolve(
+            EnvironmentSelection(registry)
+        )
+        print(f"environment {name!r} selected Length={link.transmitter['Length']}")
+
+    # Re-resolution after a new version appears.
+    slot = fresh_slot()
+    generic = GenericRelationship(slot, rel, anchored_graph)
+    generic.resolve(DefaultSelection())
+    v4 = make_interface(db, length=10, width=5)
+    anchored_graph.add_version(v4)
+    anchored_graph.set_default(v4)
+    generic.re_resolve(DefaultSelection())
+    print(f"after releasing v4, re-resolution binds Length={slot['Length']}")
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

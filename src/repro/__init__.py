@@ -1,0 +1,110 @@
+"""repro — complex and composite objects for CAD/CAM databases.
+
+A from-scratch implementation of the object model of
+
+    W. Wilkes, P. Klahold, G. Schlageter:
+    *Complex and Composite Objects in CAD/CAM Databases*,
+    FernUniversität Hagen / ICDE 1989,
+
+whose central mechanism is the **inheritance relationship**: a typed,
+attributed relationship through which an inheritor object inherits selected
+attributes of a transmitter object *together with their values*.  One
+mechanism models interfaces, interface hierarchies and component
+relationships of composite objects.
+
+Quickstart::
+
+    from repro import Database
+    from repro.ddl.paper import load_gate_schema
+
+    db = Database("gates")
+    load_gate_schema(db.catalog)
+
+    nand_if = db.create_object("GateInterface", Length=10, Width=5)
+    nand_if.subclass("Pins").create(InOut="IN", PinLocation=(0, 0))
+    nand_v1 = db.create_object("GateImplementation", transmitter=nand_if)
+    assert nand_v1["Length"] == 10          # value inheritance
+    nand_if.set_attribute("Length", 12)     # transmitter update ...
+    assert nand_v1["Length"] == 12          # ... visible immediately
+
+Subpackages: :mod:`repro.core` (the data model), :mod:`repro.expr`
+(constraint language), :mod:`repro.ddl` (the paper's schema syntax),
+:mod:`repro.engine` (catalog/database/persistence), :mod:`repro.composition`
+(interfaces, composites, configurations), :mod:`repro.versions`,
+:mod:`repro.txn`, :mod:`repro.consistency`, :mod:`repro.workloads`.
+"""
+
+from . import errors
+from .core import (
+    ANY,
+    BOOLEAN,
+    CHAR,
+    INTEGER,
+    IO,
+    POINT,
+    REAL,
+    STRING,
+    AttributeSpec,
+    DBObject,
+    Domain,
+    EnumDomain,
+    InheritanceLink,
+    InheritanceRelationshipType,
+    ListOf,
+    MatrixOf,
+    ObjectType,
+    ParticipantSpec,
+    RecordDomain,
+    RecordValue,
+    RelationshipObject,
+    RelationshipType,
+    SetOf,
+    SubclassSpec,
+    SubrelSpec,
+    Surrogate,
+    SurrogateGenerator,
+    bind,
+    new_object,
+    new_relationship,
+)
+from .engine import Database, load, save
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "errors",
+    "ANY",
+    "BOOLEAN",
+    "CHAR",
+    "INTEGER",
+    "IO",
+    "POINT",
+    "REAL",
+    "STRING",
+    "AttributeSpec",
+    "DBObject",
+    "Domain",
+    "EnumDomain",
+    "InheritanceLink",
+    "InheritanceRelationshipType",
+    "ListOf",
+    "MatrixOf",
+    "ObjectType",
+    "ParticipantSpec",
+    "RecordDomain",
+    "RecordValue",
+    "RelationshipObject",
+    "RelationshipType",
+    "SetOf",
+    "SubclassSpec",
+    "SubrelSpec",
+    "Surrogate",
+    "SurrogateGenerator",
+    "bind",
+    "new_object",
+    "new_relationship",
+    "Database",
+    "load",
+    "save",
+    "__version__",
+]

@@ -1,0 +1,176 @@
+"""Command-line interface.
+
+::
+
+    python -m repro schema FILE.ddl        # parse, report notes, pretty-print
+    python -m repro check FILE.ddl [IMAGE] # schema + optional image: integrity
+    python -m repro stats FILE.ddl IMAGE   # object/type statistics of an image
+    python -m repro docs FILE.ddl          # Markdown schema documentation
+    python -m repro query FILE.ddl IMAGE "select * from X where ..."
+    python -m repro paper [gate|steel]     # print the paper's schemas (normalised)
+
+Exit status is 0 on success, 1 on schema/image errors, 2 on integrity or
+constraint violations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+from typing import List, Optional
+
+from .ddl import load_schema
+from .ddl.paper import GATE_SCHEMA, STEEL_SCHEMA
+from .ddl.unparse import unparse_catalog
+from .engine import Database, load
+from .engine.integrity import check_integrity
+from .errors import ConstraintViolation, ReproError
+
+__all__ = ["main"]
+
+
+def _load_catalog(db: Database, path: str) -> List[str]:
+    with open(path) as f:
+        source = f.read()
+    load_schema(source, db.catalog)
+    return list(getattr(db.catalog, "ddl_notes", []))
+
+
+def cmd_schema(args: argparse.Namespace) -> int:
+    db = Database("cli")
+    notes = _load_catalog(db, args.schema)
+    for note in notes:
+        print(f"note: {note}", file=sys.stderr)
+    print(unparse_catalog(db.catalog), end="")
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    db = Database("cli")
+    notes = _load_catalog(db, args.schema)
+    for note in notes:
+        print(f"note: {note}", file=sys.stderr)
+    if args.image:
+        load(args.image, db)
+        print(f"loaded {db.count()} objects from {args.image}")
+    violations = check_integrity(db)
+    for violation in violations:
+        print(f"integrity: {violation}", file=sys.stderr)
+    constraint_failures = 0
+    for obj in db.objects():
+        if obj.parent is None and not obj.deleted:
+            try:
+                obj.check_constraints(deep=True)
+            except ConstraintViolation as exc:
+                constraint_failures += 1
+                print(f"constraint: {exc}", file=sys.stderr)
+    if violations or constraint_failures:
+        print(
+            f"FAILED: {len(violations)} integrity violation(s), "
+            f"{constraint_failures} constraint violation(s)"
+        )
+        return 2
+    print("OK: schema loads, image consistent, all constraints hold")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    db = Database("cli")
+    _load_catalog(db, args.schema)
+    load(args.image, db)
+    by_type: Counter = Counter(obj.object_type.name for obj in db.objects())
+    print(f"objects: {db.count()}")
+    print(f"types in catalog: {len(db.catalog)}")
+    for name, count in sorted(by_type.items(), key=lambda kv: (-kv[1], kv[0])):
+        print(f"  {name}: {count}")
+    for class_name, extent in sorted(db.classes().items()):
+        print(f"class {class_name}: {len(extent)} member(s)")
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    db = Database("cli")
+    _load_catalog(db, args.schema)
+    load(args.image, db)
+    result = db.query(args.query)
+    print(" | ".join(result.columns))
+    for row in result.rows:
+        print(" | ".join(repr(value) for value in row))
+    print(f"({len(result)} row(s))")
+    return 0
+
+
+def cmd_docs(args: argparse.Namespace) -> int:
+    from .ddl.docgen import document_catalog
+
+    db = Database("cli")
+    _load_catalog(db, args.schema)
+    print(document_catalog(db.catalog, title=args.title))
+    return 0
+
+
+def cmd_paper(args: argparse.Namespace) -> int:
+    source = GATE_SCHEMA if args.which == "gate" else STEEL_SCHEMA
+    if args.raw:
+        print(source)
+        return 0
+    catalog = load_schema(source)
+    print(unparse_catalog(catalog), end="")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Complex and composite objects for CAD/CAM databases "
+        "(Wilkes/Klahold/Schlageter, ICDE 1989).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_schema = sub.add_parser("schema", help="parse a DDL file and pretty-print it")
+    p_schema.add_argument("schema", help="path to a .ddl schema file")
+    p_schema.set_defaults(func=cmd_schema)
+
+    p_check = sub.add_parser("check", help="validate a schema and optional image")
+    p_check.add_argument("schema", help="path to a .ddl schema file")
+    p_check.add_argument("image", nargs="?", help="optional JSON image to load")
+    p_check.set_defaults(func=cmd_check)
+
+    p_stats = sub.add_parser("stats", help="statistics of a database image")
+    p_stats.add_argument("schema", help="path to a .ddl schema file")
+    p_stats.add_argument("image", help="JSON image to inspect")
+    p_stats.set_defaults(func=cmd_stats)
+
+    p_query = sub.add_parser("query", help="run a select query against an image")
+    p_query.add_argument("schema", help="path to a .ddl schema file")
+    p_query.add_argument("image", help="JSON image to query")
+    p_query.add_argument("query", help="select … from … where …")
+    p_query.set_defaults(func=cmd_query)
+
+    p_docs = sub.add_parser("docs", help="generate Markdown schema documentation")
+    p_docs.add_argument("schema", help="path to a .ddl schema file")
+    p_docs.add_argument("--title", default="Schema reference")
+    p_docs.set_defaults(func=cmd_docs)
+
+    p_paper = sub.add_parser("paper", help="print the paper's built-in schemas")
+    p_paper.add_argument("which", choices=["gate", "steel"])
+    p_paper.add_argument(
+        "--raw", action="store_true", help="print the verbatim listing text"
+    )
+    p_paper.set_defaults(func=cmd_paper)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,127 @@
+"""Materialising cache for inherited values — the ablation of DESIGN.md §6.
+
+The library resolves inherited members by *live delegation* to the
+transmitter: updates are O(1), reads pay one hop per hierarchy level.  The
+obvious alternative is to materialise inherited values at the inheritor and
+invalidate on transmitter updates — O(1) amortised reads, update cost
+proportional to the number of (transitive) inheritors touched.
+
+:class:`InheritedValueCache` implements that alternative on top of the
+event bus, so benchmark E7 can measure the trade-off instead of asserting
+it.  The cache is *correct by invalidation*: every event that can change an
+inherited member's value (attribute updates, subclass content changes,
+binding changes) drops exactly the affected entries, transitively down the
+inheritance graph.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Set, Tuple
+
+from ..core.objects import DBObject
+from ..core.surrogate import Surrogate
+
+__all__ = ["InheritedValueCache"]
+
+_SENTINEL = object()
+
+
+class InheritedValueCache:
+    """Per-database cache of resolved inherited member values."""
+
+    def __init__(self, database):
+        self.database = database
+        self._entries: Dict[Tuple[Surrogate, str], Any] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        bus = database.events
+        self._subscriptions = [
+            bus.subscribe("attribute_updated", self._on_member_changed),
+            bus.subscribe("subobject_added", self._on_subclass_changed),
+            bus.subscribe("subobject_removed", self._on_subclass_changed),
+            bus.subscribe("relationship_created", self._on_subclass_changed),
+            bus.subscribe("relationship_removed", self._on_subclass_changed),
+            bus.subscribe("inheritor_bound", self._on_binding_changed),
+            bus.subscribe("inheritor_unbound", self._on_binding_changed),
+            bus.subscribe("object_deleted", self._on_deleted),
+        ]
+
+    # -- reads ------------------------------------------------------------------
+
+    def get(self, obj: DBObject, member: str) -> Any:
+        """Resolve ``member`` on ``obj``, caching inherited resolutions.
+
+        Local members are passed through uncached (they are a dict lookup
+        anyway); only values that cross at least one inheritance link are
+        materialised.
+        """
+        if not obj.is_member_inherited(member):
+            return obj.get_member(member)
+        key = (obj.surrogate, member)
+        cached = self._entries.get(key, _SENTINEL)
+        if cached is not _SENTINEL:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        value = obj.get_member(member)
+        self._entries[key] = value
+        return value
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- invalidation --------------------------------------------------------------
+
+    def _invalidate_downward(self, obj: DBObject, member: str) -> None:
+        """Drop the entry for ``member`` on every transitive inheritor."""
+        stack = [(obj, member)]
+        seen: Set[Tuple[Surrogate, str]] = set()
+        while stack:
+            current, name = stack.pop()
+            for link in current.inheritor_links:
+                if not link.rel_type.is_permeable(name):
+                    continue
+                inheritor = link.inheritor
+                key = (inheritor.surrogate, name)
+                if key in seen:
+                    continue
+                seen.add(key)
+                if self._entries.pop(key, _SENTINEL) is not _SENTINEL:
+                    self.invalidations += 1
+                stack.append((inheritor, name))
+
+    def _on_member_changed(self, event) -> None:
+        self._invalidate_downward(event.subject, event.attribute)
+
+    def _on_subclass_changed(self, event) -> None:
+        member = event.data.get("subclass") or event.data.get("subrel")
+        if member:
+            self._invalidate_downward(event.subject, member)
+
+    def _on_binding_changed(self, event) -> None:
+        inheritor = event.subject
+        dropped = [
+            key for key in self._entries if key[0] == inheritor.surrogate
+        ]
+        for key in dropped:
+            del self._entries[key]
+            self.invalidations += 1
+        # Downstream inheritors of the re-bound object see new values too.
+        for member in event.rel_type.inheriting:
+            self._invalidate_downward(inheritor, member)
+
+    def _on_deleted(self, event) -> None:
+        surrogate = event.subject.surrogate
+        for key in [key for key in self._entries if key[0] == surrogate]:
+            del self._entries[key]
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def detach(self) -> None:
+        for subscription in self._subscriptions:
+            self.database.events.unsubscribe(subscription)
+        self._subscriptions = []

@@ -1,0 +1,192 @@
+"""Composite objects: components as inheriting subobjects (§4.2, Figure 3/4).
+
+A *component relationship* is modelled exactly as the paper prescribes: the
+component is represented inside the composite by a **subobject** that is the
+inheritor in an inheritance relationship whose transmitter is the component
+(usually the component's interface).  The subobject adds local data such as
+placement.
+
+Helpers here cover building composites (:func:`add_component`), inspecting
+them (:func:`components_of`, :func:`visible_image`) and the §6 *expansion*
+of a composite object — the materialised view with all component data, which
+the lock manager's expansion locking also traverses.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.inheritance import InheritanceRelationshipType
+from ..core.objects import DBObject
+from ..errors import InheritanceError, UnknownAttributeError
+
+__all__ = [
+    "add_component",
+    "components_of",
+    "component_subobjects",
+    "visible_image",
+    "Expansion",
+    "expand",
+]
+
+
+def add_component(
+    composite: DBObject,
+    subclass_name: str,
+    component: DBObject,
+    rel_type: Optional[InheritanceRelationshipType] = None,
+    **own_attrs: Any,
+) -> DBObject:
+    """Incorporate ``component`` into ``composite``.
+
+    Creates a subobject in ``subclass_name`` bound to ``component`` through
+    ``rel_type`` (or the element type's single declared inheritance
+    relationship), with ``own_attrs`` as the subobject's local data
+    (placement etc.).  Returns the component subobject.
+    """
+    container = composite.subclass(subclass_name)
+    element_type = container.element_type
+    if rel_type is None:
+        declared = element_type.inheritor_in
+        if len(declared) != 1:
+            raise InheritanceError(
+                f"element type {element_type.name!r} declares {len(declared)} "
+                f"inheritance relationships; pass rel_type explicitly"
+            )
+        rel_type = declared[0]
+    return container.create(transmitter=component, via=rel_type, **own_attrs)
+
+
+def component_subobjects(composite: DBObject) -> List[DBObject]:
+    """Subobjects of ``composite`` that are bound inheritors (components)."""
+    found = []
+    for name in composite.subclass_names():
+        for member in composite.subclass(name):
+            if member.inheritance_links:
+                found.append(member)
+    return found
+
+
+def components_of(composite: DBObject) -> List[Tuple[DBObject, DBObject]]:
+    """(subobject, component) pairs for every bound component subobject."""
+    return [
+        (subobject, subobject.inheritance_links[0].transmitter)
+        for subobject in component_subobjects(composite)
+    ]
+
+
+def visible_image(obj: DBObject) -> Dict[str, Any]:
+    """Every member visible on ``obj`` — local *and* inherited — by name.
+
+    Attribute members map to their values, subclasses/subrels to member
+    lists.  This is "the component's data visible in the composite object"
+    made explicit.
+    """
+    image: Dict[str, Any] = {}
+    for name in obj.visible_member_names():
+        try:
+            image[name] = obj.get_member(name)
+        except UnknownAttributeError:  # dynamic types: unset names
+            continue
+    return image
+
+
+class Expansion:
+    """The materialised view of a composite object (§6).
+
+    ``objects`` lists every object the expansion touches — the composite,
+    its subobjects, and transitively the transmitters whose data is visible
+    — which is exactly the set expansion locking must read-lock.
+    """
+
+    def __init__(self, root: DBObject, tree: Dict[str, Any], objects: List[DBObject]):
+        self.root = root
+        self.tree = tree
+        self.objects = objects
+
+    def __len__(self) -> int:
+        return len(self.objects)
+
+    def __contains__(self, obj: object) -> bool:
+        return isinstance(obj, DBObject) and any(
+            o.surrogate == obj.surrogate for o in self.objects
+        )
+
+    def __repr__(self) -> str:
+        return f"<Expansion of {self.root!r} objects={len(self.objects)}>"
+
+
+def _realisation_of(component: DBObject) -> Optional[DBObject]:
+    """The implementation whose structure realises an interface component.
+
+    Mirrors the configuration traversal: the first top-level inheritor of
+    the component that itself has component subobjects.  None when the
+    component is a leaf (nothing deeper to materialise).
+    """
+    for link in component.inheritor_links:
+        implementation = link.inheritor
+        if implementation.parent is None and component_subobjects(implementation):
+            return implementation
+    return None
+
+
+def expand(composite: DBObject, depth: Optional[int] = None) -> Expansion:
+    """Expand a composite object: materialise components recursively (§6).
+
+    ``depth`` limits how many component levels are followed (``None`` = all
+    levels).  Components that are interfaces are expanded *through their
+    realisation* — the implementation that carries the next level of
+    components — so a whole component hierarchy materialises, exactly the
+    structure §6's expansion locking must cover.
+
+    The expansion tree has the shape::
+
+        {"object": obj,
+         "attributes": {...local and inherited attribute values...},
+         "subobjects": {subclass: [subtree, ...]},
+         "component": subtree-of-the-transmitter-or-None,
+         "realisation": subtree-of-the-realising-implementation-or-None,
+         "ref": True}             # only on re-visits of a shared object
+
+    Shared objects (a component used by several slots) are expanded once;
+    later occurrences are reference nodes.
+    """
+    seen: Dict[Any, bool] = {}
+    objects: List[DBObject] = []
+
+    def visit(obj: DBObject, remaining: Optional[int]) -> Dict[str, Any]:
+        if obj.surrogate in seen:
+            return {"object": obj, "ref": True}
+        seen[obj.surrogate] = True
+        objects.append(obj)
+        attributes = {
+            name: obj.get_member(name)
+            for name in obj.object_type.effective_attributes()
+        }
+        subobjects: Dict[str, List[Dict[str, Any]]] = {}
+        for name in obj.subclass_names():
+            if obj.is_member_inherited(name):
+                continue  # visible through the component link below
+            subobjects[name] = [
+                visit(member, remaining) for member in obj.subclass(name)
+            ]
+        component_tree = None
+        realisation_tree = None
+        links = obj.inheritance_links
+        if links and (remaining is None or remaining > 0):
+            next_remaining = None if remaining is None else remaining - 1
+            component = links[0].transmitter
+            component_tree = visit(component, next_remaining)
+            realisation = _realisation_of(component)
+            if realisation is not None:
+                realisation_tree = visit(realisation, next_remaining)
+        return {
+            "object": obj,
+            "attributes": attributes,
+            "subobjects": subobjects,
+            "component": component_tree,
+            "realisation": realisation_tree,
+        }
+
+    tree = visit(composite, depth)
+    return Expansion(composite, tree, objects)

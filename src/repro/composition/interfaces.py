@@ -1,0 +1,137 @@
+"""Interfaces, implementations and abstraction hierarchies (§2, §4.2).
+
+An *interface* is simply a transmitter object: the data common to all of a
+design object's implementations.  Implementations are its inheritors.
+Because interfaces may themselves inherit from more abstract
+"super-interfaces", design objects form an **abstraction hierarchy**; the
+helpers here navigate it and support the §4.2 design workflow — composites
+first use components from abstract levels, then *refine* the component by
+walking down the hierarchy.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.inheritance import InheritanceRelationshipType
+from ..core.objects import DBObject, InheritanceLink, bind
+from ..errors import InheritanceError
+
+__all__ = [
+    "implementations_of",
+    "interfaces_of",
+    "abstraction_chain",
+    "abstraction_tree",
+    "rebind",
+    "refine",
+]
+
+
+def implementations_of(
+    interface: DBObject,
+    rel_type: Optional[InheritanceRelationshipType] = None,
+) -> List[DBObject]:
+    """Objects inheriting from ``interface`` (optionally via one rel type)."""
+    return [
+        link.inheritor
+        for link in interface.inheritor_links
+        if rel_type is None or link.rel_type is rel_type
+    ]
+
+
+def interfaces_of(obj: DBObject) -> List[DBObject]:
+    """The transmitters ``obj`` is bound to (its interfaces/components)."""
+    return [link.transmitter for link in obj.inheritance_links]
+
+
+def abstraction_chain(obj: DBObject) -> List[DBObject]:
+    """The chain from ``obj`` up to the most abstract interface.
+
+    Follows the first bound link at each level (the common case is a single
+    interface per object); ``obj`` itself is the first element.
+    """
+    chain = [obj]
+    current = obj
+    seen = {obj.surrogate}
+    while True:
+        links = current.inheritance_links
+        if not links:
+            break
+        current = links[0].transmitter
+        if current.surrogate in seen:  # defensive; bind() forbids cycles
+            break
+        seen.add(current.surrogate)
+        chain.append(current)
+    return chain
+
+
+def abstraction_tree(root: DBObject) -> Dict[str, Any]:
+    """The abstraction hierarchy below ``root`` as a nested dictionary.
+
+    ``{"object": root, "inheritors": [ ...same shape... ]}`` — the §4.2
+    classification of design objects and their versions "as subtle as
+    desired".
+    """
+    return {
+        "object": root,
+        "inheritors": [
+            abstraction_tree(link.inheritor) for link in root.inheritor_links
+        ],
+    }
+
+
+def rebind(
+    inheritor: DBObject,
+    new_transmitter: DBObject,
+    rel_type: Optional[InheritanceRelationshipType] = None,
+) -> InheritanceLink:
+    """Re-bind an inheritor to a different transmitter.
+
+    The existing link of the relationship type is severed first; attribute
+    values carried by the old link are **not** transferred (they describe
+    the old relationship).
+    """
+    if rel_type is None:
+        links = inheritor.inheritance_links
+        if len(links) != 1:
+            raise InheritanceError(
+                f"{inheritor!r} has {len(links)} inheritance links; "
+                f"pass rel_type explicitly"
+            )
+        rel_type = links[0].rel_type
+    existing = inheritor.link_for(rel_type)
+    if existing is not None:
+        existing.unbind()
+    return bind(inheritor, new_transmitter, rel_type)
+
+
+def refine(
+    component_subobject: DBObject,
+    rel_type: Optional[InheritanceRelationshipType] = None,
+) -> Tuple[DBObject, Optional[DBObject]]:
+    """Walk a component one level *down* the abstraction hierarchy (§4.2).
+
+    If the component subobject is currently bound to an abstract interface
+    that has exactly one inheritor (one refinement), rebind to it and
+    return ``(old, new)``.  With no or ambiguous refinements, nothing
+    changes and ``(current, None)`` is returned — the caller must choose
+    (that is the version-selection problem of §6, see
+    :mod:`repro.versions.selection`).
+    """
+    links = [
+        link
+        for link in component_subobject.inheritance_links
+        if rel_type is None or link.rel_type is rel_type
+    ]
+    if len(links) != 1:
+        raise InheritanceError(
+            f"{component_subobject!r} needs exactly one matching link to refine"
+        )
+    current = links[0].transmitter
+    refinements = [link.inheritor for link in current.inheritor_links
+                   if link.inheritor is not component_subobject]
+    candidates = [r for r in refinements if r.parent is None]
+    if len(candidates) != 1:
+        return current, None
+    rebind(component_subobject, candidates[0], links[0].rel_type)
+    return current, candidates[0]

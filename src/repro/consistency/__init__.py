@@ -1,0 +1,17 @@
+"""Consistency control: adaptation flags on inheritance links, triggers."""
+
+from .adaptation import AdaptationRecord, AdaptationTracker
+from .impact import ImpactReport, affected_types, change_impact, extension_impact
+from .triggers import Trigger, TriggerRegistry, auto_adapt_trigger
+
+__all__ = [
+    "AdaptationRecord",
+    "AdaptationTracker",
+    "ImpactReport",
+    "affected_types",
+    "change_impact",
+    "extension_impact",
+    "Trigger",
+    "TriggerRegistry",
+    "auto_adapt_trigger",
+]

@@ -1,0 +1,142 @@
+"""Impact analysis for interface changes (§4.2).
+
+*"In reality, interfaces do change, thus we have to handle these changes.
+Not all changes of interfaces concern all objects using the interface: If a
+new function is added to a module, this does not affect superior modules
+which do not need this function."*
+
+This module answers, before a change is made, exactly who would be
+concerned:
+
+* :func:`change_impact` — for a change to an *existing* member of a design
+  object: every object that sees the value through a chain of permeable
+  inheritance links, and the composite objects enclosing affected component
+  subobjects;
+* :func:`extension_impact` — for a *new* member added to a type: since the
+  ``inheriting:`` clauses are explicit lists, a new member flows nowhere
+  until a relationship opts in — the report lists the relationship types
+  (and their known inheritor types) that *could* be extended;
+* :func:`affected_types` — the type-level closure of a member change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set, Tuple
+
+from ..core.inheritance import InheritanceRelationshipType
+from ..core.objects import DBObject, InheritanceLink
+from ..core.objtype import TypeBase
+from ..core.surrogate import Surrogate
+
+__all__ = ["ImpactReport", "change_impact", "extension_impact", "affected_types"]
+
+
+@dataclass
+class ImpactReport:
+    """Who a change to ``subject``'s ``member`` would concern."""
+
+    subject: DBObject
+    member: str
+    #: Objects that read the member through permeable links, with the link
+    #: chain that carries the value to them.
+    affected: List[Tuple[DBObject, Tuple[InheritanceLink, ...]]] = field(
+        default_factory=list
+    )
+    #: Composite objects enclosing affected component subobjects.
+    composites: List[DBObject] = field(default_factory=list)
+
+    @property
+    def is_isolated(self) -> bool:
+        """True when the change concerns nobody but the subject."""
+        return not self.affected
+
+    def summary(self) -> str:
+        return (
+            f"changing {self.member!r} of {self.subject!r} affects "
+            f"{len(self.affected)} object(s) and {len(self.composites)} "
+            f"enclosing composite(s)"
+        )
+
+
+def change_impact(subject: DBObject, member: str) -> ImpactReport:
+    """Every object concerned by a change to ``subject.member``.
+
+    Walks inheritor links transitively, following only links whose
+    ``inheriting`` clause carries the member — the §4.2 point that changes
+    reach exactly the objects that *need* the member, nobody else.
+    """
+    report = ImpactReport(subject, member)
+    seen: Set[Surrogate] = set()
+    composite_seen: Set[Surrogate] = set()
+    stack: List[Tuple[DBObject, Tuple[InheritanceLink, ...]]] = [(subject, ())]
+    while stack:
+        current, chain = stack.pop()
+        for link in current.inheritor_links:
+            if not link.rel_type.is_permeable(member):
+                continue
+            inheritor = link.inheritor
+            if inheritor.surrogate in seen:
+                continue
+            seen.add(inheritor.surrogate)
+            full_chain = chain + (link,)
+            report.affected.append((inheritor, full_chain))
+            owner = inheritor.parent
+            while owner is not None:
+                if owner.surrogate not in composite_seen:
+                    composite_seen.add(owner.surrogate)
+                    report.composites.append(owner)
+                owner = owner.parent
+            stack.append((inheritor, full_chain))
+    return report
+
+
+def affected_types(type_: TypeBase, member: str) -> List[TypeBase]:
+    """Types whose instances may see ``member`` of ``type_`` by inheritance.
+
+    The schema-level closure: follow inheritance-relationship types that
+    list the member, through their known inheritor types, transitively.
+    """
+    found: List[TypeBase] = []
+    seen: Set[int] = {id(type_)}
+    stack: List[TypeBase] = [type_]
+    while stack:
+        current = stack.pop()
+        for rel in _rel_types_transmitting(current):
+            if not rel.is_permeable(member):
+                continue
+            for inheritor_type in rel.known_inheritor_types:
+                if id(inheritor_type) in seen:
+                    continue
+                seen.add(id(inheritor_type))
+                found.append(inheritor_type)
+                stack.append(inheritor_type)
+    return found
+
+
+def _rel_types_transmitting(type_: TypeBase) -> List[InheritanceRelationshipType]:
+    """Inheritance-relationship types whose transmitter is ``type_``.
+
+    Every InheritanceRelationshipType registers itself with its transmitter
+    type at definition time, so this is a direct registry read.
+    """
+    return list(getattr(type_, "_transmitting_rel_types", []))
+
+
+def extension_impact(
+    type_: TypeBase, new_member: str
+) -> List[InheritanceRelationshipType]:
+    """Relationship types that could expose a *new* member of ``type_``.
+
+    Because permeability lists are explicit, adding a member affects nobody
+    until a relationship's ``inheriting:`` clause is extended; the §4.2
+    example — a new function added to a module "does not affect superior
+    modules which do not need this function" — falls out directly.  The
+    returned relationships are the candidates a schema designer would
+    consider extending.
+    """
+    return [
+        rel
+        for rel in _rel_types_transmitting(type_)
+        if not rel.is_permeable(new_member)
+    ]

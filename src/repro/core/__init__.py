@@ -1,0 +1,104 @@
+"""Core data model: surrogates, domains, types, objects, inheritance.
+
+This package implements §3 and §4 of the paper — the object model proper.
+The public names are re-exported from :mod:`repro` for application use.
+"""
+
+from .surrogate import Surrogate, SurrogateGenerator
+from .attributes import AttributeSpec
+from .constraints import (
+    CallableConstraint,
+    Constraint,
+    ExprConstraint,
+    as_constraints,
+    check_all,
+)
+from .objtype import ObjectType, SubclassSpec, SubrelSpec, TypeBase
+from .reltype import ParticipantSpec, RelationshipType
+from .inheritance import (
+    INHERITOR_ROLE,
+    TRANSMITTER_ROLE,
+    InheritanceRelationshipType,
+)
+from .objects import (
+    DBObject,
+    InheritanceLink,
+    LocalRelClass,
+    LocalSubclass,
+    RelationshipObject,
+    bind,
+    new_object,
+    new_relationship,
+)
+from .domains import (
+    ANY,
+    BOOLEAN,
+    CHAR,
+    INTEGER,
+    IO,
+    POINT,
+    REAL,
+    STRING,
+    AnyDomain,
+    BooleanDomain,
+    CharDomain,
+    Domain,
+    EnumDomain,
+    IntegerDomain,
+    ListOf,
+    MatrixOf,
+    RealDomain,
+    RecordDomain,
+    RecordValue,
+    SetOf,
+    StringDomain,
+)
+
+__all__ = [
+    "Surrogate",
+    "SurrogateGenerator",
+    "AttributeSpec",
+    "CallableConstraint",
+    "Constraint",
+    "ExprConstraint",
+    "as_constraints",
+    "check_all",
+    "ObjectType",
+    "SubclassSpec",
+    "SubrelSpec",
+    "TypeBase",
+    "ParticipantSpec",
+    "RelationshipType",
+    "INHERITOR_ROLE",
+    "TRANSMITTER_ROLE",
+    "InheritanceRelationshipType",
+    "DBObject",
+    "InheritanceLink",
+    "LocalRelClass",
+    "LocalSubclass",
+    "RelationshipObject",
+    "bind",
+    "new_object",
+    "new_relationship",
+    "ANY",
+    "BOOLEAN",
+    "CHAR",
+    "INTEGER",
+    "IO",
+    "POINT",
+    "REAL",
+    "STRING",
+    "AnyDomain",
+    "BooleanDomain",
+    "CharDomain",
+    "Domain",
+    "EnumDomain",
+    "IntegerDomain",
+    "ListOf",
+    "MatrixOf",
+    "RealDomain",
+    "RecordDomain",
+    "RecordValue",
+    "SetOf",
+    "StringDomain",
+]

@@ -1,0 +1,72 @@
+"""Attribute specifications.
+
+An :class:`AttributeSpec` describes one attribute of an object or
+relationship type: its name, its domain and an optional default.  The
+automatic ``surrogate`` attribute (§3) is *not* modelled as a spec — it is
+provided by every object directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..errors import DomainError, SchemaError
+from .domains import ANY, Domain
+
+__all__ = ["AttributeSpec", "RESERVED_MEMBER_NAMES"]
+
+#: Member names objects provide automatically; types may not redeclare them.
+RESERVED_MEMBER_NAMES = frozenset(["surrogate", "type", "self", "this"])
+
+_UNSET = object()
+
+
+class AttributeSpec:
+    """Declaration of one attribute in a type definition.
+
+    Parameters
+    ----------
+    name:
+        Attribute name; must be a valid identifier and not reserved.
+    domain:
+        The :class:`~repro.core.domains.Domain` values must belong to.
+        Defaults to the untyped domain.
+    default:
+        Optional initial value, validated against the domain eagerly so a
+        bad default fails at schema-definition time, not first use.
+    """
+
+    __slots__ = ("name", "domain", "_default", "has_default")
+
+    def __init__(self, name: str, domain: Optional[Domain] = None, default: Any = _UNSET):
+        if not name.isidentifier():
+            raise SchemaError(f"attribute name {name!r} is not a valid identifier")
+        if name in RESERVED_MEMBER_NAMES:
+            raise SchemaError(f"attribute name {name!r} is reserved")
+        self.name = name
+        self.domain = domain if domain is not None else ANY
+        self.has_default = default is not _UNSET
+        if self.has_default:
+            try:
+                self._default = self.domain.validate(default)
+            except DomainError as exc:
+                raise SchemaError(
+                    f"default for attribute {name!r} violates its domain: {exc}"
+                ) from exc
+        else:
+            self._default = None
+
+    @property
+    def default(self) -> Any:
+        """The validated default value (None when no default is declared)."""
+        return self._default
+
+    def validate(self, value: Any) -> Any:
+        """Validate a candidate value against the attribute's domain."""
+        try:
+            return self.domain.validate(value)
+        except DomainError as exc:
+            raise DomainError(f"attribute {self.name!r}: {exc}") from exc
+
+    def __repr__(self) -> str:
+        return f"AttributeSpec({self.name!r}, {self.domain.describe()})"

@@ -1,0 +1,121 @@
+"""Integrity constraints.
+
+§3: *"Integrity constraints may be defined with the definition of an object
+type.  They are local to the object type, i.e. they define conditions the
+attributes of the objects have to obey."*  Relationship types and
+inheritance-relationship types carry constraints the same way (§4.1, §5).
+
+Two constraint flavours are supported:
+
+* :class:`ExprConstraint` — written in the paper's constraint language and
+  evaluated by :mod:`repro.expr` against the object;
+* :class:`CallableConstraint` — an arbitrary Python predicate, for
+  conditions beyond the little language.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Union
+
+from ..errors import ConstraintViolation, ExprEvaluationError
+from ..expr import EvalContext, parse_constraints, truthy
+from ..expr.ast import Node
+
+__all__ = [
+    "Constraint",
+    "ExprConstraint",
+    "CallableConstraint",
+    "as_constraints",
+    "check_all",
+]
+
+
+class Constraint:
+    """Base class: something checkable against an object."""
+
+    #: Human-readable source/description, used in violation messages.
+    source: str = ""
+
+    def holds(self, subject: Any, bindings: Optional[Dict[str, Any]] = None) -> bool:
+        """True when the constraint is satisfied by ``subject``."""
+        raise NotImplementedError
+
+    def check(self, subject: Any, bindings: Optional[Dict[str, Any]] = None) -> None:
+        """Raise :class:`~repro.errors.ConstraintViolation` unless satisfied."""
+        if not self.holds(subject, bindings):
+            raise ConstraintViolation(
+                f"constraint {self.source!r} violated by {subject!r}",
+                constraint=self.source,
+                subject=subject,
+            )
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.source!r}>"
+
+
+class ExprConstraint(Constraint):
+    """A constraint written in the paper's expression language."""
+
+    def __init__(self, node: Node, source: str = ""):
+        self.node = node
+        self.source = source or node.unparse()
+
+    @classmethod
+    def parse(cls, source: str) -> List["ExprConstraint"]:
+        """Parse a ``;``-separated constraint block into constraint objects."""
+        return [cls(node, node.unparse()) for node in parse_constraints(source)]
+
+    def holds(self, subject: Any, bindings: Optional[Dict[str, Any]] = None) -> bool:
+        ctx = EvalContext(subject, bindings)
+        try:
+            return truthy(self.node.evaluate(ctx))
+        except ExprEvaluationError as exc:
+            raise ConstraintViolation(
+                f"constraint {self.source!r} failed to evaluate on {subject!r}: {exc}",
+                constraint=self.source,
+                subject=subject,
+            ) from exc
+
+
+class CallableConstraint(Constraint):
+    """A constraint implemented as a Python predicate ``fn(subject) -> bool``."""
+
+    def __init__(self, predicate: Callable[[Any], bool], source: str = ""):
+        self.predicate = predicate
+        self.source = source or getattr(predicate, "__name__", "<predicate>")
+
+    def holds(self, subject: Any, bindings: Optional[Dict[str, Any]] = None) -> bool:
+        return bool(self.predicate(subject))
+
+
+ConstraintLike = Union[Constraint, str, Callable[[Any], bool]]
+
+
+def as_constraints(items: Optional[Iterable[ConstraintLike]]) -> List[Constraint]:
+    """Normalise a mixed list of constraint inputs.
+
+    Strings are parsed as constraint blocks (each may yield several
+    constraints), callables become :class:`CallableConstraint`, constraint
+    objects pass through.
+    """
+    normalised: List[Constraint] = []
+    for item in items or []:
+        if isinstance(item, Constraint):
+            normalised.append(item)
+        elif isinstance(item, str):
+            normalised.extend(ExprConstraint.parse(item))
+        elif callable(item):
+            normalised.append(CallableConstraint(item))
+        else:
+            raise TypeError(f"cannot interpret {item!r} as a constraint")
+    return normalised
+
+
+def check_all(
+    constraints: Iterable[Constraint],
+    subject: Any,
+    bindings: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Check every constraint, raising on the first violation."""
+    for constraint in constraints:
+        constraint.check(subject, bindings)

@@ -1,0 +1,398 @@
+"""Attribute domains.
+
+Section 3: *"Attribute values belong to a particular domain.  Domains may be
+simple (integer, string, etc.) or structured (using constructors as record,
+list-of, set-of, etc.)."*
+
+The domain system provides:
+
+* the simple domains :data:`INTEGER`, :data:`REAL`, :data:`STRING`,
+  :data:`BOOLEAN` and :data:`CHAR`;
+* :class:`EnumDomain` for definitions like ``domain I/O = (IN, OUT)``;
+* the constructors :class:`RecordDomain` (``record``), :class:`ListOf`
+  (``list-of``), :class:`SetOf` (``set-of``) and :class:`MatrixOf`
+  (``matrix-of``);
+* :data:`POINT`, the ``Point = (X, Y: integer)`` record the paper uses
+  throughout.
+
+Every domain validates and *normalises* candidate values through
+:meth:`Domain.validate`; structured values are normalised to immutable,
+hashable representations (:class:`RecordValue`, tuples, frozensets) so that
+``set-of record(...)`` compositions work and inherited values cannot be
+mutated behind the transmitter's back.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from ..errors import DomainError
+
+__all__ = [
+    "Domain",
+    "SimpleDomain",
+    "IntegerDomain",
+    "RealDomain",
+    "StringDomain",
+    "BooleanDomain",
+    "CharDomain",
+    "EnumDomain",
+    "RecordDomain",
+    "RecordValue",
+    "ListOf",
+    "SetOf",
+    "MatrixOf",
+    "AnyDomain",
+    "SurrogateDomain",
+    "INTEGER",
+    "REAL",
+    "STRING",
+    "BOOLEAN",
+    "CHAR",
+    "ANY",
+    "POINT",
+    "IO",
+]
+
+
+class Domain:
+    """Base class of all domains.
+
+    Subclasses implement :meth:`validate`, which either returns the
+    normalised value or raises :class:`~repro.errors.DomainError`.
+    """
+
+    name: str = "domain"
+
+    def validate(self, value: Any) -> Any:
+        """Return the normalised form of ``value`` or raise DomainError."""
+        raise NotImplementedError
+
+    def contains(self, value: Any) -> bool:
+        """True when ``value`` belongs to the domain."""
+        try:
+            self.validate(value)
+        except DomainError:
+            return False
+        return True
+
+    def describe(self) -> str:
+        """Human-readable description used in error messages and catalogs."""
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"<domain {self.describe()}>"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Domain) and self.describe() == other.describe()
+
+    def __hash__(self) -> int:
+        return hash(self.describe())
+
+    def _reject(self, value: Any, reason: str = "") -> "DomainError":
+        detail = f" ({reason})" if reason else ""
+        return DomainError(
+            f"value {value!r} does not belong to domain {self.describe()}{detail}"
+        )
+
+
+class SimpleDomain(Domain):
+    """Common base for the scalar domains."""
+
+
+class IntegerDomain(SimpleDomain):
+    """Whole numbers.  bool is rejected — the paper separates the domains."""
+
+    name = "integer"
+
+    def validate(self, value: Any) -> int:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise self._reject(value)
+        return value
+
+
+class RealDomain(SimpleDomain):
+    """Floating-point numbers; integers are accepted and widened."""
+
+    name = "real"
+
+    def validate(self, value: Any) -> float:
+        if isinstance(value, bool):
+            raise self._reject(value)
+        if isinstance(value, (int, float)):
+            return float(value)
+        raise self._reject(value)
+
+
+class StringDomain(SimpleDomain):
+    """Character strings of any length."""
+
+    name = "string"
+
+    def validate(self, value: Any) -> str:
+        if not isinstance(value, str):
+            raise self._reject(value)
+        return value
+
+
+class BooleanDomain(SimpleDomain):
+    """Truth values."""
+
+    name = "boolean"
+
+    def validate(self, value: Any) -> bool:
+        if not isinstance(value, bool):
+            raise self._reject(value)
+        return value
+
+
+class CharDomain(SimpleDomain):
+    """Strings, as the paper uses ``char`` for description attributes.
+
+    The paper's steel-construction schema declares ``Designer: char`` and
+    ``Description: char`` for evidently multi-character content, so this
+    domain accepts any string (it is an alias of :class:`StringDomain`
+    kept distinct for catalog fidelity).
+    """
+
+    name = "char"
+
+    def validate(self, value: Any) -> str:
+        if not isinstance(value, str):
+            raise self._reject(value)
+        return value
+
+
+class AnyDomain(Domain):
+    """The untyped domain — accepts every value unchanged.
+
+    Used for relationship participants declared as plain ``object`` and as
+    the default for dynamically created attributes.
+    """
+
+    name = "any"
+
+    def validate(self, value: Any) -> Any:
+        return value
+
+
+class SurrogateDomain(Domain):
+    """Domain of the automatic ``surrogate`` attribute."""
+
+    name = "surrogate"
+
+    def validate(self, value: Any) -> Any:
+        from .surrogate import Surrogate
+
+        if not isinstance(value, Surrogate):
+            raise self._reject(value)
+        return value
+
+
+class EnumDomain(Domain):
+    """Enumeration domain, e.g. ``domain I/O = (IN, OUT)``.
+
+    Values are stored as their label strings; labels are case-sensitive.
+    """
+
+    def __init__(self, name: str, labels: Sequence[str]):
+        if not labels:
+            raise DomainError(f"enum domain {name!r} needs at least one label")
+        seen = set()
+        for label in labels:
+            if not isinstance(label, str) or not label:
+                raise DomainError(f"enum label {label!r} must be a non-empty string")
+            if label in seen:
+                raise DomainError(f"duplicate enum label {label!r} in {name!r}")
+            seen.add(label)
+        self.name = name
+        self.labels: Tuple[str, ...] = tuple(labels)
+
+    def validate(self, value: Any) -> str:
+        if isinstance(value, str) and value in self.labels:
+            return value
+        raise self._reject(value, f"labels are {', '.join(self.labels)}")
+
+    def describe(self) -> str:
+        return f"{self.name}({', '.join(self.labels)})"
+
+
+class RecordValue(Mapping[str, Any]):
+    """Immutable, hashable record value produced by :class:`RecordDomain`.
+
+    Fields are readable both as mapping items (``point['X']``) and as
+    attributes (``point.X``).
+    """
+
+    __slots__ = ("_fields",)
+
+    def __init__(self, fields: Mapping[str, Any]):
+        object.__setattr__(self, "_fields", dict(fields))
+
+    def __getitem__(self, key: str) -> Any:
+        return self._fields[key]
+
+    def __getattr__(self, key: str) -> Any:
+        try:
+            return self._fields[key]
+        except KeyError:
+            raise AttributeError(key) from None
+
+    def __setattr__(self, key: str, value: Any) -> None:
+        raise AttributeError("RecordValue is immutable")
+
+    def __iter__(self):
+        return iter(self._fields)
+
+    def __len__(self) -> int:
+        return len(self._fields)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, RecordValue):
+            return self._fields == other._fields
+        if isinstance(other, Mapping):
+            return dict(self._fields) == dict(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(self._fields.items(), key=lambda kv: kv[0])))
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{k}={v!r}" for k, v in self._fields.items())
+        return f"RecordValue({body})"
+
+    def replace(self, **changes: Any) -> "RecordValue":
+        """Return a copy with the given fields replaced."""
+        unknown = set(changes) - set(self._fields)
+        if unknown:
+            raise KeyError(f"unknown record fields: {sorted(unknown)}")
+        merged = dict(self._fields)
+        merged.update(changes)
+        return RecordValue(merged)
+
+
+class RecordDomain(Domain):
+    """The ``record`` constructor: a fixed set of named, typed fields.
+
+    >>> POINT.validate({"X": 1, "Y": 2}).X
+    1
+    """
+
+    def __init__(self, name: str, fields: Mapping[str, Domain]):
+        if not fields:
+            raise DomainError(f"record domain {name!r} needs at least one field")
+        self.name = name
+        self.fields: Dict[str, Domain] = dict(fields)
+
+    def validate(self, value: Any) -> RecordValue:
+        if isinstance(value, RecordValue):
+            candidate: Mapping[str, Any] = value
+        elif isinstance(value, Mapping):
+            candidate = value
+        elif isinstance(value, tuple) and len(value) == len(self.fields):
+            candidate = dict(zip(self.fields, value))
+        else:
+            raise self._reject(value, "expected a mapping or positional tuple")
+        extra = set(candidate) - set(self.fields)
+        if extra:
+            raise self._reject(value, f"unknown fields {sorted(extra)}")
+        missing = set(self.fields) - set(candidate)
+        if missing:
+            raise self._reject(value, f"missing fields {sorted(missing)}")
+        normalised = {
+            field: domain.validate(candidate[field])
+            for field, domain in self.fields.items()
+        }
+        return RecordValue(normalised)
+
+    def describe(self) -> str:
+        inner = ", ".join(f"{k}: {d.describe()}" for k, d in self.fields.items())
+        return f"{self.name}record({inner})" if self.name == "" else (
+            f"{self.name}(record: {inner})"
+        )
+
+
+class ListOf(Domain):
+    """The ``list-of`` constructor: an ordered sequence of element values."""
+
+    def __init__(self, element: Domain):
+        self.element = element
+        self.name = f"list-of {element.describe()}"
+
+    def validate(self, value: Any) -> Tuple[Any, ...]:
+        if isinstance(value, (str, bytes)) or not isinstance(value, Iterable):
+            raise self._reject(value, "expected an iterable of elements")
+        return tuple(self.element.validate(item) for item in value)
+
+    def describe(self) -> str:
+        return self.name
+
+
+class SetOf(Domain):
+    """The ``set-of`` constructor: an unordered collection, duplicates merged.
+
+    Elements must normalise to hashable values, which every built-in domain
+    guarantees (records normalise to :class:`RecordValue`).
+    """
+
+    def __init__(self, element: Domain):
+        self.element = element
+        self.name = f"set-of {element.describe()}"
+
+    def validate(self, value: Any) -> frozenset:
+        if isinstance(value, (str, bytes)) or not isinstance(value, Iterable):
+            raise self._reject(value, "expected an iterable of elements")
+        return frozenset(self.element.validate(item) for item in value)
+
+    def describe(self) -> str:
+        return self.name
+
+
+class MatrixOf(Domain):
+    """The ``matrix-of`` constructor: a rectangular grid of element values.
+
+    The paper declares gate functions as ``Function: matrix-of boolean``
+    (truth tables).  Values normalise to a tuple of equal-length row tuples;
+    the empty matrix is permitted.
+    """
+
+    def __init__(self, element: Domain):
+        self.element = element
+        self.name = f"matrix-of {element.describe()}"
+
+    def validate(self, value: Any) -> Tuple[Tuple[Any, ...], ...]:
+        if isinstance(value, (str, bytes)) or not isinstance(value, Iterable):
+            raise self._reject(value, "expected an iterable of rows")
+        rows = []
+        width: Optional[int] = None
+        for row in value:
+            if isinstance(row, (str, bytes)) or not isinstance(row, Iterable):
+                raise self._reject(value, "each row must be an iterable")
+            normalised = tuple(self.element.validate(item) for item in row)
+            if width is None:
+                width = len(normalised)
+            elif len(normalised) != width:
+                raise self._reject(value, "rows must have equal length")
+            rows.append(normalised)
+        return tuple(rows)
+
+    def describe(self) -> str:
+        return self.name
+
+
+# ---------------------------------------------------------------------------
+# Shared singleton instances and the paper's stock domains
+# ---------------------------------------------------------------------------
+
+INTEGER = IntegerDomain()
+REAL = RealDomain()
+STRING = StringDomain()
+BOOLEAN = BooleanDomain()
+CHAR = CharDomain()
+ANY = AnyDomain()
+
+#: ``domain Point = (X, Y: integer)`` — used for pin locations and placements.
+POINT = RecordDomain("Point", {"X": INTEGER, "Y": INTEGER})
+
+#: ``domain I/O = (IN, OUT)`` — direction of a pin.
+IO = EnumDomain("I/O", ["IN", "OUT"])

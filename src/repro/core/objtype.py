@@ -1,0 +1,409 @@
+"""Object types and the shared type machinery.
+
+§3: an object type describes attributes (typed by domains), local integrity
+constraints and — for complex objects — *types-of-subclasses* (local object
+subclasses) and *types-of-subrels* (local relationship subclasses).
+
+§4.1 adds the ``inheritor-in:`` clause: declaring an object type an
+inheritor in an inheritance relationship makes it a *subtype* of the
+transmitter type — the type level of value inheritance.  The *effective*
+members of a type are therefore its own members plus the permeable members
+of the transmitter types of every inheritance relationship it is an
+inheritor in, transitively.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Set, Tuple, Union
+
+from ..errors import SchemaError
+from ..expr import parse_expression
+from ..expr.ast import Node
+from .attributes import RESERVED_MEMBER_NAMES, AttributeSpec
+from .constraints import Constraint, as_constraints
+from .domains import Domain
+
+__all__ = ["SubclassSpec", "SubrelSpec", "TypeBase", "ObjectType"]
+
+
+class SubclassSpec:
+    """Declaration of a local object subclass of a complex type.
+
+    ``Pins: PinType`` in the paper — subobjects of the declared element
+    type, owned by (and deleted with) the enclosing complex object.
+    """
+
+    __slots__ = ("name", "element_type")
+
+    def __init__(self, name: str, element_type: "ObjectType"):
+        if not name.isidentifier():
+            raise SchemaError(f"subclass name {name!r} is not a valid identifier")
+        if name in RESERVED_MEMBER_NAMES:
+            raise SchemaError(f"subclass name {name!r} is reserved")
+        self.name = name
+        self.element_type = element_type
+
+    def __repr__(self) -> str:
+        return f"SubclassSpec({self.name!r}: {self.element_type.name})"
+
+
+class SubrelSpec:
+    """Declaration of a local relationship subclass of a complex type.
+
+    ``Wires: WireType where (Wire.Pin1 in Pins or …)`` — relationship
+    objects of the declared relationship type, restricted by an optional
+    ``where`` clause evaluated against the enclosing complex object with the
+    candidate relationship bound under the subclass name (and friendly
+    aliases, see :meth:`binding_names`).
+    """
+
+    __slots__ = ("name", "rel_type", "where", "where_source")
+
+    def __init__(self, name: str, rel_type, where: Union[None, str, Node] = None):
+        if not name.isidentifier():
+            raise SchemaError(f"subrel name {name!r} is not a valid identifier")
+        if name in RESERVED_MEMBER_NAMES:
+            raise SchemaError(f"subrel name {name!r} is reserved")
+        self.name = name
+        self.rel_type = rel_type
+        if isinstance(where, str):
+            self.where_source = where
+            self.where: Optional[Node] = parse_expression(where)
+        elif where is not None:
+            self.where = where
+            self.where_source = where.unparse()
+        else:
+            self.where = None
+            self.where_source = ""
+
+    def binding_names(self) -> Tuple[str, ...]:
+        """Names the candidate relationship is bound under in the where clause.
+
+        The paper declares the subclass ``Wires`` but writes ``Wire.Pin1``
+        in its restriction, so alongside the subclass name we bind the
+        singular form (trailing ``s`` stripped), the relationship type name
+        and the type name with a ``Type`` suffix stripped.
+        """
+        names = [self.name]
+        if self.name.endswith("s") and len(self.name) > 1:
+            names.append(self.name[:-1])
+        type_name = self.rel_type.name
+        names.append(type_name)
+        if type_name.lower().endswith("type") and len(type_name) > 4:
+            names.append(type_name[:-4])
+        seen: Set[str] = set()
+        unique = []
+        for name in names:
+            if name not in seen:
+                seen.add(name)
+                unique.append(name)
+        return tuple(unique)
+
+    def __repr__(self) -> str:
+        suffix = f" where {self.where_source}" if self.where_source else ""
+        return f"SubrelSpec({self.name!r}: {self.rel_type.name}{suffix})"
+
+
+def _normalise_attributes(
+    attributes: Optional[Mapping[str, Union[Domain, AttributeSpec]]],
+) -> Dict[str, AttributeSpec]:
+    specs: Dict[str, AttributeSpec] = {}
+    for name, value in (attributes or {}).items():
+        if isinstance(value, AttributeSpec):
+            if value.name != name:
+                raise SchemaError(
+                    f"attribute spec name {value.name!r} does not match key {name!r}"
+                )
+            specs[name] = value
+        elif isinstance(value, Domain):
+            specs[name] = AttributeSpec(name, value)
+        else:
+            raise SchemaError(
+                f"attribute {name!r} must map to a Domain or AttributeSpec, got {value!r}"
+            )
+    return specs
+
+
+def _normalise_subclasses(
+    subclasses: Optional[Mapping[str, Union["ObjectType", SubclassSpec]]],
+) -> Dict[str, SubclassSpec]:
+    specs: Dict[str, SubclassSpec] = {}
+    for name, value in (subclasses or {}).items():
+        if isinstance(value, SubclassSpec):
+            if value.name != name:
+                raise SchemaError(
+                    f"subclass spec name {value.name!r} does not match key {name!r}"
+                )
+            specs[name] = value
+        elif isinstance(value, ObjectType):
+            specs[name] = SubclassSpec(name, value)
+        else:
+            raise SchemaError(
+                f"subclass {name!r} must map to an ObjectType or SubclassSpec"
+            )
+    return specs
+
+
+def _normalise_subrels(subrels) -> Dict[str, SubrelSpec]:
+    specs: Dict[str, SubrelSpec] = {}
+    for name, value in (subrels or {}).items():
+        if isinstance(value, SubrelSpec):
+            if value.name != name:
+                raise SchemaError(
+                    f"subrel spec name {value.name!r} does not match key {name!r}"
+                )
+            specs[name] = value
+        elif isinstance(value, tuple) and len(value) == 2:
+            specs[name] = SubrelSpec(name, value[0], value[1])
+        else:
+            specs[name] = SubrelSpec(name, value)
+    return specs
+
+
+class TypeBase:
+    """Shared machinery of object types and relationship types.
+
+    Both kinds of type carry attributes, local subclasses, local
+    relationship subclasses, integrity constraints and ``inheritor-in``
+    declarations (§4.1: "an inheritance relationship may have attributes,
+    subclasses and constraints" — and relationship subclasses such as
+    ScrewingType's ``Bolt`` are themselves inheritors).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Optional[Mapping[str, Union[Domain, AttributeSpec]]] = None,
+        subclasses: Optional[Mapping[str, Union["ObjectType", SubclassSpec]]] = None,
+        subrels=None,
+        constraints: Optional[Iterable] = None,
+        doc: str = "",
+    ):
+        if not name or not all(part.isidentifier() for part in name.split(".")):
+            raise SchemaError(f"type name {name!r} is not a valid identifier path")
+        self.name = name
+        self.doc = doc
+        self.attributes: Dict[str, AttributeSpec] = _normalise_attributes(attributes)
+        self.subclass_specs: Dict[str, SubclassSpec] = _normalise_subclasses(subclasses)
+        self.subrel_specs: Dict[str, SubrelSpec] = _normalise_subrels(subrels)
+        self.constraints: List[Constraint] = as_constraints(constraints)
+        #: Inheritance-relationship types this type is an inheritor in,
+        #: in declaration order (resolution order for diamond situations).
+        self.inheritor_in: List[Any] = []
+        #: Inheritance-relationship types whose *transmitter* is this type
+        #: (registered by InheritanceRelationshipType; used by impact
+        #: analysis and schema documentation).
+        self._transmitting_rel_types: List[Any] = []
+        self._check_local_name_clashes()
+
+    # -- schema construction -------------------------------------------------
+
+    def _check_local_name_clashes(self) -> None:
+        names = list(self.attributes) + list(self.subclass_specs) + list(self.subrel_specs)
+        seen: Set[str] = set()
+        for name in names:
+            if name in seen:
+                raise SchemaError(
+                    f"type {self.name!r} declares member {name!r} more than once"
+                )
+            seen.add(name)
+
+    def declare_inheritor_in(self, inheritance_rel_type) -> None:
+        """Register an ``inheritor-in:`` clause (type-level inheritance).
+
+        Validates that the inherited member names do not collide with the
+        type's own members and that no inheritance cycle arises.
+        """
+        if inheritance_rel_type in self.inheritor_in:
+            return
+        transmitter_type = inheritance_rel_type.transmitter_type
+        if self._reaches(transmitter_type):
+            raise SchemaError(
+                f"inheritor-in {inheritance_rel_type.name!r} would create an "
+                f"inheritance cycle at type {self.name!r}"
+            )
+        own = set(self.attributes) | set(self.subclass_specs) | set(self.subrel_specs)
+        for member in inheritance_rel_type.inheriting:
+            if member in own:
+                raise SchemaError(
+                    f"type {self.name!r} declares {member!r} locally but would "
+                    f"also inherit it through {inheritance_rel_type.name!r}"
+                )
+        self.inheritor_in.append(inheritance_rel_type)
+        inheritance_rel_type._register_inheritor_type(self)
+
+    def _reaches(self, other: "TypeBase") -> bool:
+        """True when ``self`` appears in ``other``'s transmitter ancestry."""
+        if other is self:
+            return True
+        visited: Set[int] = set()
+        stack = [other]
+        while stack:
+            current = stack.pop()
+            if current is self:
+                return True
+            if id(current) in visited:
+                continue
+            visited.add(id(current))
+            stack.extend(rel.transmitter_type for rel in current.inheritor_in)
+        return False
+
+    # -- effective (type-level inherited) members -----------------------------
+
+    def effective_attribute(self, name: str) -> Optional[AttributeSpec]:
+        """The attribute spec for ``name``, own or inherited, else None."""
+        spec = self.attributes.get(name)
+        if spec is not None:
+            return spec
+        for rel in self.inheritor_in:
+            if name in rel.inheriting:
+                found = rel.transmitter_type.effective_attribute(name)
+                if found is not None:
+                    return found
+        return None
+
+    def effective_subclass(self, name: str) -> Optional[SubclassSpec]:
+        """The subclass spec for ``name``, own or inherited, else None."""
+        spec = self.subclass_specs.get(name)
+        if spec is not None:
+            return spec
+        for rel in self.inheritor_in:
+            if name in rel.inheriting:
+                found = rel.transmitter_type.effective_subclass(name)
+                if found is not None:
+                    return found
+        return None
+
+    def effective_subrel(self, name: str) -> Optional[SubrelSpec]:
+        spec = self.subrel_specs.get(name)
+        if spec is not None:
+            return spec
+        for rel in self.inheritor_in:
+            if name in rel.inheriting:
+                found = rel.transmitter_type.effective_subrel(name)
+                if found is not None:
+                    return found
+        return None
+
+    def effective_attributes(self) -> Dict[str, AttributeSpec]:
+        """All attribute specs visible on instances, inherited ones first."""
+        merged: Dict[str, AttributeSpec] = {}
+        for rel in self.inheritor_in:
+            for name, spec in rel.transmitter_type.effective_attributes().items():
+                if name in rel.inheriting:
+                    merged[name] = spec
+        merged.update(self.attributes)
+        return merged
+
+    def effective_subclasses(self) -> Dict[str, SubclassSpec]:
+        merged: Dict[str, SubclassSpec] = {}
+        for rel in self.inheritor_in:
+            for name, spec in rel.transmitter_type.effective_subclasses().items():
+                if name in rel.inheriting:
+                    merged[name] = spec
+        merged.update(self.subclass_specs)
+        return merged
+
+    def effective_subrels(self) -> Dict[str, SubrelSpec]:
+        merged: Dict[str, SubrelSpec] = {}
+        for rel in self.inheritor_in:
+            for name, spec in rel.transmitter_type.effective_subrels().items():
+                if name in rel.inheriting:
+                    merged[name] = spec
+        merged.update(self.subrel_specs)
+        return merged
+
+    def inherited_member_names(self) -> Set[str]:
+        """Member names that reach this type only through inheritance."""
+        own = set(self.attributes) | set(self.subclass_specs) | set(self.subrel_specs)
+        names: Set[str] = set()
+        for rel in self.inheritor_in:
+            for member in rel.inheriting:
+                if member not in own:
+                    names.add(member)
+        return names
+
+    def member_kind(self, name: str) -> Optional[str]:
+        """'attribute', 'subclass' or 'subrel' for effective member ``name``."""
+        if self.effective_attribute(name) is not None:
+            return "attribute"
+        if self.effective_subclass(name) is not None:
+            return "subclass"
+        if self.effective_subrel(name) is not None:
+            return "subrel"
+        return None
+
+    # -- conformance -----------------------------------------------------------
+
+    def conforms_to(self, other: Optional["TypeBase"]) -> bool:
+        """Substitutability: ``self`` is ``other`` or a transitive subtype.
+
+        ``other is None`` represents the untyped ``object`` participant and
+        accepts everything.
+        """
+        if other is None or other is self:
+            return True
+        visited: Set[int] = set()
+        stack: List[TypeBase] = [self]
+        while stack:
+            current = stack.pop()
+            if current is other:
+                return True
+            if id(current) in visited:
+                continue
+            visited.add(id(current))
+            stack.extend(rel.transmitter_type for rel in current.inheritor_in)
+        return False
+
+    def is_complex(self) -> bool:
+        """True when instances own subobjects or local relationships."""
+        return bool(self.effective_subclasses() or self.effective_subrels())
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class ObjectType(TypeBase):
+    """An object type (§3), possibly complex and possibly an inheritor.
+
+    Parameters
+    ----------
+    name:
+        Type name, unique within a catalog.
+    attributes:
+        Mapping of attribute name to domain (or full
+        :class:`~repro.core.attributes.AttributeSpec`).
+    subclasses:
+        ``types-of-subclasses`` — mapping of subclass name to element
+        object type.
+    subrels:
+        ``types-of-subrels`` — mapping of subrel name to relationship type,
+        or to a ``(relationship_type, where_source)`` pair.
+    constraints:
+        Constraint sources (strings in the paper's language), callables or
+        :class:`~repro.core.constraints.Constraint` objects.
+    allow_dynamic:
+        When true, instances accept attribute names outside the declared
+        set with the untyped domain.  Off by default (the paper's model is
+        schema-first); the workload generators use it for ad-hoc data.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        attributes=None,
+        subclasses=None,
+        subrels=None,
+        constraints=None,
+        doc: str = "",
+        allow_dynamic: bool = False,
+    ):
+        super().__init__(
+            name,
+            attributes=attributes,
+            subclasses=subclasses,
+            subrels=subrels,
+            constraints=constraints,
+            doc=doc,
+        )
+        self.allow_dynamic = allow_dynamic

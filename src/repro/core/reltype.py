@@ -1,0 +1,191 @@
+"""Relationship types.
+
+§3: *"Objects can be related to each other.  A relationship is represented
+by a relationship object.  A relationship object belongs to a specific
+relationship type which can define several attributes and integrity
+constraints for the relationship objects.  The types of the objects to be
+related can be specified, but they need not be."*
+
+A relationship type declares named participant roles (the ``relates:``
+clause).  A role may be
+
+* typed — ``Pin1: object-of-type PinType``;
+* untyped — ``<name>: object``;
+* set-valued — ``Bores: set-of object-of-type BoreType`` (§5 ScrewingType).
+
+Relationship types may also declare attributes, local subclasses (which can
+themselves be ``inheritor-in`` an inheritance relationship — ScrewingType's
+``Bolt``/``Nut``) and constraints, exactly like object types; the shared
+machinery lives in :class:`~repro.core.objtype.TypeBase`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+from ..errors import SchemaError
+from .attributes import RESERVED_MEMBER_NAMES
+from .objtype import ObjectType, TypeBase
+
+__all__ = ["ParticipantSpec", "RelationshipType"]
+
+
+class ParticipantSpec:
+    """One role of a relationship type's ``relates:`` clause."""
+
+    __slots__ = ("role", "object_type", "many")
+
+    def __init__(
+        self,
+        role: str,
+        object_type: Optional[ObjectType] = None,
+        many: bool = False,
+    ):
+        if not role.isidentifier():
+            raise SchemaError(f"participant role {role!r} is not a valid identifier")
+        if role in RESERVED_MEMBER_NAMES:
+            raise SchemaError(f"participant role {role!r} is reserved")
+        self.role = role
+        self.object_type = object_type
+        self.many = many
+
+    def describe(self) -> str:
+        base = self.object_type.name if self.object_type is not None else "object"
+        return f"set-of object-of-type {base}" if self.many else base
+
+    def __repr__(self) -> str:
+        return f"ParticipantSpec({self.role!r}: {self.describe()})"
+
+
+ParticipantLike = Union[ParticipantSpec, ObjectType, None, Tuple[Optional[ObjectType], bool]]
+
+
+def _normalise_participants(
+    relates: Mapping[str, ParticipantLike],
+) -> Dict[str, ParticipantSpec]:
+    if not relates:
+        raise SchemaError("a relationship type must relate at least one role")
+    specs: Dict[str, ParticipantSpec] = {}
+    for role, value in relates.items():
+        if isinstance(value, ParticipantSpec):
+            if value.role != role:
+                raise SchemaError(
+                    f"participant spec role {value.role!r} does not match key {role!r}"
+                )
+            specs[role] = value
+        elif isinstance(value, ObjectType) or value is None:
+            specs[role] = ParticipantSpec(role, value)
+        elif isinstance(value, tuple) and len(value) == 2:
+            specs[role] = ParticipantSpec(role, value[0], many=bool(value[1]))
+        else:
+            raise SchemaError(
+                f"participant {role!r} must map to an ObjectType, None, "
+                f"ParticipantSpec or (type, many) pair"
+            )
+    return specs
+
+
+class RelationshipType(TypeBase):
+    """A relationship type (§3).
+
+    Parameters
+    ----------
+    name:
+        Type name, unique within a catalog.
+    relates:
+        Mapping of role name to participant declaration: an
+        :class:`~repro.core.objtype.ObjectType` (typed role), ``None``
+        (untyped ``object`` role), a ``(type, many)`` pair for set-valued
+        roles, or a full :class:`ParticipantSpec`.
+    attributes / subclasses / subrels / constraints:
+        As for object types — relationship objects are full objects.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        relates: Mapping[str, ParticipantLike],
+        attributes=None,
+        subclasses=None,
+        subrels=None,
+        constraints=None,
+        doc: str = "",
+    ):
+        super().__init__(
+            name,
+            attributes=attributes,
+            subclasses=subclasses,
+            subrels=subrels,
+            constraints=constraints,
+            doc=doc,
+        )
+        self.participants: Dict[str, ParticipantSpec] = _normalise_participants(relates)
+        clashes = set(self.participants) & (
+            set(self.attributes) | set(self.subclass_specs) | set(self.subrel_specs)
+        )
+        if clashes:
+            raise SchemaError(
+                f"relationship type {name!r}: roles {sorted(clashes)} clash with members"
+            )
+
+    def participant(self, role: str) -> ParticipantSpec:
+        """The spec for ``role``; raises SchemaError when undeclared."""
+        try:
+            return self.participants[role]
+        except KeyError:
+            raise SchemaError(
+                f"relationship type {self.name!r} has no role {role!r}"
+            ) from None
+
+    def validate_participants(self, assignment: Mapping[str, object]) -> Dict[str, object]:
+        """Check and normalise a role → object(s) assignment.
+
+        Every declared role must be present; typed roles check conformance
+        of each object's type; set-valued roles normalise to tuples.
+        """
+        missing = set(self.participants) - set(assignment)
+        if missing:
+            raise SchemaError(
+                f"relationship {self.name!r}: missing participants {sorted(missing)}"
+            )
+        unknown = set(assignment) - set(self.participants)
+        if unknown:
+            raise SchemaError(
+                f"relationship {self.name!r}: unknown roles {sorted(unknown)}"
+            )
+        normalised: Dict[str, object] = {}
+        for role, spec in self.participants.items():
+            value = assignment[role]
+            if spec.many:
+                if not isinstance(value, (list, tuple, set, frozenset)):
+                    raise SchemaError(
+                        f"role {role!r} of {self.name!r} is set-valued; "
+                        f"got a single object"
+                    )
+                members = tuple(value)
+                for member in members:
+                    self._check_member(role, spec, member)
+                normalised[role] = members
+            else:
+                if isinstance(value, (list, tuple, set, frozenset)):
+                    raise SchemaError(
+                        f"role {role!r} of {self.name!r} is single-valued; "
+                        f"got a collection"
+                    )
+                self._check_member(role, spec, value)
+                normalised[role] = value
+        return normalised
+
+    @staticmethod
+    def _check_member(role: str, spec: ParticipantSpec, candidate: object) -> None:
+        candidate_type = getattr(candidate, "object_type", None)
+        if candidate_type is None:
+            raise SchemaError(
+                f"participant for role {role!r} must be a database object, "
+                f"got {candidate!r}"
+            )
+        if spec.object_type is not None and not candidate_type.conforms_to(spec.object_type):
+            raise SchemaError(
+                f"participant for role {role!r} must conform to type "
+                f"{spec.object_type.name!r}; got {candidate_type.name!r}"
+            )

@@ -1,0 +1,20 @@
+"""Schema DDL: the paper's own type-definition syntax, executable.
+
+>>> from repro.ddl import load_schema
+>>> catalog = load_schema('''
+...     domain I2 = (LOW, HIGH);
+...     obj-type Probe =
+...         attributes:
+...             Level: I2;
+...     end Probe;
+... ''')
+>>> catalog.object_type("Probe").attributes["Level"].domain.labels
+('LOW', 'HIGH')
+"""
+
+from .ast import Schema
+from .builder import SchemaBuilder, load_schema
+from .lexer import tokenize_ddl
+from .parser import parse_schema_source
+
+__all__ = ["Schema", "SchemaBuilder", "load_schema", "tokenize_ddl", "parse_schema_source"]

@@ -1,0 +1,175 @@
+"""AST of the schema-definition language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "DomainAst",
+    "DomainRef",
+    "EnumLiteral",
+    "RecordLiteral",
+    "ConstructorAst",
+    "AttributeDecl",
+    "AnonymousTypeBody",
+    "SubclassDecl",
+    "SubrelDecl",
+    "ParticipantDecl",
+    "DomainDecl",
+    "ObjTypeDecl",
+    "RelTypeDecl",
+    "InherRelTypeDecl",
+    "Declaration",
+    "Schema",
+]
+
+
+# -- domain expressions -------------------------------------------------------
+
+@dataclass(frozen=True)
+class DomainRef:
+    """A named domain reference: ``integer``, ``Point``, ``I/O`` …"""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class EnumLiteral:
+    """``(AND, OR, NOR, NAND)`` — an inline enumeration domain."""
+
+    labels: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class RecordLiteral:
+    """``(X, Y: integer)`` or ``record: Length, Width: integer;`` —
+    an inline record domain.  Fields: ((names…), domain) groups."""
+
+    fields: Tuple[Tuple[Tuple[str, ...], "DomainAst"], ...]
+
+
+@dataclass(frozen=True)
+class ConstructorAst:
+    """``set-of D`` / ``list-of D`` / ``matrix-of D``."""
+
+    constructor: str  # 'set-of' | 'list-of' | 'matrix-of'
+    element: "DomainAst"
+
+
+DomainAst = Union[DomainRef, EnumLiteral, RecordLiteral, ConstructorAst]
+
+
+# -- member declarations --------------------------------------------------------
+
+@dataclass(frozen=True)
+class AttributeDecl:
+    """``Length, Width: integer;`` — one attribute group."""
+
+    names: Tuple[str, ...]
+    domain: DomainAst
+
+
+@dataclass
+class AnonymousTypeBody:
+    """Inline body of a subclass entry (§4.2 SubGates, §5 Girders):
+
+    ``SubGates: inheritor-in: AllOf_GateInterface; attributes: …``
+    """
+
+    inheritor_in: List[str] = field(default_factory=list)
+    attributes: List[AttributeDecl] = field(default_factory=list)
+    subclasses: List["SubclassDecl"] = field(default_factory=list)
+    constraints: str = ""
+
+
+@dataclass
+class SubclassDecl:
+    """One entry of ``types-of-subclasses``.
+
+    Either a named element type (``Pins: PinType``) or an anonymous inline
+    body (``SubGates: inheritor-in: …; attributes: …``).
+    """
+
+    name: str
+    type_name: Optional[str] = None
+    body: Optional[AnonymousTypeBody] = None
+
+
+@dataclass(frozen=True)
+class SubrelDecl:
+    """One entry of ``types-of-subrels`` (alias ``connections``):
+    ``Wires: WireType where <expr>;``"""
+
+    name: str
+    rel_type_name: str
+    where_source: str = ""
+
+
+@dataclass(frozen=True)
+class ParticipantDecl:
+    """One role group of a ``relates:`` clause.
+
+    ``Pin1, Pin2: object-of-type PinType;`` — ``type_name=None`` encodes a
+    plain ``object`` role; ``many`` marks ``set-of object-of-type``.
+    """
+
+    names: Tuple[str, ...]
+    type_name: Optional[str]
+    many: bool = False
+
+
+# -- top-level declarations --------------------------------------------------------
+
+@dataclass(frozen=True)
+class DomainDecl:
+    """``domain Name = <domain>;`` (including record … end-domain)."""
+
+    name: str
+    domain: DomainAst
+
+
+@dataclass
+class ObjTypeDecl:
+    name: str
+    inheritor_in: List[str] = field(default_factory=list)
+    attributes: List[AttributeDecl] = field(default_factory=list)
+    subclasses: List[SubclassDecl] = field(default_factory=list)
+    subrels: List[SubrelDecl] = field(default_factory=list)
+    constraints: str = ""
+    end_name: str = ""
+
+
+@dataclass
+class RelTypeDecl:
+    name: str
+    relates: List[ParticipantDecl] = field(default_factory=list)
+    attributes: List[AttributeDecl] = field(default_factory=list)
+    subclasses: List[SubclassDecl] = field(default_factory=list)
+    subrels: List[SubrelDecl] = field(default_factory=list)
+    constraints: str = ""
+    end_name: str = ""
+
+
+@dataclass
+class InherRelTypeDecl:
+    name: str
+    transmitter_type: str = ""
+    inheritor_type: Optional[str] = None  # None == plain `object`
+    inheriting: List[str] = field(default_factory=list)
+    attributes: List[AttributeDecl] = field(default_factory=list)
+    subclasses: List[SubclassDecl] = field(default_factory=list)
+    constraints: str = ""
+    end_name: str = ""
+
+
+Declaration = Union[DomainDecl, ObjTypeDecl, RelTypeDecl, InherRelTypeDecl]
+
+
+@dataclass
+class Schema:
+    """A parsed schema: declarations in source order, plus parser notes
+    (e.g. mismatched ``end`` names — the paper has several)."""
+
+    declarations: List[Declaration] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)

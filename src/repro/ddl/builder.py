@@ -1,0 +1,287 @@
+"""Schema builder: DDL AST → catalog types.
+
+Declarations are built in source order, which matches the paper's listings
+(every referenced type is declared before use).  Inline domains get derived
+names (``<Type>.<Attribute>``); anonymous subclass types (§4.2 SubGates, §5
+Girders/Plates, ScrewingType's Bolt/Nut) become object types named
+``<Owner>.<Subclass>`` and are registered in the catalog as well.
+
+Type references are resolved case-sensitively first, then case-insensitively
+with a note — the paper writes ``Wiretype`` for ``WireType`` in one listing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from ..core.attributes import AttributeSpec
+from ..core.domains import Domain, EnumDomain, ListOf, MatrixOf, RecordDomain, SetOf
+from ..core.inheritance import InheritanceRelationshipType
+from ..core.objtype import ObjectType, SubclassSpec, SubrelSpec, TypeBase
+from ..core.reltype import ParticipantSpec, RelationshipType
+from ..engine.catalog import Catalog
+from ..errors import DDLSyntaxError, UnknownDomainError, UnknownTypeError
+from .ast import (
+    AnonymousTypeBody,
+    AttributeDecl,
+    ConstructorAst,
+    Declaration,
+    DomainAst,
+    DomainDecl,
+    DomainRef,
+    EnumLiteral,
+    InherRelTypeDecl,
+    ObjTypeDecl,
+    ParticipantDecl,
+    RecordLiteral,
+    RelTypeDecl,
+    Schema,
+    SubclassDecl,
+    SubrelDecl,
+)
+from .parser import parse_schema_source
+
+__all__ = ["SchemaBuilder", "load_schema"]
+
+
+class SchemaBuilder:
+    """Materialises a parsed :class:`~repro.ddl.ast.Schema` into a catalog."""
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+        self.notes: List[str] = []
+        #: (inheritance type, inheritor type name) pairs whose inheritor
+        #: restriction is a forward reference — resolved after all
+        #: declarations are built (the paper's §5 listing needs this).
+        self._pending_inheritors: List[tuple] = []
+
+    # -- lookup helpers -----------------------------------------------------------
+
+    def _lookup_type(self, name: str) -> TypeBase:
+        if self.catalog.has_type(name):
+            return self.catalog.type(name)
+        lowered = name.lower()
+        for candidate in self.catalog:
+            if candidate.name.lower() == lowered:
+                self.notes.append(
+                    f"resolved type reference {name!r} to {candidate.name!r} "
+                    f"(case-insensitive match)"
+                )
+                return candidate
+        raise UnknownTypeError(f"unknown type {name!r} referenced by the schema")
+
+    def _lookup_domain(self, name: str) -> Domain:
+        if self.catalog.has_domain(name):
+            return self.catalog.domain(name)
+        for known, domain in self.catalog.domains().items():
+            if known.lower() == name.lower():
+                self.notes.append(
+                    f"resolved domain reference {name!r} to {known!r} "
+                    f"(case-insensitive match)"
+                )
+                return domain
+        raise UnknownDomainError(f"unknown domain {name!r} referenced by the schema")
+
+    # -- domains -------------------------------------------------------------------
+
+    def build_domain(self, ast: DomainAst, name_hint: str) -> Domain:
+        """Materialise a domain expression (inline domains get the hint name)."""
+        if isinstance(ast, DomainRef):
+            return self._lookup_domain(ast.name)
+        if isinstance(ast, EnumLiteral):
+            return EnumDomain(name_hint, list(ast.labels))
+        if isinstance(ast, RecordLiteral):
+            fields: Dict[str, Domain] = {}
+            for names, domain_ast in ast.fields:
+                field_domain = self.build_domain(domain_ast, f"{name_hint}.{names[0]}")
+                for field_name in names:
+                    fields[field_name] = field_domain
+            return RecordDomain(name_hint, fields)
+        if isinstance(ast, ConstructorAst):
+            element = self.build_domain(ast.element, f"{name_hint}.element")
+            if ast.constructor == "set-of":
+                return SetOf(element)
+            if ast.constructor == "list-of":
+                return ListOf(element)
+            return MatrixOf(element)
+        raise DDLSyntaxError(f"cannot build domain from {ast!r}")
+
+    # -- shared member building ---------------------------------------------------------
+
+    def _build_attributes(
+        self, decls: List[AttributeDecl], owner_name: str
+    ) -> Dict[str, AttributeSpec]:
+        attributes: Dict[str, AttributeSpec] = {}
+        for decl in decls:
+            domain = self.build_domain(decl.domain, f"{owner_name}.{decl.names[0]}")
+            for name in decl.names:
+                attributes[name] = AttributeSpec(name, domain)
+        return attributes
+
+    def _build_anonymous_type(
+        self, owner_name: str, subclass_name: str, body: AnonymousTypeBody
+    ) -> ObjectType:
+        type_name = f"{owner_name}.{subclass_name}"
+        anonymous = ObjectType(
+            type_name,
+            attributes=self._build_attributes(body.attributes, type_name),
+            subclasses=self._build_subclasses(body.subclasses, type_name),
+            constraints=[body.constraints] if body.constraints else None,
+            doc=f"Anonymous element type of {owner_name}.{subclass_name}",
+        )
+        self.catalog.register(anonymous)
+        for rel_name in body.inheritor_in:
+            rel_type = self._lookup_type(rel_name)
+            if not isinstance(rel_type, InheritanceRelationshipType):
+                raise DDLSyntaxError(
+                    f"{rel_name!r} in inheritor-in of {type_name!r} is not an "
+                    f"inheritance relationship type"
+                )
+            anonymous.declare_inheritor_in(rel_type)
+        return anonymous
+
+    def _build_subclasses(
+        self, decls: List[SubclassDecl], owner_name: str
+    ) -> Dict[str, SubclassSpec]:
+        subclasses: Dict[str, SubclassSpec] = {}
+        for decl in decls:
+            if decl.type_name is not None:
+                element = self._lookup_type(decl.type_name)
+                if not isinstance(element, ObjectType):
+                    raise DDLSyntaxError(
+                        f"subclass {decl.name!r} of {owner_name!r} references "
+                        f"{decl.type_name!r}, which is not an object type"
+                    )
+            else:
+                element = self._build_anonymous_type(owner_name, decl.name, decl.body)
+            subclasses[decl.name] = SubclassSpec(decl.name, element)
+        return subclasses
+
+    def _build_subrels(
+        self, decls: List[SubrelDecl], owner_name: str
+    ) -> Dict[str, SubrelSpec]:
+        subrels: Dict[str, SubrelSpec] = {}
+        for decl in decls:
+            rel_type = self._lookup_type(decl.rel_type_name)
+            if not isinstance(rel_type, RelationshipType):
+                raise DDLSyntaxError(
+                    f"subrel {decl.name!r} of {owner_name!r} references "
+                    f"{decl.rel_type_name!r}, which is not a relationship type"
+                )
+            subrels[decl.name] = SubrelSpec(
+                decl.name, rel_type, decl.where_source or None
+            )
+        return subrels
+
+    def _declare_inheritor_in(self, type_: TypeBase, rel_names: List[str]) -> None:
+        for rel_name in rel_names:
+            rel_type = self._lookup_type(rel_name)
+            if not isinstance(rel_type, InheritanceRelationshipType):
+                raise DDLSyntaxError(
+                    f"{rel_name!r} in inheritor-in of {type_.name!r} is not an "
+                    f"inheritance relationship type"
+                )
+            type_.declare_inheritor_in(rel_type)
+
+    # -- declarations ---------------------------------------------------------------
+
+    def build_declaration(self, decl: Declaration) -> Union[Domain, TypeBase]:
+        if isinstance(decl, DomainDecl):
+            domain = self.build_domain(decl.domain, decl.name)
+            if self.catalog.has_domain(decl.name):
+                existing = self.catalog.domain(decl.name)
+                if existing == domain:
+                    # The paper's listings re-declare the stock I/O and
+                    # Point domains; identical redefinitions are harmless.
+                    self.notes.append(
+                        f"domain {decl.name!r} re-declared identically"
+                    )
+                    return existing
+            return self.catalog.define_domain(decl.name, domain)
+        if isinstance(decl, ObjTypeDecl):
+            object_type = ObjectType(
+                decl.name,
+                attributes=self._build_attributes(decl.attributes, decl.name),
+                subclasses=self._build_subclasses(decl.subclasses, decl.name),
+                subrels=self._build_subrels(decl.subrels, decl.name),
+                constraints=[decl.constraints] if decl.constraints else None,
+            )
+            self.catalog.register(object_type)
+            self._declare_inheritor_in(object_type, decl.inheritor_in)
+            return object_type
+        if isinstance(decl, RelTypeDecl):
+            participants: Dict[str, ParticipantSpec] = {}
+            for group in decl.relates:
+                type_ = (
+                    self._lookup_type(group.type_name)
+                    if group.type_name is not None
+                    else None
+                )
+                for role in group.names:
+                    participants[role] = ParticipantSpec(role, type_, many=group.many)
+            rel_type = RelationshipType(
+                decl.name,
+                relates=participants,
+                attributes=self._build_attributes(decl.attributes, decl.name),
+                subclasses=self._build_subclasses(decl.subclasses, decl.name),
+                subrels=self._build_subrels(decl.subrels, decl.name),
+                constraints=[decl.constraints] if decl.constraints else None,
+            )
+            return self.catalog.register(rel_type)
+        if isinstance(decl, InherRelTypeDecl):
+            transmitter = self._lookup_type(decl.transmitter_type)
+            inheritor: Optional[TypeBase] = None
+            pending_name: Optional[str] = None
+            if decl.inheritor_type is not None:
+                try:
+                    inheritor = self._lookup_type(decl.inheritor_type)
+                except UnknownTypeError:
+                    # Forward reference (§5: AllOf_GirderIf names Girder
+                    # before Girder is declared) — resolve in finish().
+                    pending_name = decl.inheritor_type
+            inher_type = InheritanceRelationshipType(
+                decl.name,
+                transmitter_type=transmitter,
+                inheriting=decl.inheriting,
+                inheritor_type=inheritor,
+                attributes=self._build_attributes(decl.attributes, decl.name),
+                subclasses=self._build_subclasses(decl.subclasses, decl.name),
+                constraints=[decl.constraints] if decl.constraints else None,
+            )
+            if pending_name is not None:
+                self._pending_inheritors.append((inher_type, pending_name))
+            return self.catalog.register(inher_type)
+        raise DDLSyntaxError(f"unknown declaration {decl!r}")
+
+    def build(self, schema: Schema) -> Catalog:
+        self.notes.extend(schema.notes)
+        for decl in schema.declarations:
+            self.build_declaration(decl)
+        self.finish()
+        return self.catalog
+
+    def finish(self) -> None:
+        """Resolve forward-referenced inheritor restrictions."""
+        for inher_type, name in self._pending_inheritors:
+            resolved = self._lookup_type(name)
+            inher_type.set_inheritor_type(resolved)
+            self.notes.append(
+                f"resolved forward inheritor reference {name!r} for "
+                f"{inher_type.name!r}"
+            )
+        self._pending_inheritors.clear()
+
+
+def load_schema(source: str, catalog: Optional[Catalog] = None) -> Catalog:
+    """Parse DDL source and register everything in a catalog.
+
+    Returns the (possibly fresh) catalog; builder/parser notes are attached
+    as ``catalog.ddl_notes``.
+    """
+    catalog = catalog if catalog is not None else Catalog()
+    schema = parse_schema_source(source)
+    builder = SchemaBuilder(catalog)
+    builder.build(schema)
+    existing = getattr(catalog, "ddl_notes", [])
+    catalog.ddl_notes = list(existing) + builder.notes
+    return catalog

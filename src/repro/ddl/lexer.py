@@ -1,0 +1,168 @@
+"""Tokenizer for the paper's schema-definition language.
+
+The DDL is the syntax of the paper's listings::
+
+    domain I/O = (IN, OUT);
+    obj-type SimpleGate:
+        attributes: ...
+        constraints: ...
+    end SimpleGate;
+    rel-type WireType = relates: ... end WireType;
+    inher-rel-type AllOf_GateInterface = transmitter: ... end;
+
+Lexical peculiarities handled here:
+
+* hyphenated keywords (``obj-type``, ``types-of-subclasses``,
+  ``object-of-type``, ``end-domain``, ``inheritor-in`` …) are single
+  tokens — identifiers may contain hyphens after the first letter;
+* the domain name ``I/O`` contains a slash; a slash directly between two
+  identifier characters is part of the name;
+* ``/* ... */`` comments are skipped (replaced by nothing, positions kept
+  by tracking offsets);
+* constraint and ``where`` bodies are *not* tokenised into structure here —
+  the parser captures their raw source text (via token offsets) and hands
+  it to :mod:`repro.expr`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import DDLSyntaxError
+
+__all__ = ["DdlToken", "tokenize_ddl", "KEYWORDS"]
+
+#: Structural keywords, recognised case-insensitively.
+KEYWORDS = frozenset(
+    [
+        "domain",
+        "end-domain",
+        "obj-type",
+        "rel-type",
+        "inher-rel-type",
+        "end",
+        "attributes",
+        "types-of-subclasses",
+        "types-of-subrels",
+        "connections",  # the paper's GateImplementation uses this spelling
+        "constraints",
+        "relates",
+        "transmitter",
+        "inheritor",
+        "inheriting",
+        "inheritor-in",
+        "where",
+        "object-of-type",
+        "object",
+        "set-of",
+        "list-of",
+        "matrix-of",
+        "record",
+    ]
+)
+
+_PUNCT = "=:;,()."
+
+
+@dataclass(frozen=True)
+class DdlToken:
+    kind: str  # KEYWORD | IDENT | NUMBER | STRING | OP | EOF
+    text: str
+    position: int  # character offset in the (comment-stripped) source
+    line: int
+
+    def is_op(self, *texts: str) -> bool:
+        return self.kind == "OP" and self.text in texts
+
+    def is_keyword(self, *words: str) -> bool:
+        return self.kind == "KEYWORD" and self.text in words
+
+
+def strip_comments(source: str) -> str:
+    """Replace ``/* ... */`` comments with spaces (offsets preserved)."""
+    out = list(source)
+    i = 0
+    while i < len(source) - 1:
+        if source[i] == "/" and source[i + 1] == "*":
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise DDLSyntaxError("unterminated comment", line=source.count("\n", 0, i) + 1)
+            for j in range(i, end + 2):
+                if out[j] != "\n":
+                    out[j] = " "
+            i = end + 2
+        else:
+            i += 1
+    return "".join(out)
+
+
+def _is_ident_char(ch: str) -> bool:
+    return ch.isalnum() or ch == "_"
+
+
+def tokenize_ddl(raw_source: str) -> List[DdlToken]:
+    """Tokenise DDL source (comments removed, EOF token appended)."""
+    source = strip_comments(raw_source)
+    tokens: List[DdlToken] = []
+    i = 0
+    line = 1
+    length = len(source)
+    while i < length:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "'" or ch == '"':
+            end = source.find(ch, i + 1)
+            if end < 0:
+                raise DDLSyntaxError("unterminated string literal", line=line)
+            tokens.append(DdlToken("STRING", source[i + 1 : end], i, line))
+            i = end + 1
+            continue
+        if ch.isdigit():
+            start = i
+            while i < length and (source[i].isdigit() or source[i] == "."):
+                i += 1
+            tokens.append(DdlToken("NUMBER", source[start:i], start, line))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            i += 1
+            while i < length:
+                current = source[i]
+                if _is_ident_char(current):
+                    i += 1
+                    continue
+                # Hyphen inside a word: part of hyphenated keywords/names.
+                if current == "-" and i + 1 < length and source[i + 1].isalpha():
+                    i += 1
+                    continue
+                # Slash glued between identifier characters: the I/O domain.
+                if (
+                    current == "/"
+                    and i + 1 < length
+                    and _is_ident_char(source[i + 1])
+                    and _is_ident_char(source[i - 1])
+                ):
+                    i += 1
+                    continue
+                break
+            word = source[start:i]
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                tokens.append(DdlToken("KEYWORD", lowered, start, line))
+            else:
+                tokens.append(DdlToken("IDENT", word, start, line))
+            continue
+        if ch in _PUNCT or ch in "<>#+-*/%!":
+            tokens.append(DdlToken("OP", ch, i, line))
+            i += 1
+            continue
+        raise DDLSyntaxError(f"unexpected character {ch!r}", line=line)
+    tokens.append(DdlToken("EOF", "", length, line))
+    return tokens

@@ -1,0 +1,267 @@
+"""The paper's schema listings, as executable DDL.
+
+Two normalisations were applied to the published text and are documented in
+DESIGN.md: OCR artefacts are corrected (``Gatelnterface`` → ``GateInterface``,
+``Wiretype`` → ``WireType``), the §5 constraint typos ``1 00`` → ``100`` and
+``= l`` → ``= 1`` are fixed.  The paper's *structural* quirks — ``obj-type
+SimpleGate:`` with a colon, ``connections:``, ``inher-rel-typ``,
+``inheritor:`` for ``inheritor-in:``, mismatched ``end`` names, trailing
+commas — are left in place; the parser accepts them and records notes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..engine.catalog import Catalog
+from .builder import load_schema
+
+__all__ = [
+    "GATE_SCHEMA",
+    "STEEL_SCHEMA",
+    "load_gate_schema",
+    "load_steel_schema",
+]
+
+#: §3 and §4: simple gates, pins, wires, complex gates, interfaces,
+#: implementations and the composite-object form of GateImplementation.
+GATE_SCHEMA = """
+domain I/O = (IN, OUT);
+domain Point = (X, Y: integer);
+
+obj-type SimpleGate:
+    attributes:
+        Length, Width: integer;
+        Function: (AND, OR, NOR, NAND);
+        Pins: set-of ( PinId: integer;
+                       InOut: I/O;
+                     );
+    constraints:
+        count (Pins) = 2 where Pins.InOut = IN;
+        count (Pins) = 1 where Pins.InOut = OUT;
+end SimpleGate;
+
+obj-type PinType =
+    attributes:
+        InOut: I/O;
+        PinLocation: Point;
+end PinType;
+
+rel-type WireType =
+    relates:
+        Pin1, Pin2: object-of-type PinType;
+    attributes:
+        Corners: list-of Point;
+end WireType;
+
+obj-type ElementaryGate =
+    /* equals SimpleGate except for the definition of Pins */
+    attributes:
+        Length, Width: integer;
+        Function: (AND, OR, NAND, NOR);
+        GatePosition: Point;
+    types-of-subclasses:
+        Pins: PinType;
+    constraints:
+        count (Pins) = 2 where Pins.InOut = IN;
+        count (Pins) = 1 where Pins.InOut = OUT;
+end ElementaryGate;
+
+obj-type Gate =
+    /* representation of gates constructed by AND, OR, NAND and NOR-gates */
+    attributes:
+        Length,
+        Width: integer;
+        Function: matrix-of boolean;
+    types-of-subclasses:
+        Pins: PinType;
+        SubGates: ElementaryGate;
+    types-of-subrels:
+        Wires: WireType
+            where (Wire.Pin1 in Pins or Wire.Pin1 in SubGates.Pins) and
+                  (Wire.Pin2 in Pins or Wire.Pin2 in SubGates.Pins);
+end Gate;
+
+obj-type GateInterface_I =
+    types-of-subclasses:
+        Pins: PinType;
+end GateInterface_I;
+
+inher-rel-type AllOf_GateInterface_I =
+    transmitter: object-of-type GateInterface_I;
+    inheritor: object;
+    inheriting: Pins;
+end AllOfGateInterface_I;
+
+obj-type GateInterface =
+    inheritor-in: AllOf_GateInterface_I;
+    attributes:
+        Length,
+        Width: integer;
+end GateInterface;
+
+inher-rel-type AllOf_GateInterface =
+    /* enables objects to inherit all data of GateInterface objects */
+    transmitter: object-of-type GateInterface;
+    inheritor: object;
+    inheriting: Length, Width, Pins;
+end AllOf_GateInterface;
+
+obj-type GateImplementation =
+    inheritor-in: AllOf_GateInterface;
+    attributes:
+        Function: matrix-of boolean;
+        TimeBehavior: integer;
+    types-of-subclasses:
+        SubGates:
+            inheritor-in: AllOf_GateInterface;
+            attributes:
+                GateLocation: Point;
+    connections:
+        Wire: Wiretype
+            where (Wire.Pin1 in Pins or Wire.Pin1 in SubGates.Pins) and
+                  (Wire.Pin2 in Pins or Wire.Pin2 in SubGates.Pins);
+end GateImplementation;
+
+inher-rel-type SomeOf_Gate =
+    transmitter: object-of-type GateImplementation
+    inheritor: object;
+    inheriting:
+        Length, Width,
+        TimeBehavior, Pins;
+end SomeOf_Gate;
+"""
+
+#: §5: the steel-construction world — bolts, nuts, bores, girders, plates,
+#: screwings and weight-carrying structures.
+STEEL_SCHEMA = """
+domain AreaDom =
+    record:
+        Length, Width: integer;
+end-domain AreaDom;
+
+obj-type BoltType =
+    attributes:
+        Length,
+        Diameter: integer;
+end BoltType;
+
+obj-type NutType =
+    attributes:
+        Length,
+        Diameter: integer;
+end NutType;
+
+obj-type BoreType =
+    attributes:
+        Diameter,
+        Length: integer;
+        Position: Point;
+end BoreType;
+
+obj-type GirderInterface =
+    attributes:
+        Length, Height, Width: integer;
+    types-of-subclasses:
+        Bores: BoreType;
+    constraints:
+        Length < 100*Height*Width;
+end GirderInterface;
+
+obj-type PlateInterface =
+    attributes:
+        Thickness: integer;
+        Area: AreaDom;
+    types-of-subclasses:
+        Bores: BoreType;
+end PlateInterface;
+
+inher-rel-type AllOf_GirderIf =
+    transmitter: object-of-type GirderInterface
+    inheritor: object-of-type Girder
+    inheriting:
+        Length, Height, Width, Bores;
+end AllOf_GirderIf;
+
+inher-rel-typ AllOf_PlateIf =
+    transmitter: object-of-type PlateInterface
+    inheritor: object-of-type Plate
+    inheriting:
+        Thickness, Area, Bores;
+end AllOf_PlateIf;
+
+obj-type Plate =
+    inheritor-in: AllOf_PlateIf;
+    attributes:
+        Material: (wood, metal);
+end Plate;
+
+obj-type Girder
+    inheritor: AllOf_GirderIf;
+    attributes:
+        Material: (wood, metal);
+end Girder;
+
+inher-rel-type AllOf_BoltType =
+    transmitter: object-of-type BoltType;
+    inheritor: object;
+    inheriting:
+        Length, Diameter,
+end AllOf_BoltType;
+
+inher-rel-type AllOf_NutType =
+    transmitter: object-of-type NutType;
+    inheritor: object;
+    inheriting:
+        Length, Diameter;
+end AllOf_BoltType;
+
+rel-type ScrewingType =
+    relates:
+        Bores: set-of object-of-type BoreType;
+    attributes:
+        Strength: integer;
+    types-of-subclasses:
+        Bolt:
+            inheritor-in: AllOf_BoltType;
+        Nut:
+            inheritor-in: AllOf_NutType;
+    constraints:
+        #s in Bolt = 1;
+        #n in Nut = 1;
+        for (s in Bolt, n in Nut):
+            s.Diameter = n.Diameter;
+            for b in Bores:
+                s.Diameter <= b.Diameter;
+            s.Length = n.Length + sum (Bores.Length)
+end ScrewingType;
+
+obj-type WeightCarrying_Structure =
+    attributes:
+        Designer: char;
+        Description: char;
+    types-of-subclasses:
+        Girders:
+            inheritor-in: AllOf_GirderIf;
+        Plates:
+            inheritor-in: AllOf_PlateIf;
+    types-of-subrels:
+        Screwings: ScrewingType
+            where for x in Bores:
+                x in Girders.Bores or x in Plates.Bores;
+end WeightCarrying_Structure;
+"""
+
+
+def load_gate_schema(catalog: Optional[Catalog] = None) -> Catalog:
+    """Load the §3/§4 gate schema into a catalog."""
+    return load_schema(GATE_SCHEMA, catalog)
+
+
+def load_steel_schema(catalog: Optional[Catalog] = None) -> Catalog:
+    """Load the §5 steel-construction schema into a catalog.
+
+    The schema references the ``Point`` domain (built in) and is otherwise
+    self-contained; it can share a catalog with the gate schema.
+    """
+    return load_schema(STEEL_SCHEMA, catalog)

@@ -1,0 +1,202 @@
+"""Unparser: catalog types back to the paper's DDL syntax.
+
+The inverse of :mod:`repro.ddl.parser`/:mod:`repro.ddl.builder` — renders a
+catalog (or individual types) as schema text in the published syntax.  Used
+for schema documentation, diffing, and the round-trip tests that pin the
+parser and builder against each other.
+
+Anonymous element types (``Owner.Subclass``) are rendered inline inside
+their owner, exactly as the paper writes them; inline enum/record domains
+are rendered as literals; registered domains are referenced by name.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.attributes import AttributeSpec
+from ..core.domains import (
+    Domain,
+    EnumDomain,
+    ListOf,
+    MatrixOf,
+    RecordDomain,
+    SetOf,
+)
+from ..core.inheritance import InheritanceRelationshipType
+from ..core.objtype import ObjectType, TypeBase
+from ..core.reltype import RelationshipType
+from ..engine.catalog import Catalog, _BUILTIN_DOMAINS
+
+__all__ = [
+    "unparse_domain",
+    "unparse_type",
+    "unparse_catalog",
+]
+
+_INDENT = "    "
+
+
+def _domain_names(catalog: Optional[Catalog]) -> Dict[str, str]:
+    """describe() → registered name, for named-domain references."""
+    if catalog is None:
+        return {}
+    return {domain.describe(): name for name, domain in catalog.domains().items()}
+
+
+def unparse_domain(domain: Domain, catalog: Optional[Catalog] = None) -> str:
+    """Render a domain as it appears on the right of an attribute colon."""
+    names = _domain_names(catalog)
+    known = names.get(domain.describe())
+    if known is not None:
+        return known
+    return _domain_literal(domain, names)
+
+
+def _domain_literal(domain: Domain, names: Dict[str, str]) -> str:
+    known = names.get(domain.describe())
+    if known is not None:
+        return known
+    if isinstance(domain, EnumDomain):
+        return f"({', '.join(domain.labels)})"
+    if isinstance(domain, RecordDomain):
+        fields = "; ".join(
+            f"{name}: {_domain_literal(field, names)}"
+            for name, field in domain.fields.items()
+        )
+        return f"( {fields}; )"
+    if isinstance(domain, SetOf):
+        return f"set-of {_domain_literal(domain.element, names)}"
+    if isinstance(domain, ListOf):
+        return f"list-of {_domain_literal(domain.element, names)}"
+    if isinstance(domain, MatrixOf):
+        return f"matrix-of {_domain_literal(domain.element, names)}"
+    return domain.describe()
+
+
+def _attribute_lines(
+    attributes: Dict[str, AttributeSpec],
+    catalog: Optional[Catalog],
+    indent: str,
+) -> List[str]:
+    lines = [f"{indent}attributes:"]
+    for name, spec in attributes.items():
+        rendered = unparse_domain(spec.domain, catalog)
+        lines.append(f"{indent}{_INDENT}{name}: {rendered};")
+    return lines
+
+
+def _subclass_lines(type_: TypeBase, catalog: Optional[Catalog], indent: str) -> List[str]:
+    lines = [f"{indent}types-of-subclasses:"]
+    for name, spec in type_.subclass_specs.items():
+        element = spec.element_type
+        if "." in element.name:
+            # Anonymous element type: inline body.
+            lines.append(f"{indent}{_INDENT}{name}:")
+            for rel in element.inheritor_in:
+                lines.append(f"{indent}{_INDENT*2}inheritor-in: {rel.name};")
+            if element.attributes:
+                lines.extend(
+                    _attribute_lines(element.attributes, catalog, indent + _INDENT * 2)
+                )
+        else:
+            lines.append(f"{indent}{_INDENT}{name}: {element.name};")
+    return lines
+
+
+def _subrel_lines(type_: TypeBase, indent: str) -> List[str]:
+    lines = [f"{indent}types-of-subrels:"]
+    for name, spec in type_.subrel_specs.items():
+        if spec.where_source:
+            lines.append(f"{indent}{_INDENT}{name}: {spec.rel_type.name}")
+            lines.append(f"{indent}{_INDENT*2}where {spec.where_source};")
+        else:
+            lines.append(f"{indent}{_INDENT}{name}: {spec.rel_type.name};")
+    return lines
+
+
+def _constraint_lines(type_: TypeBase, indent: str) -> List[str]:
+    lines = [f"{indent}constraints:"]
+    for constraint in type_.constraints:
+        lines.append(f"{indent}{_INDENT}{constraint.source};")
+    return lines
+
+
+def _body_lines(type_: TypeBase, catalog: Optional[Catalog]) -> List[str]:
+    lines: List[str] = []
+    for rel in type_.inheritor_in:
+        lines.append(f"{_INDENT}inheritor-in: {rel.name};")
+    if type_.attributes:
+        lines.extend(_attribute_lines(type_.attributes, catalog, _INDENT))
+    if type_.subclass_specs:
+        lines.extend(_subclass_lines(type_, catalog, _INDENT))
+    if type_.subrel_specs:
+        lines.extend(_subrel_lines(type_, _INDENT))
+    if type_.constraints:
+        lines.extend(_constraint_lines(type_, _INDENT))
+    return lines
+
+
+def unparse_type(type_: TypeBase, catalog: Optional[Catalog] = None) -> str:
+    """Render one type declaration in the paper's syntax."""
+    if isinstance(type_, InheritanceRelationshipType):
+        lines = [f"inher-rel-type {type_.name} ="]
+        lines.append(f"{_INDENT}transmitter: object-of-type {type_.transmitter_type.name};")
+        if type_.inheritor_type is not None:
+            lines.append(
+                f"{_INDENT}inheritor: object-of-type {type_.inheritor_type.name};"
+            )
+        else:
+            lines.append(f"{_INDENT}inheritor: object;")
+        lines.append(f"{_INDENT}inheriting: {', '.join(type_.inheriting)};")
+        if type_.attributes:
+            lines.extend(_attribute_lines(type_.attributes, catalog, _INDENT))
+        if type_.subclass_specs:
+            lines.extend(_subclass_lines(type_, catalog, _INDENT))
+        if type_.constraints:
+            lines.extend(_constraint_lines(type_, _INDENT))
+        lines.append(f"end {type_.name};")
+        return "\n".join(lines)
+    if isinstance(type_, RelationshipType):
+        lines = [f"rel-type {type_.name} ="]
+        lines.append(f"{_INDENT}relates:")
+        for role, spec in type_.participants.items():
+            if spec.object_type is None:
+                rendered = "object"
+            else:
+                rendered = f"object-of-type {spec.object_type.name}"
+            if spec.many:
+                rendered = f"set-of {rendered}"
+            lines.append(f"{_INDENT*2}{role}: {rendered};")
+        lines.extend(_body_lines(type_, catalog))
+        lines.append(f"end {type_.name};")
+        return "\n".join(lines)
+    lines = [f"obj-type {type_.name} ="]
+    lines.extend(_body_lines(type_, catalog))
+    lines.append(f"end {type_.name};")
+    return "\n".join(lines)
+
+
+def unparse_catalog(catalog: Catalog, include_domains: bool = True) -> str:
+    """Render a whole catalog as loadable DDL.
+
+    Built-in domains and anonymous (dotted) types are skipped — the former
+    pre-exist in every catalog, the latter are emitted inline inside their
+    owners.
+    """
+    chunks: List[str] = []
+    if include_domains:
+        builtin_names = set(_BUILTIN_DOMAINS)
+        all_names = _domain_names(catalog)
+        for name, domain in catalog.domains().items():
+            if name in builtin_names:
+                continue
+            # Other named domains may be referenced; the domain being
+            # defined must be spelled out structurally.
+            names = {k: v for k, v in all_names.items() if v != name}
+            chunks.append(f"domain {name} = {_domain_literal(domain, names)};")
+    for type_ in catalog:
+        if "." in type_.name:
+            continue
+        chunks.append(unparse_type(type_, catalog))
+    return "\n\n".join(chunks) + "\n"

@@ -1,0 +1,36 @@
+"""Engine: catalog, database facade, extents, queries, events, persistence."""
+
+from .catalog import Catalog
+from .database import Database
+from .events import Event, EventBus, Subscription
+from .persistence import dump_image, load, load_image, save
+from .query import (
+    evaluate_predicate,
+    inheritors_of,
+    relationships_of,
+    root_of,
+    transmitters_of,
+    walk_subobjects,
+    walk_tree,
+)
+from .storage import Extent
+
+__all__ = [
+    "Catalog",
+    "Database",
+    "Event",
+    "EventBus",
+    "Subscription",
+    "Extent",
+    "dump_image",
+    "load",
+    "load_image",
+    "save",
+    "evaluate_predicate",
+    "inheritors_of",
+    "relationships_of",
+    "root_of",
+    "transmitters_of",
+    "walk_subobjects",
+    "walk_tree",
+]

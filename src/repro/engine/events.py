@@ -1,0 +1,113 @@
+"""Update-event bus.
+
+The paper relies on change notification twice: §2/§4.1 (the inheritance
+relationship's attributes inform users about transmitter changes, together
+with "trigger mechanisms") and §6 (conflict identification through explicit
+relationships).  The event bus is the substrate both the consistency
+subsystem (:mod:`repro.consistency`) and the lock manager build on.
+
+Event kinds emitted by the core layer:
+
+========================  =====================================================
+kind                      data
+========================  =====================================================
+``attribute_updated``     ``attribute``, ``old``, ``new``
+``object_deleted``        —
+``subobject_added``       ``subclass``, ``member``
+``subobject_removed``     ``subclass``, ``member``
+``relationship_created``  ``subrel``, ``relationship``
+``relationship_removed``  ``subrel``, ``relationship``
+``inheritor_bound``       ``rel_type``, ``transmitter``, ``link``
+``inheritor_unbound``     ``rel_type``, ``transmitter``
+``object_created``        ``class_name`` (emitted by the database facade)
+========================  =====================================================
+
+Every event carries ``subject`` — the object it happened to.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = ["Event", "EventBus", "Subscription"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One change notification."""
+
+    kind: str
+    subject: Any
+    data: Dict[str, Any] = field(default_factory=dict)
+    seq: int = 0
+
+    def __getattr__(self, name: str) -> Any:
+        try:
+            return self.data[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+
+Handler = Callable[[Event], None]
+
+
+@dataclass(frozen=True)
+class Subscription:
+    """Token returned by :meth:`EventBus.subscribe`; pass to unsubscribe."""
+
+    kind: str
+    token: int
+
+
+class EventBus:
+    """Synchronous publish/subscribe hub.
+
+    Handlers run inline in emission order; a handler registered for the
+    wildcard kind ``"*"`` receives every event.  Handler exceptions
+    propagate to the mutating call — consistency hooks are part of the
+    update, exactly the semantics triggers need.
+    """
+
+    WILDCARD = "*"
+
+    def __init__(self, record: bool = False, history_limit: int = 10_000):
+        self._handlers: Dict[str, Dict[int, Handler]] = {}
+        self._tokens = itertools.count(1)
+        self._seq = itertools.count(1)
+        self.record = record
+        self.history_limit = history_limit
+        self.history: List[Event] = []
+
+    def subscribe(self, kind: str, handler: Handler) -> Subscription:
+        """Register ``handler`` for events of ``kind`` (or ``"*"``)."""
+        token = next(self._tokens)
+        self._handlers.setdefault(kind, {})[token] = handler
+        return Subscription(kind, token)
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        """Remove a handler; unknown subscriptions are ignored."""
+        handlers = self._handlers.get(subscription.kind)
+        if handlers is not None:
+            handlers.pop(subscription.token, None)
+
+    def emit(self, kind: str, subject: Any = None, **data: Any) -> Event:
+        """Publish an event and run its handlers synchronously."""
+        event = Event(kind, subject, data, next(self._seq))
+        if self.record:
+            self.history.append(event)
+            if len(self.history) > self.history_limit:
+                del self.history[: len(self.history) - self.history_limit]
+        for handler in list(self._handlers.get(kind, {}).values()):
+            handler(event)
+        for handler in list(self._handlers.get(self.WILDCARD, {}).values()):
+            handler(event)
+        return event
+
+    def events_of(self, kind: str) -> Tuple[Event, ...]:
+        """Recorded events of one kind (requires ``record=True``)."""
+        return tuple(event for event in self.history if event.kind == kind)
+
+    def clear_history(self) -> None:
+        self.history.clear()

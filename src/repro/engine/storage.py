@@ -1,0 +1,63 @@
+"""Class extents.
+
+§3: *"Classes are sets of objects belonging to the same object type;
+several classes may have objects of the same type."*  An :class:`Extent` is
+one such class: a named set of objects of (a subtype of) one object type.
+An object may be a member of several extents; subobjects of complex objects
+live in their local subclasses, not in extents.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from ..core.objects import DBObject
+from ..core.objtype import TypeBase
+from ..core.surrogate import Surrogate
+from ..errors import SchemaError
+
+__all__ = ["Extent"]
+
+
+class Extent:
+    """A database class: a named set of same-typed objects."""
+
+    def __init__(self, name: str, object_type: TypeBase):
+        if not name.isidentifier():
+            raise SchemaError(f"class name {name!r} is not a valid identifier")
+        self.name = name
+        self.object_type = object_type
+        self._members: Dict[Surrogate, DBObject] = {}
+
+    def add(self, obj: DBObject) -> DBObject:
+        """Add an object; its type must conform to the extent's type."""
+        if not obj.object_type.conforms_to(self.object_type):
+            raise SchemaError(
+                f"class {self.name!r} holds {self.object_type.name!r} objects; "
+                f"got {obj.object_type.name!r}"
+            )
+        self._members[obj.surrogate] = obj
+        return obj
+
+    def discard(self, obj: DBObject) -> None:
+        """Remove an object from the class (the object itself survives)."""
+        self._members.pop(obj.surrogate, None)
+
+    def members(self) -> List[DBObject]:
+        """Snapshot list of the current members."""
+        return list(self._members.values())
+
+    def get(self, surrogate: Surrogate) -> Optional[DBObject]:
+        return self._members.get(surrogate)
+
+    def __iter__(self) -> Iterator[DBObject]:
+        return iter(list(self._members.values()))
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, obj: object) -> bool:
+        return isinstance(obj, DBObject) and obj.surrogate in self._members
+
+    def __repr__(self) -> str:
+        return f"<Extent {self.name} of {self.object_type.name} n={len(self)}>"

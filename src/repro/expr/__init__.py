@@ -1,0 +1,50 @@
+"""Constraint-expression language (lexer, parser, AST, evaluation).
+
+This package implements the little language the paper writes its integrity
+constraints in, e.g.::
+
+    count (Pins) = 2 where Pins.InOut = IN
+    for (s in Bolt, n in Nut): s.Diameter = n.Diameter
+    s.Length = n.Length + sum (Bores.Length)
+
+Use :func:`parse_expression` / :func:`parse_constraints` to build ASTs and
+evaluate them against an :class:`EvalContext` rooted at a database object.
+"""
+
+from .ast import (
+    Aggregate,
+    Binary,
+    Literal,
+    Name,
+    Node,
+    Path,
+    Quantified,
+    Unary,
+    iter_aggregates,
+    truthy,
+)
+from .context import MISSING, EvalContext, as_collection, is_collection, resolve_member
+from .lexer import Token, tokenize
+from .parser import parse_constraints, parse_expression
+
+__all__ = [
+    "Aggregate",
+    "Binary",
+    "Literal",
+    "Name",
+    "Node",
+    "Path",
+    "Quantified",
+    "Unary",
+    "iter_aggregates",
+    "truthy",
+    "MISSING",
+    "EvalContext",
+    "as_collection",
+    "is_collection",
+    "resolve_member",
+    "Token",
+    "tokenize",
+    "parse_constraints",
+    "parse_expression",
+]

@@ -1,0 +1,149 @@
+"""Evaluation contexts and member resolution for constraint expressions.
+
+Expressions are evaluated against a *root* object — a complex object, a
+relationship object, or any value exposing ``get_member(name)``.  Name
+resolution proceeds through
+
+1. quantifier/binder bindings (innermost first),
+2. members of the root object,
+3. optionally, the bare identifier itself as a string literal, which is how
+   enumeration labels like ``IN`` or ``AND`` appear in the paper's
+   constraints without quoting.
+
+Member access on a *collection* maps over the elements and flattens nested
+collections, so the path ``SubGates.Pins`` yields all pins of all subgates,
+exactly the semantics the paper's wiring constraints need.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from ..errors import UnknownAttributeError
+
+__all__ = [
+    "MISSING",
+    "EvalContext",
+    "resolve_member",
+    "is_collection",
+    "as_collection",
+]
+
+
+class _Missing:
+    """Sentinel for "name not resolvable"."""
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "<MISSING>"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+MISSING = _Missing()
+
+
+def is_collection(value: Any) -> bool:
+    """True for list/tuple/set/frozenset — the collection shapes paths yield.
+
+    Strings, mappings and record values are scalars for path purposes.
+    """
+    return isinstance(value, (list, tuple, set, frozenset))
+
+
+def as_collection(value: Any) -> List[Any]:
+    """Coerce ``value`` to a list: collections are listed, scalars wrapped."""
+    if is_collection(value):
+        return list(value)
+    if value is MISSING or value is None:
+        return []
+    return [value]
+
+
+def resolve_member(value: Any, name: str) -> Any:
+    """Resolve member ``name`` on ``value``.
+
+    Handles, in order: objects exposing ``get_member`` (the database object
+    protocol), mappings / record values, plain attribute access, and
+    collections (mapped element-wise with flattening).  Returns
+    :data:`MISSING` when the member does not exist.
+    """
+    if is_collection(value):
+        collected: List[Any] = []
+        for element in value:
+            member = resolve_member(element, name)
+            if member is MISSING:
+                continue
+            if is_collection(member):
+                collected.extend(member)
+            else:
+                collected.append(member)
+        return collected
+    getter = getattr(value, "get_member", None)
+    if callable(getter):
+        try:
+            return getter(name)
+        except (KeyError, UnknownAttributeError):
+            return MISSING
+    if isinstance(value, Mapping):
+        return value[name] if name in value else MISSING
+    if hasattr(value, name):
+        return getattr(value, name)
+    return MISSING
+
+
+class EvalContext:
+    """Binding environment for one expression evaluation.
+
+    Parameters
+    ----------
+    root:
+        The object whose members anchor unbound names.
+    bindings:
+        Mapping of binder names introduced by quantifiers or by the host
+        (e.g. the DDL layer binds a relationship element under its subclass
+        name when checking ``where`` clauses).
+    unresolved_as_literal:
+        When true (the default), an identifier that resolves nowhere
+        evaluates to its own spelling — the paper writes enum labels and
+        similar symbols unquoted (``Pins.InOut = IN``).
+    """
+
+    __slots__ = ("root", "bindings", "unresolved_as_literal", "parent")
+
+    def __init__(
+        self,
+        root: Any,
+        bindings: Optional[Dict[str, Any]] = None,
+        unresolved_as_literal: bool = True,
+        parent: Optional["EvalContext"] = None,
+    ):
+        self.root = root
+        self.bindings = dict(bindings or {})
+        self.unresolved_as_literal = unresolved_as_literal
+        self.parent = parent
+
+    def child(self, bindings: Dict[str, Any]) -> "EvalContext":
+        """A nested context with extra binder bindings (quantifier scope)."""
+        return EvalContext(
+            self.root,
+            bindings,
+            unresolved_as_literal=self.unresolved_as_literal,
+            parent=self,
+        )
+
+    def lookup(self, name: str) -> Any:
+        """Resolve ``name`` through bindings then root members.
+
+        Returns :data:`MISSING` when nothing matches.
+        """
+        context: Optional[EvalContext] = self
+        while context is not None:
+            if name in context.bindings:
+                return context.bindings[name]
+            context = context.parent
+        return resolve_member(self.root, name)
+
+
+#: Signature of pluggable root resolvers (reserved for host extensions).
+MemberResolver = Callable[[Any, str], Any]

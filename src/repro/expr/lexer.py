@@ -1,0 +1,126 @@
+"""Tokenizer for the constraint-expression language.
+
+The language is taken directly from the paper's listings, e.g.::
+
+    count (Pins) = 2 where Pins.InOut = IN
+    Length < 100*Height*Width
+    (Wire.Pin1 in Pins or Wire.Pin1 in SubGates.Pins)
+    #s in Bolt = 1
+    for (s in Bolt, n in Nut): s.Diameter = n.Diameter
+    s.Length = n.Length + sum (Bores.Length)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..errors import ExprSyntaxError
+
+#: Reserved words of the constraint language.  They are recognised in their
+#: lower-case spelling only, so upper-case enum labels (IN, OUT, AND, OR…)
+#: remain ordinary identifiers.
+KEYWORDS = frozenset(
+    [
+        "and",
+        "or",
+        "not",
+        "in",
+        "where",
+        "for",
+        "true",
+        "false",
+        "count",
+        "sum",
+        "min",
+        "max",
+        "avg",
+        "exists",
+    ]
+)
+
+#: Multi-character operators, longest first so the scanner is greedy.
+_TWO_CHAR_OPS = ("<=", ">=", "!=", "<>")
+_ONE_CHAR_OPS = "=<>+-*/%(),.:;#"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``kind`` is one of ``IDENT``, ``NUMBER``, ``STRING``, ``OP``, ``KEYWORD``
+    or ``EOF``; ``text`` is the matched source text (canonical lower case for
+    keywords); ``position`` is the character offset in the source.
+    """
+
+    kind: str
+    text: str
+    position: int
+
+    def is_op(self, *texts: str) -> bool:
+        return self.kind == "OP" and self.text in texts
+
+    def is_keyword(self, *words: str) -> bool:
+        return self.kind == "KEYWORD" and self.text in words
+
+
+def tokenize(source: str) -> List[Token]:
+    """Split ``source`` into tokens, appending a terminating EOF token.
+
+    Raises
+    ------
+    ExprSyntaxError
+        On characters outside the language or unterminated strings.
+    """
+    return list(_scan(source))
+
+
+def _scan(source: str) -> Iterator[Token]:
+    i = 0
+    length = len(source)
+    while i < length:
+        ch = source[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "'" or ch == '"':
+            end = source.find(ch, i + 1)
+            if end < 0:
+                raise ExprSyntaxError("unterminated string literal", position=i)
+            yield Token("STRING", source[i + 1 : end], i)
+            i = end + 1
+            continue
+        if ch.isdigit():
+            start = i
+            while i < length and source[i].isdigit():
+                i += 1
+            if i < length and source[i] == "." and i + 1 < length and source[i + 1].isdigit():
+                i += 1
+                while i < length and source[i].isdigit():
+                    i += 1
+            yield Token("NUMBER", source[start:i], start)
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < length and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            word = source[start:i]
+            # Keywords match their lower-case spelling only: the paper uses
+            # upper-case identifiers like IN, OUT and AND as enum labels,
+            # which must not collide with the operators `in` and `and`.
+            if word in KEYWORDS:
+                yield Token("KEYWORD", word, start)
+            else:
+                yield Token("IDENT", word, start)
+            continue
+        two = source[i : i + 2]
+        if two in _TWO_CHAR_OPS:
+            yield Token("OP", two, i)
+            i += 2
+            continue
+        if ch in _ONE_CHAR_OPS:
+            yield Token("OP", ch, i)
+            i += 1
+            continue
+        raise ExprSyntaxError(f"unexpected character {ch!r}", position=i)
+    yield Token("EOF", "", length)

@@ -1,0 +1,300 @@
+"""Recursive-descent parser for the constraint-expression language.
+
+Grammar (EBNF, keywords case-insensitive)::
+
+    constraints := constraint (';' constraint)* [';']
+    constraint  := 'for' binders ':' constraint (';' constraint)*   (greedy)
+                 | expression ['where' expression]
+    binders     := '(' binder (',' binder)* ')' | binder
+    binder      := IDENT 'in' path
+    expression  := or_expr
+    or_expr     := and_expr ('or' and_expr)*
+    and_expr    := not_expr ('and' not_expr)*
+    not_expr    := 'not' not_expr | comparison
+    comparison  := additive [cmp_op additive]
+    cmp_op      := '=' | '!=' | '<>' | '<' | '<=' | '>' | '>=' | 'in' | 'not' 'in'
+    additive    := multiplicative (('+' | '-') multiplicative)*
+    multiplicative := unary (('*' | '/' | '%') unary)*
+    unary       := '-' unary | postfix
+    postfix     := primary ('.' IDENT)*
+    primary     := NUMBER | STRING | 'true' | 'false'
+                 | AGG '(' expression ['where' expression] ')'
+                 | '#' IDENT 'in' path
+                 | '(' expression ')' | IDENT
+
+A trailing ``where`` on a constraint (the paper's
+``count (Pins) = 2 where Pins.InOut = IN``) is attached to every aggregate
+inside the constraint that does not already carry a filter.  A ``for``
+constraint greedily takes all remaining constraints of its list as body,
+matching the paper's §5 listing where binders of an outer ``for`` stay
+visible in subsequent lines.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..errors import ExprSyntaxError
+from .ast import Aggregate, Binary, Literal, Name, Node, Path, Quantified, Unary, iter_aggregates
+from .lexer import Token, tokenize
+
+__all__ = ["parse_expression", "parse_constraints"]
+
+_AGG_KEYWORDS = ("count", "sum", "min", "max", "avg", "exists")
+_CMP_OPS = ("=", "!=", "<>", "<", "<=", ">", ">=")
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self.source = source
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "EOF":
+            self.pos += 1
+        return token
+
+    def expect_op(self, text: str) -> Token:
+        if not self.current.is_op(text):
+            raise self._error(f"expected {text!r}")
+        return self.advance()
+
+    def expect_keyword(self, word: str) -> Token:
+        if not self.current.is_keyword(word):
+            raise self._error(f"expected keyword {word!r}")
+        return self.advance()
+
+    def expect_ident(self) -> Token:
+        if self.current.kind != "IDENT":
+            raise self._error("expected an identifier")
+        return self.advance()
+
+    def at_end(self) -> bool:
+        return self.current.kind == "EOF"
+
+    def _error(self, message: str) -> ExprSyntaxError:
+        token = self.current
+        shown = token.text or "<end of input>"
+        return ExprSyntaxError(
+            f"{message}, found {shown!r} in {self.source!r}", position=token.position
+        )
+
+    # -- grammar ------------------------------------------------------------
+
+    def constraints(self) -> List[Node]:
+        items = [self.constraint()]
+        while self.current.is_op(";"):
+            self.advance()
+            if self.at_end():
+                break
+            items.append(self.constraint())
+        if not self.at_end():
+            raise self._error("trailing input after constraint")
+        return items
+
+    def constraint(self) -> Node:
+        if self.current.is_keyword("for"):
+            return self._quantified()
+        expression = self.expression()
+        if self.current.is_keyword("where"):
+            self.advance()
+            condition = self.expression()
+            self._attach_where(expression, condition)
+        return expression
+
+    def _quantified(self) -> Quantified:
+        self.expect_keyword("for")
+        binders = self._binders()
+        self.expect_op(":")
+        body = [self.constraint()]
+        while self.current.is_op(";"):
+            self.advance()
+            if self.at_end():
+                break
+            body.append(self.constraint())
+        return Quantified(binders, body)
+
+    def _binders(self) -> List[Tuple[str, Node]]:
+        if self.current.is_op("("):
+            self.advance()
+            binders = [self._binder()]
+            while self.current.is_op(","):
+                self.advance()
+                binders.append(self._binder())
+            self.expect_op(")")
+            return binders
+        return [self._binder()]
+
+    def _binder(self) -> Tuple[str, Node]:
+        name = self.expect_ident().text
+        self.expect_keyword("in")
+        return name, self._path()
+
+    def _path(self) -> Node:
+        base: Node = Name(self.expect_ident().text)
+        segments: List[str] = []
+        while self.current.is_op("."):
+            self.advance()
+            segments.append(self.expect_ident().text)
+        return Path(base, segments) if segments else base
+
+    def _attach_where(self, expression: Node, condition: Node) -> None:
+        attached = False
+        for aggregate in iter_aggregates(expression):
+            if aggregate.where is None:
+                aggregate.where = condition
+                attached = True
+        if not attached:
+            raise self._error(
+                "a trailing 'where' requires an aggregate to filter"
+            )
+
+    def expression(self) -> Node:
+        return self._or_expr()
+
+    def _or_expr(self) -> Node:
+        node = self._and_expr()
+        while self.current.is_keyword("or"):
+            self.advance()
+            node = Binary("or", node, self._and_expr())
+        return node
+
+    def _and_expr(self) -> Node:
+        node = self._not_expr()
+        while self.current.is_keyword("and"):
+            self.advance()
+            node = Binary("and", node, self._not_expr())
+        return node
+
+    def _not_expr(self) -> Node:
+        if self.current.is_keyword("not"):
+            self.advance()
+            return Unary("not", self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> Node:
+        node = self._additive()
+        if self.current.is_op(*_CMP_OPS):
+            op = self.advance().text
+            if op == "<>":
+                op = "!="
+            return Binary(op, node, self._additive())
+        if self.current.is_keyword("in"):
+            self.advance()
+            return Binary("in", node, self._additive())
+        if self.current.is_keyword("not"):
+            lookahead = self.tokens[self.pos + 1]
+            if lookahead.is_keyword("in"):
+                self.advance()
+                self.advance()
+                return Binary("not in", node, self._additive())
+        return node
+
+    def _additive(self) -> Node:
+        node = self._multiplicative()
+        while self.current.is_op("+", "-"):
+            op = self.advance().text
+            node = Binary(op, node, self._multiplicative())
+        return node
+
+    def _multiplicative(self) -> Node:
+        node = self._unary()
+        while self.current.is_op("*", "/", "%"):
+            op = self.advance().text
+            node = Binary(op, node, self._unary())
+        return node
+
+    def _unary(self) -> Node:
+        if self.current.is_op("-"):
+            self.advance()
+            return Unary("-", self._unary())
+        return self._postfix()
+
+    def _postfix(self) -> Node:
+        node = self._primary()
+        segments: List[str] = []
+        while self.current.is_op("."):
+            self.advance()
+            segments.append(self.expect_ident().text)
+        return Path(node, segments) if segments else node
+
+    def _primary(self) -> Node:
+        token = self.current
+        if token.kind == "NUMBER":
+            self.advance()
+            return Literal(float(token.text) if "." in token.text else int(token.text))
+        if token.kind == "STRING":
+            self.advance()
+            return Literal(token.text)
+        if token.is_keyword("true"):
+            self.advance()
+            return Literal(True)
+        if token.is_keyword("false"):
+            self.advance()
+            return Literal(False)
+        if token.is_keyword(*_AGG_KEYWORDS):
+            return self._aggregate()
+        if token.is_op("#"):
+            return self._hash_count()
+        if token.is_op("("):
+            self.advance()
+            node = self.expression()
+            self.expect_op(")")
+            return node
+        if token.kind == "IDENT":
+            self.advance()
+            return Name(token.text)
+        raise self._error("expected a value")
+
+    def _aggregate(self) -> Aggregate:
+        func = self.advance().text
+        self.expect_op("(")
+        binder: Optional[str] = None
+        if (
+            self.current.kind == "IDENT"
+            and self.tokens[self.pos + 1].is_keyword("in")
+        ):
+            # `count(s in Bolt where s.D > 5)` — the binder form, the
+            # parenthesised equivalent of the paper's `#s in Bolt`.
+            binder = self.advance().text
+            self.advance()  # 'in'
+        arg = self.expression()
+        where: Optional[Node] = None
+        if self.current.is_keyword("where"):
+            self.advance()
+            where = self.expression()
+        self.expect_op(")")
+        return Aggregate(func, arg, where=where, binder=binder)
+
+    def _hash_count(self) -> Aggregate:
+        """``#s in Bolt`` — count of Bolt, with ``s`` as element binder."""
+        self.expect_op("#")
+        binder = self.expect_ident().text
+        self.expect_keyword("in")
+        path = self._path()
+        return Aggregate("count", path, binder=binder)
+
+
+def parse_expression(source: str) -> Node:
+    """Parse a single expression (no ``;``, no ``for``)."""
+    parser = _Parser(source)
+    node = parser.constraint()
+    if not parser.at_end():
+        raise parser._error("trailing input after expression")
+    return node
+
+
+def parse_constraints(source: str) -> List[Node]:
+    """Parse a ``;``-separated constraint list, as in a ``constraints:`` block."""
+    stripped = source.strip()
+    if not stripped:
+        return []
+    return _Parser(stripped).constraints()

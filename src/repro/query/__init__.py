@@ -1,0 +1,12 @@
+"""Query language: ``select … from … where …`` over classes and types.
+
+>>> from repro.query import run_query
+>>> result = run_query(db, "select Length from Interfaces where Width > 5")
+>>> result.scalars()
+[...]
+"""
+
+from .executor import QueryResult, execute_query, run_query
+from .parser import QuerySpec, parse_query
+
+__all__ = ["QueryResult", "QuerySpec", "execute_query", "parse_query", "run_query"]

@@ -1,0 +1,131 @@
+"""Query execution over a database."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple, Union
+
+from ..core.objects import DBObject
+from ..engine.database import Database
+from ..errors import QueryError, UnknownTypeError
+from ..expr import MISSING, EvalContext, truthy
+from .parser import QuerySpec, parse_query
+
+__all__ = ["QueryResult", "execute_query", "run_query"]
+
+
+@dataclass
+class QueryResult:
+    """The outcome of one query.
+
+    ``columns`` are the projection source texts (``["*"]`` for object
+    queries); ``rows`` are value tuples aligned with the columns; for
+    ``select *`` queries ``objects`` carries the matching objects and each
+    row is the one-element tuple of the object.
+    """
+
+    spec: QuerySpec
+    columns: List[str]
+    rows: List[Tuple[Any, ...]]
+    objects: Optional[List[DBObject]] = None
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def scalars(self) -> List[Any]:
+        """First-column values — convenient for single-column queries."""
+        return [row[0] for row in self.rows]
+
+    def __repr__(self) -> str:
+        return f"<QueryResult {self.spec.text!r} rows={len(self.rows)}>"
+
+
+def _candidates(db: Database, name: str) -> List[DBObject]:
+    try:
+        return db.class_(name).members()
+    except UnknownTypeError:
+        pass
+    try:
+        type_ = db.catalog.type(name)
+    except UnknownTypeError:
+        raise QueryError(
+            f"{name!r} names neither a class nor a type in this database"
+        ) from None
+    return db.objects_of_type(type_)
+
+
+def _sort_key(value: Any):
+    # MISSING/None order last; mixed types order by type name to stay total.
+    if value is MISSING or value is None:
+        return (2, "", "")
+    if isinstance(value, bool):
+        return (1, "bool", value)
+    if isinstance(value, (int, float)):
+        return (0, "", value)
+    return (1, type(value).__name__, str(value))
+
+
+def execute_query(db: Database, spec: QuerySpec) -> QueryResult:
+    """Run a parsed query against a database."""
+    matches: List[DBObject] = []
+    for obj in _candidates(db, spec.source_name):
+        if obj.deleted:
+            continue
+        if spec.where is not None:
+            if not truthy(spec.where.evaluate(EvalContext(obj))):
+                continue
+        matches.append(obj)
+
+    if spec.order_by is not None:
+        matches.sort(
+            key=lambda obj: _sort_key(spec.order_by.evaluate(EvalContext(obj))),
+            reverse=spec.descending,
+        )
+
+    if spec.limit is not None:
+        matches = matches[: spec.limit]
+
+    if spec.projection is None:
+        rows = [(obj,) for obj in matches]
+        if spec.distinct:
+            seen = set()
+            unique_rows = []
+            unique_objects = []
+            for obj in matches:
+                if obj.surrogate not in seen:
+                    seen.add(obj.surrogate)
+                    unique_rows.append((obj,))
+                    unique_objects.append(obj)
+            return QueryResult(spec, ["*"], unique_rows, unique_objects)
+        return QueryResult(spec, ["*"], rows, matches)
+
+    rows = []
+    for obj in matches:
+        ctx = EvalContext(obj)
+        row = tuple(
+            None if (value := node.evaluate(ctx)) is MISSING else value
+            for _, node in spec.projection
+        )
+        rows.append(row)
+    if spec.distinct:
+        seen_rows = set()
+        unique = []
+        for row in rows:
+            try:
+                key = row
+                if key not in seen_rows:
+                    seen_rows.add(key)
+                    unique.append(row)
+            except TypeError:  # unhashable projection value
+                if row not in unique:
+                    unique.append(row)
+        rows = unique
+    return QueryResult(spec, spec.column_names, rows)
+
+
+def run_query(db: Database, text: str) -> QueryResult:
+    """Parse and execute query text in one step."""
+    return execute_query(db, parse_query(text))

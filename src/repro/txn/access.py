@@ -1,0 +1,128 @@
+"""Access control.
+
+§6: *"these 'standard objects' usually are protected by access control
+mechanisms preventing the normal user from updating them.  Thus, there
+should be a tight connection between the access control manager and the
+lock manager: if objects are to be locked implicitly by complex operations
+the access control manager should be consulted to grant no lock which
+allows more operations than the access control admits."*
+
+Rights form a ladder NONE < READ < WRITE.  Rights can be granted per
+object, per object type, or as a per-principal default; the most specific
+grant wins.  :meth:`AccessControlManager.cap_mode` is the hook the lock
+manager calls before implicit (expansion) locking.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..core.objects import DBObject
+from ..core.objtype import TypeBase
+from ..core.surrogate import Surrogate
+from ..errors import AccessDeniedError
+from .locks import LockMode
+
+__all__ = ["Right", "AccessControlManager"]
+
+
+class Right:
+    """Access rights, ordered by privilege."""
+
+    NONE = "none"
+    READ = "read"
+    WRITE = "write"
+
+    _ORDER = {NONE: 0, READ: 1, WRITE: 2}
+
+    @classmethod
+    def includes(cls, granted: str, needed: str) -> bool:
+        return cls._ORDER[granted] >= cls._ORDER[needed]
+
+    @classmethod
+    def validate(cls, right: str) -> str:
+        if right not in cls._ORDER:
+            raise AccessDeniedError(f"unknown right {right!r}")
+        return right
+
+
+class AccessControlManager:
+    """Principal → rights on objects and types."""
+
+    def __init__(self, default_right: str = Right.WRITE):
+        #: Right assumed when no grant matches at all (open by default —
+        #: a single-designer database needs no ceremony).
+        self.default_right = Right.validate(default_right)
+        self._object_rights: Dict[Tuple[str, Surrogate], str] = {}
+        self._type_rights: Dict[Tuple[str, str], str] = {}
+        self._principal_defaults: Dict[str, str] = {}
+
+    # -- granting -------------------------------------------------------------
+
+    def grant(self, principal: str, target, right: str) -> None:
+        """Grant ``right`` on an object, a type, or (target=None) as the
+        principal's default."""
+        Right.validate(right)
+        if target is None:
+            self._principal_defaults[principal] = right
+        elif isinstance(target, DBObject):
+            self._object_rights[(principal, target.surrogate)] = right
+        elif isinstance(target, TypeBase):
+            self._type_rights[(principal, target.name)] = right
+        else:
+            raise AccessDeniedError(f"cannot grant on {target!r}")
+
+    def protect_standard_object(self, obj: DBObject, everyone_reads: bool = True) -> None:
+        """Mark an object as a protected standard part (§6): everybody may
+        read it, nobody may write (grant WRITE explicitly to librarians)."""
+        right = Right.READ if everyone_reads else Right.NONE
+        self._object_rights[("*", obj.surrogate)] = right
+
+    # -- checking --------------------------------------------------------------
+
+    def allowed(self, principal: Optional[str], obj: DBObject) -> str:
+        """The effective right of ``principal`` on ``obj``.
+
+        Precedence: object grant (principal, then ``"*"``), type grant,
+        principal default, manager default.  ``principal=None`` (no user
+        attached) gets the manager default unless a ``"*"`` object grant
+        restricts the object.
+        """
+        if principal is not None:
+            specific = self._object_rights.get((principal, obj.surrogate))
+            if specific is not None:
+                return specific
+        wildcard = self._object_rights.get(("*", obj.surrogate))
+        if wildcard is not None:
+            return wildcard
+        if principal is not None:
+            type_right = self._type_rights.get((principal, obj.object_type.name))
+            if type_right is not None:
+                return type_right
+            principal_default = self._principal_defaults.get(principal)
+            if principal_default is not None:
+                return principal_default
+        return self.default_right
+
+    def check(self, principal: Optional[str], obj: DBObject, needed: str) -> None:
+        granted = self.allowed(principal, obj)
+        if not Right.includes(granted, needed):
+            raise AccessDeniedError(
+                f"principal {principal!r} holds {granted!r} on {obj!r}; "
+                f"{needed!r} required"
+            )
+
+    def cap_mode(self, principal: Optional[str], obj: DBObject, mode: str) -> str:
+        """Cap a requested lock mode to what access control admits (§6).
+
+        X is downgraded to S for read-only principals; NONE raises.  This
+        is the hook for implicit locking by complex operations (expansion).
+        """
+        granted = self.allowed(principal, obj)
+        if granted == Right.NONE:
+            raise AccessDeniedError(
+                f"principal {principal!r} may not access {obj!r} at all"
+            )
+        if mode == LockMode.X and granted != Right.WRITE:
+            return LockMode.S
+        return mode

@@ -1,0 +1,113 @@
+"""Lock inheritance (§6).
+
+*"When accessing a composite object, we have to deal with
+'lock-inheritance' in the reverse direction of data inheritance: Accessing
+the data of a composite object which are inherited from a component
+requires to prevent the component also from being updated.  Thus, the parts
+of the component which are visible in the composite object have to be
+read-locked when the data is touched in the composite object."*
+
+:func:`inherited_lock_plan` computes exactly which scoped read locks a read
+of an object entails: for every bound inheritance link, the permeable
+members on the transmitter — transitively, because the transmitter may
+itself inherit some of those members from higher up the abstraction
+hierarchy.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Set, Tuple
+
+from ..core.objects import DBObject
+from ..core.surrogate import Surrogate
+from .locks import LockMode
+
+__all__ = ["inherited_lock_plan", "expansion_lock_plan"]
+
+#: (object, members-to-lock) — members None means the whole object.
+LockPlanItem = Tuple[DBObject, Optional[FrozenSet[str]]]
+
+
+def inherited_lock_plan(
+    obj: DBObject, members: Optional[FrozenSet[str]] = None
+) -> List[LockPlanItem]:
+    """Scoped transmitter read locks entailed by reading ``obj``.
+
+    ``members`` restricts the read to some member names; only the links
+    whose permeable set intersects it contribute.  The returned plan does
+    **not** include ``obj`` itself.
+    """
+    plan: List[LockPlanItem] = []
+    _collect(obj, members, plan, set())
+    return plan
+
+
+def _collect(
+    obj: DBObject,
+    members: Optional[FrozenSet[str]],
+    plan: List[LockPlanItem],
+    seen: Set[Surrogate],
+) -> None:
+    for link in obj.inheritance_links:
+        permeable = frozenset(link.rel_type.inheriting)
+        relevant = permeable if members is None else permeable & members
+        if not relevant:
+            continue
+        transmitter = link.transmitter
+        plan.append((transmitter, relevant))
+        if transmitter.surrogate not in seen:
+            seen.add(transmitter.surrogate)
+            # The transmitter may pass on members it inherits itself
+            # (interface hierarchies): lock those upstream too.
+            _collect(transmitter, relevant, plan, seen)
+
+
+def expansion_lock_plan(
+    composite: DBObject, mode: str = LockMode.S
+) -> List[Tuple[DBObject, Optional[FrozenSet[str]], str]]:
+    """The lock set for working on a composite object's expansion (§6).
+
+    Covers the composite itself, its whole subobject tree, and — through
+    lock inheritance — the visible parts of every component the expansion
+    materialises.  Components' *own* entries are scoped to their permeable
+    members; everything inside the composite is locked whole.
+
+    Returns ``(object, scope, mode)`` triples; the transaction layer caps
+    each mode through access control before acquiring.
+    """
+    from ..composition.composite import expand
+
+    plan: List[Tuple[DBObject, Optional[FrozenSet[str]], str]] = []
+    listed: Set[Surrogate] = set()
+
+    expansion = expand(composite)
+    own_tree: Set[Surrogate] = set()
+
+    def collect_tree(obj: DBObject) -> None:
+        own_tree.add(obj.surrogate)
+        for name in obj.subclass_names():
+            if obj.is_member_inherited(name):
+                continue
+            for member in obj.subclass(name):
+                collect_tree(member)
+
+    collect_tree(composite)
+
+    for obj in expansion.objects:
+        if obj.surrogate in listed:
+            continue
+        listed.add(obj.surrogate)
+        if obj.surrogate in own_tree:
+            plan.append((obj, None, mode))
+        else:
+            # A component reached through a link: only its visible part is
+            # locked, and never exclusively through mere expansion.
+            visible: Set[str] = set()
+            for link in obj.inheritor_links:
+                if link.inheritor.surrogate in listed or (
+                    link.inheritor.surrogate in own_tree
+                ):
+                    visible |= set(link.rel_type.inheriting)
+            scope = frozenset(visible) if visible else None
+            plan.append((obj, scope, LockMode.S))
+    return plan

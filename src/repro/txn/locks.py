@@ -1,0 +1,173 @@
+"""Lock manager with member-scoped locks.
+
+§6 motivates two refinements over plain object locking:
+
+* **lock inheritance** — "Accessing the data of a composite object which
+  are inherited from a component requires to prevent the component also
+  from being updated.  Thus, the parts of the component which are visible
+  in the composite object have to be read-locked …";
+* **partial locks** — "only these parts of the standard cells are locked
+  in read-mode", so heavily shared standard objects stay usable.
+
+Both need locks scoped to a *subset of members*, not whole objects.  A lock
+here is ``(surrogate, mode, scope)`` where ``scope`` is a frozenset of
+member names or ``None`` for the whole object.  Two locks conflict when
+their modes conflict **and** their scopes overlap (``None`` overlaps
+everything).
+
+The manager is non-blocking: a conflicting request raises
+:class:`~repro.errors.LockConflictError` immediately, leaving retry/abort
+policy to the design session — the interactive setting the paper assumes,
+where blocking a designer for hours is worse than telling them who holds
+the lock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..core.surrogate import Surrogate
+from ..errors import LockConflictError
+
+__all__ = ["LockMode", "LockEntry", "LockTable", "scopes_overlap"]
+
+
+class LockMode:
+    """Lock modes: shared (read) and exclusive (write)."""
+
+    S = "S"
+    X = "X"
+
+    @staticmethod
+    def compatible(a: str, b: str) -> bool:
+        return a == LockMode.S and b == LockMode.S
+
+    @staticmethod
+    def stronger(a: str, b: str) -> str:
+        return LockMode.X if LockMode.X in (a, b) else LockMode.S
+
+
+Scope = Optional[FrozenSet[str]]
+
+
+def scopes_overlap(a: Scope, b: Scope) -> bool:
+    """Whole-object scope (None) overlaps everything; sets must intersect."""
+    if a is None or b is None:
+        return True
+    return bool(a & b)
+
+
+@dataclass
+class LockEntry:
+    """One granted lock of one transaction on one object."""
+
+    txn_id: int
+    mode: str
+    scope: Scope
+
+    def conflicts_with(self, mode: str, scope: Scope) -> bool:
+        return not LockMode.compatible(self.mode, mode) and scopes_overlap(
+            self.scope, scope
+        )
+
+
+class LockTable:
+    """All granted locks, indexed by object surrogate."""
+
+    def __init__(self) -> None:
+        self._locks: Dict[Surrogate, List[LockEntry]] = {}
+        self._by_txn: Dict[int, List[Tuple[Surrogate, LockEntry]]] = {}
+        #: Cooperative groups: transactions in the same group never
+        #: conflict with each other (design teams sharing a checkout,
+        #: the "advanced transaction mechanisms" of §6's references).
+        self._groups: Dict[int, int] = {}
+
+    def set_group(self, txn_id: int, group_id: Optional[int]) -> None:
+        """Place a transaction in a cooperative group (None removes it)."""
+        if group_id is None:
+            self._groups.pop(txn_id, None)
+        else:
+            self._groups[txn_id] = group_id
+
+    def _same_owner(self, a: int, b: int) -> bool:
+        if a == b:
+            return True
+        group_a = self._groups.get(a)
+        return group_a is not None and group_a == self._groups.get(b)
+
+    def acquire(
+        self,
+        txn_id: int,
+        surrogate: Surrogate,
+        mode: str,
+        scope: Scope = None,
+    ) -> LockEntry:
+        """Grant a lock or raise :class:`LockConflictError`.
+
+        A transaction's own locks never conflict; re-requests merge into
+        the existing entry (scope union, stronger mode), which also
+        implements the S→X upgrade when no other holder blocks it.  The
+        conflict check runs against the would-be **merged** entry — an
+        upgrade that strengthens the mode must re-justify the transaction's
+        *entire* scope, otherwise a reader of a disjoint member could be
+        silently overrun (conservative, and safe).
+        """
+        entries = self._locks.setdefault(surrogate, [])
+        own = next((e for e in entries if e.txn_id == txn_id), None)
+        if own is not None:
+            requested_mode = LockMode.stronger(own.mode, mode)
+            if own.scope is None or scope is None:
+                requested_scope: Scope = None
+            else:
+                requested_scope = frozenset(own.scope | scope)
+        else:
+            requested_mode = mode
+            requested_scope = None if scope is None else frozenset(scope)
+        for entry in entries:
+            if not self._same_owner(entry.txn_id, txn_id) and entry.conflicts_with(
+                requested_mode, requested_scope
+            ):
+                raise LockConflictError(
+                    f"lock {requested_mode} on {surrogate} (scope "
+                    f"{sorted(requested_scope) if requested_scope else 'ALL'}) "
+                    f"conflicts with {entry.mode} held by transaction "
+                    f"{entry.txn_id}",
+                    holder=entry.txn_id,
+                    surrogate=surrogate,
+                )
+        if own is not None:
+            own.mode = requested_mode
+            own.scope = requested_scope
+            return own
+        entry = LockEntry(txn_id, requested_mode, requested_scope)
+        entries.append(entry)
+        self._by_txn.setdefault(txn_id, []).append((surrogate, entry))
+        return entry
+
+    def release_all(self, txn_id: int) -> int:
+        """Drop every lock of a transaction; returns how many were held."""
+        held = self._by_txn.pop(txn_id, [])
+        for surrogate, entry in held:
+            entries = self._locks.get(surrogate)
+            if entries is not None:
+                try:
+                    entries.remove(entry)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+                if not entries:
+                    del self._locks[surrogate]
+        return len(held)
+
+    def holders(self, surrogate: Surrogate) -> List[LockEntry]:
+        """Copy of the entries currently granted on one object."""
+        return list(self._locks.get(surrogate, []))
+
+    def held_by(self, txn_id: int) -> List[Tuple[Surrogate, LockEntry]]:
+        return list(self._by_txn.get(txn_id, []))
+
+    def lock_count(self) -> int:
+        return sum(len(entries) for entries in self._locks.values())
+
+    def is_locked(self, surrogate: Surrogate) -> bool:
+        return bool(self._locks.get(surrogate))

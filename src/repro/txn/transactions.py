@@ -1,0 +1,223 @@
+"""Transactions for design sessions.
+
+Strict two-phase locking over the scoped :class:`~repro.txn.locks.LockTable`
+with three §6-specific features:
+
+* **lock inheritance** — reading an object read-locks the visible parts of
+  its transmitters (see :mod:`repro.txn.lock_inheritance`), so a composite
+  reader and a component writer conflict even though they touch different
+  objects;
+* **expansion locking** — :meth:`Transaction.lock_expansion` locks "not
+  only single objects but whole parts of the component hierarchy";
+* **access-control capping** — implicit expansion locks are capped to the
+  mode the :class:`~repro.txn.access.AccessControlManager` admits, so
+  protected standard parts (bolts, nuts, standard cells) are never
+  write-locked by a sweep.
+
+Aborts undo attribute updates through an in-transaction undo log.  *Design
+transactions* (``persistent=True``) model the long checkout/checkin
+sessions of CAD work: their locks survive :meth:`~Transaction.commit` until
+:meth:`~Transaction.checkin`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.objects import DBObject
+from ..errors import AccessDeniedError, TransactionError
+from .access import AccessControlManager, Right
+from .lock_inheritance import expansion_lock_plan, inherited_lock_plan
+from .locks import LockMode, LockTable
+
+__all__ = ["Transaction", "TransactionManager"]
+
+
+class Transaction:
+    """One transaction: lock set, undo log, status."""
+
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+    def __init__(
+        self,
+        manager: "TransactionManager",
+        txn_id: int,
+        user: Optional[str] = None,
+        persistent: bool = False,
+    ):
+        self.manager = manager
+        self.id = txn_id
+        self.user = user
+        self.persistent = persistent
+        self.status = self.ACTIVE
+        self._undo: List[Tuple[DBObject, str, Any, bool]] = []
+        self._checked_in = not persistent
+
+    # -- status plumbing ---------------------------------------------------------
+
+    def _ensure_active(self) -> None:
+        if self.status != self.ACTIVE:
+            raise TransactionError(f"transaction {self.id} is {self.status}")
+
+    @property
+    def lock_table(self) -> LockTable:
+        return self.manager.lock_table
+
+    # -- reading -----------------------------------------------------------------
+
+    def read(self, obj: DBObject, members: Optional[set] = None) -> DBObject:
+        """Read-lock ``obj`` (optionally only some members) with
+        lock inheritance: the visible parts of its transmitters are
+        read-locked too (§6)."""
+        self._ensure_active()
+        self._check_access(obj, Right.READ)
+        scope = frozenset(members) if members is not None else None
+        self.lock_table.acquire(self.id, obj.surrogate, LockMode.S, scope)
+        for transmitter, visible in inherited_lock_plan(obj, scope):
+            self._check_access(transmitter, Right.READ)
+            self.lock_table.acquire(
+                self.id, transmitter.surrogate, LockMode.S, visible
+            )
+        return obj
+
+    def get(self, obj: DBObject, member: str) -> Any:
+        """Locked read of one member."""
+        self.read(obj, {member})
+        return obj.get_member(member)
+
+    # -- writing -----------------------------------------------------------------
+
+    def write(self, obj: DBObject, members: Optional[set] = None) -> DBObject:
+        """Write-lock ``obj`` (optionally scoped to some members).
+
+        Conflicts with any composite reader that holds an inherited read
+        lock on the visible part — exactly the §6 requirement.
+        """
+        self._ensure_active()
+        self._check_access(obj, Right.WRITE)
+        scope = frozenset(members) if members is not None else None
+        self.lock_table.acquire(self.id, obj.surrogate, LockMode.X, scope)
+        return obj
+
+    def set(self, obj: DBObject, attribute: str, value: Any) -> Any:
+        """Write-lock, log undo information, update."""
+        self.write(obj, {attribute})
+        had_value = attribute in obj._attrs
+        old = obj._attrs.get(attribute)
+        result = obj.set_attribute(attribute, value)
+        self._undo.append((obj, attribute, old, had_value))
+        return result
+
+    # -- expansion locking ----------------------------------------------------------
+
+    def lock_expansion(self, composite: DBObject, mode: str = LockMode.S) -> int:
+        """Lock a whole component hierarchy for expansion work (§6).
+
+        Requested ``mode`` applies to the composite's own tree; components
+        are read-locked on their visible parts only.  Every mode is capped
+        by access control before acquisition; the standard-object pattern
+        (WRITE requested, READ allowed) downgrades instead of failing.
+        Returns the number of objects locked.
+        """
+        self._ensure_active()
+        plan = expansion_lock_plan(composite, mode)
+        access = self.manager.access
+        count = 0
+        for obj, scope, requested in plan:
+            granted_mode = requested
+            if access is not None:
+                granted_mode = access.cap_mode(self.user, obj, requested)
+            self.lock_table.acquire(self.id, obj.surrogate, granted_mode, scope)
+            count += 1
+        return count
+
+    # -- completion -----------------------------------------------------------------
+
+    def commit(self) -> None:
+        """End the transaction, keeping its effects.
+
+        A persistent design transaction keeps its locks (checkout
+        semantics) until :meth:`checkin`.
+        """
+        self._ensure_active()
+        self.status = self.COMMITTED
+        self._undo.clear()
+        if not self.persistent:
+            self.lock_table.release_all(self.id)
+        self.manager._finished(self)
+
+    def abort(self) -> None:
+        """Undo every logged update and release all locks."""
+        self._ensure_active()
+        for obj, attribute, old, had_value in reversed(self._undo):
+            if had_value:
+                obj._attrs[attribute] = old
+            else:
+                obj._attrs.pop(attribute, None)
+        self._undo.clear()
+        self.status = self.ABORTED
+        self.lock_table.release_all(self.id)
+        self.manager._finished(self)
+
+    def checkin(self) -> None:
+        """Release the locks of a committed persistent transaction."""
+        if not self.persistent:
+            raise TransactionError("checkin applies to persistent transactions")
+        if self.status == self.ACTIVE:
+            raise TransactionError("commit (or abort) before checkin")
+        if self._checked_in:
+            raise TransactionError(f"transaction {self.id} already checked in")
+        self.lock_table.release_all(self.id)
+        self._checked_in = True
+
+    # -- context manager ---------------------------------------------------------------
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self.status == self.ACTIVE:
+            if exc_type is None:
+                self.commit()
+            else:
+                self.abort()
+        return False
+
+    def _check_access(self, obj: DBObject, needed: str) -> None:
+        access = self.manager.access
+        if access is not None:
+            access.check(self.user, obj, needed)
+
+    def __repr__(self) -> str:
+        return f"<Transaction {self.id} {self.status} user={self.user!r}>"
+
+
+class TransactionManager:
+    """Per-database transaction coordinator."""
+
+    def __init__(self, database, access: Optional[AccessControlManager] = None):
+        self.database = database
+        self.lock_table = LockTable()
+        self.access = access
+        self._ids = itertools.count(1)
+        self._active: Dict[int, Transaction] = {}
+        database.transactions = self
+
+    def begin(self, user: Optional[str] = None, persistent: bool = False) -> Transaction:
+        txn = Transaction(self, next(self._ids), user=user, persistent=persistent)
+        self._active[txn.id] = txn
+        return txn
+
+    def _finished(self, txn: Transaction) -> None:
+        self._active.pop(txn.id, None)
+
+    def active_transactions(self) -> List[Transaction]:
+        return list(self._active.values())
+
+    def abort_all(self) -> None:
+        """Abort every active transaction (session teardown)."""
+        for txn in list(self._active.values()):
+            txn.abort()

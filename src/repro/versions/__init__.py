@@ -1,0 +1,38 @@
+"""Version management (§6): graphs, states, generic relationships, environments."""
+
+from .diff import DiffEntry, derive_version, diff_versions
+from .merge import MergeConflict, MergeResult, merge_versions
+from .environments import Environment, EnvironmentRegistry
+from .graph import VersionGraph
+from .selection import (
+    DefaultSelection,
+    EnvironmentSelection,
+    GenericRelationship,
+    QuerySelection,
+    SelectionPolicy,
+)
+from .states import StateGuard, VersionState, can_transition
+from .workspace import CheckinResult, CheckoutRecord, Workspace
+
+__all__ = [
+    "DiffEntry",
+    "derive_version",
+    "diff_versions",
+    "MergeConflict",
+    "MergeResult",
+    "merge_versions",
+    "Environment",
+    "EnvironmentRegistry",
+    "VersionGraph",
+    "DefaultSelection",
+    "EnvironmentSelection",
+    "GenericRelationship",
+    "QuerySelection",
+    "SelectionPolicy",
+    "StateGuard",
+    "VersionState",
+    "can_transition",
+    "CheckinResult",
+    "CheckoutRecord",
+    "Workspace",
+]

@@ -1,0 +1,253 @@
+"""Version graphs (§6).
+
+*"The implementations of an interface can be seen as the versions of a
+design object which is represented by the interface."*  A
+:class:`VersionGraph` organises those versions:
+
+* **derivation history** — which version was derived from which, "keeping
+  track of the design history";
+* **alternatives** — several versions derived from the same base,
+  "supporting the parallel development of alternatives";
+* a **default version** for bottom-up selection (§6 policy 2);
+* version **states** through an optional :class:`~repro.versions.states.StateGuard`.
+
+Because interfaces themselves may be versions of a more abstract interface
+(the abstraction hierarchy of §4.2), graphs compose into the paper's
+"versioned versions": a graph's member can anchor a graph of its own —
+see :meth:`VersionGraph.subgraph_of`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set
+
+from ..core.objects import DBObject
+from ..core.surrogate import Surrogate
+from ..errors import VersionError
+from .states import StateGuard, VersionState
+
+__all__ = ["VersionGraph"]
+
+
+class VersionGraph:
+    """The versions of one design object, with derivation structure."""
+
+    def __init__(
+        self,
+        design_object: Optional[DBObject] = None,
+        name: str = "",
+        guard: Optional[StateGuard] = None,
+    ):
+        if design_object is None and not name:
+            raise VersionError("a version graph needs a design object or a name")
+        self.design_object = design_object
+        self.name = name or f"versions-of-{design_object.surrogate}"
+        self.guard = guard
+        self._members: Dict[Surrogate, DBObject] = {}
+        self._derived_from: Dict[Surrogate, Surrogate] = {}
+        self._derivatives: Dict[Surrogate, List[Surrogate]] = {}
+        self._default: Optional[Surrogate] = None
+        self._subgraphs: Dict[Surrogate, "VersionGraph"] = {}
+        #: Merge parents beyond the primary derived-from edge.
+        self._merge_parents: Dict[Surrogate, List[Surrogate]] = {}
+
+    # -- membership -----------------------------------------------------------------
+
+    def add_version(
+        self,
+        version: DBObject,
+        derived_from: Optional[DBObject] = None,
+        state: str = VersionState.IN_DESIGN,
+    ) -> DBObject:
+        """Register a version, optionally as a derivative of an existing one."""
+        if version.surrogate in self._members:
+            raise VersionError(f"{version!r} is already in the graph")
+        if derived_from is not None:
+            if derived_from.surrogate not in self._members:
+                raise VersionError(
+                    f"base {derived_from!r} is not a member of this graph"
+                )
+        self._members[version.surrogate] = version
+        if derived_from is not None:
+            self._derived_from[version.surrogate] = derived_from.surrogate
+            self._derivatives.setdefault(derived_from.surrogate, []).append(
+                version.surrogate
+            )
+        if self.guard is not None:
+            self.guard.set_state(version, state)
+        if self._default is None:
+            self._default = version.surrogate
+        return version
+
+    def remove_version(self, version: DBObject) -> None:
+        """Remove a leaf version (derivatives would lose their history)."""
+        surrogate = version.surrogate
+        if surrogate not in self._members:
+            raise VersionError(f"{version!r} is not in the graph")
+        if self._derivatives.get(surrogate):
+            raise VersionError(
+                f"{version!r} has derivatives; remove or re-base them first"
+            )
+        if self.guard is not None and self.guard.state_of(version) == VersionState.FROZEN:
+            raise VersionError(f"{version!r} is frozen and cannot be removed")
+        self._members.pop(surrogate)
+        base = self._derived_from.pop(surrogate, None)
+        if base is not None:
+            self._derivatives[base].remove(surrogate)
+        if self._default == surrogate:
+            self._default = next(iter(self._members), None)
+
+    def members(self) -> List[DBObject]:
+        return list(self._members.values())
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, version: object) -> bool:
+        return (
+            isinstance(version, DBObject) and version.surrogate in self._members
+        )
+
+    def __iter__(self) -> Iterator[DBObject]:
+        return iter(self.members())
+
+    # -- derivation structure -----------------------------------------------------------
+
+    def derive(self, base: DBObject, new_version: DBObject, state: str = VersionState.IN_DESIGN) -> DBObject:
+        """Shorthand: add ``new_version`` derived from ``base``."""
+        return self.add_version(new_version, derived_from=base, state=state)
+
+    def base_of(self, version: DBObject) -> Optional[DBObject]:
+        surrogate = self._derived_from.get(version.surrogate)
+        return self._members.get(surrogate) if surrogate is not None else None
+
+    def derivatives_of(self, version: DBObject) -> List[DBObject]:
+        return [
+            self._members[s] for s in self._derivatives.get(version.surrogate, [])
+        ]
+
+    def alternatives_of(self, version: DBObject) -> List[DBObject]:
+        """Siblings: versions derived from the same base (parallel work)."""
+        base = self._derived_from.get(version.surrogate)
+        if base is None:
+            return [
+                member
+                for member in self.roots()
+                if member.surrogate != version.surrogate
+            ]
+        return [
+            self._members[s]
+            for s in self._derivatives.get(base, [])
+            if s != version.surrogate
+        ]
+
+    def history_of(self, version: DBObject) -> List[DBObject]:
+        """The derivation path from the initial version to ``version``."""
+        if version.surrogate not in self._members:
+            raise VersionError(f"{version!r} is not in the graph")
+        path = [version]
+        current = version.surrogate
+        while current in self._derived_from:
+            current = self._derived_from[current]
+            path.append(self._members[current])
+        path.reverse()
+        return path
+
+    def is_ancestor(self, ancestor: DBObject, descendant: DBObject) -> bool:
+        current: Optional[Surrogate] = descendant.surrogate
+        while current is not None:
+            if current == ancestor.surrogate:
+                return True
+            current = self._derived_from.get(current)
+        return False
+
+    def roots(self) -> List[DBObject]:
+        return [
+            member
+            for member in self._members.values()
+            if member.surrogate not in self._derived_from
+        ]
+
+    def leaves(self) -> List[DBObject]:
+        return [
+            member
+            for member in self._members.values()
+            if not self._derivatives.get(member.surrogate)
+        ]
+
+    def record_merge(self, version: DBObject, other_parent: DBObject) -> None:
+        """Record an additional (merge) parent of a version."""
+        if version.surrogate not in self._members:
+            raise VersionError(f"{version!r} is not in the graph")
+        if other_parent.surrogate not in self._members:
+            raise VersionError(f"{other_parent!r} is not in the graph")
+        self._merge_parents.setdefault(version.surrogate, []).append(
+            other_parent.surrogate
+        )
+
+    def merge_parents_of(self, version: DBObject) -> List[DBObject]:
+        """Merge parents recorded beyond the primary derivation edge."""
+        return [
+            self._members[s]
+            for s in self._merge_parents.get(version.surrogate, [])
+            if s in self._members
+        ]
+
+    # -- default version (bottom-up selection, §6) ------------------------------------------
+
+    @property
+    def default_version(self) -> Optional[DBObject]:
+        return self._members.get(self._default) if self._default is not None else None
+
+    def set_default(self, version: DBObject) -> None:
+        if version.surrogate not in self._members:
+            raise VersionError(f"{version!r} is not in the graph")
+        self._default = version.surrogate
+
+    # -- states ------------------------------------------------------------------------
+
+    def state_of(self, version: DBObject) -> Optional[str]:
+        return self.guard.state_of(version) if self.guard is not None else None
+
+    def release(self, version: DBObject) -> None:
+        if self.guard is None:
+            raise VersionError("this graph has no state guard")
+        self.guard.release(version)
+
+    def freeze(self, version: DBObject) -> None:
+        if self.guard is None:
+            raise VersionError("this graph has no state guard")
+        self.guard.freeze(version)
+
+    def versions_in_state(self, state: str) -> List[DBObject]:
+        """Classification of versions by state (§6: "means for
+        classification of versions, e.g. according to their degree of
+        correctness")."""
+        if self.guard is None:
+            return []
+        return [
+            member
+            for member in self._members.values()
+            if self.guard.state_of(member) == state
+        ]
+
+    # -- versioned versions ---------------------------------------------------------------
+
+    def subgraph_of(self, version: DBObject, create: bool = False) -> Optional["VersionGraph"]:
+        """The version graph anchored at ``version`` itself.
+
+        §6: generalizing interfaces to abstraction hierarchies yields
+        "versioned versions" — an interface version has implementations,
+        i.e. its own graph.  Subgraphs share this graph's state guard.
+        """
+        if version.surrogate not in self._members:
+            raise VersionError(f"{version!r} is not in the graph")
+        existing = self._subgraphs.get(version.surrogate)
+        if existing is not None or not create:
+            return existing
+        subgraph = VersionGraph(design_object=version, guard=self.guard)
+        self._subgraphs[version.surrogate] = subgraph
+        return subgraph
+
+    def __repr__(self) -> str:
+        return f"<VersionGraph {self.name} versions={len(self._members)}>"

@@ -1,0 +1,140 @@
+"""Design workspaces: checkout / checkin over version graphs.
+
+§6 frames version management as support for *the process of design* —
+designers take a version, work on a private copy, and contribute the
+result back as a new version.  A :class:`Workspace` is that private area:
+
+* :meth:`Workspace.checkout` — clone a graph member into the workspace
+  (the original stays shared and, if released, immutable);
+* :meth:`Workspace.checkin` — register the working copy as a new version
+  derived from its checkout origin.  If the origin gained *other*
+  derivatives in the meantime, the checkin is flagged as a parallel
+  alternative (that is not an error — §6 explicitly supports "the parallel
+  development of alternatives" — but the designer should know);
+* :meth:`Workspace.abandon` — discard a working copy.
+
+Workspaces are per-user bookkeeping; several may exist per database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..composition.baselines import clone_object
+from ..core.objects import DBObject
+from ..core.surrogate import Surrogate
+from ..errors import VersionError
+from .diff import DiffEntry, diff_versions
+from .graph import VersionGraph
+from .states import VersionState
+
+__all__ = ["CheckoutRecord", "CheckinResult", "Workspace"]
+
+
+@dataclass
+class CheckoutRecord:
+    """Bookkeeping for one checked-out working copy."""
+
+    copy: DBObject
+    origin: DBObject
+    graph: VersionGraph
+    #: Derivatives the origin had at checkout time — used to detect
+    #: parallel work at checkin.
+    origin_derivatives_at_checkout: int
+
+
+@dataclass
+class CheckinResult:
+    """Outcome of a checkin."""
+
+    version: DBObject
+    changes: List[DiffEntry]
+    #: True when someone else derived from the origin while this copy was
+    #: out — the new version is a parallel alternative.
+    parallel: bool
+
+
+class Workspace:
+    """A designer's private working area over one database."""
+
+    def __init__(self, database, user: str = ""):
+        self.database = database
+        self.user = user
+        self._checkouts: Dict[Surrogate, CheckoutRecord] = {}
+
+    # -- checkout -----------------------------------------------------------------
+
+    def checkout(self, graph: VersionGraph, version: DBObject) -> DBObject:
+        """Take a private working copy of a graph member."""
+        if version not in graph:
+            raise VersionError(f"{version!r} is not a member of the graph")
+        copy = clone_object(version, database=self.database)
+        self._checkouts[copy.surrogate] = CheckoutRecord(
+            copy=copy,
+            origin=version,
+            graph=graph,
+            origin_derivatives_at_checkout=len(graph.derivatives_of(version)),
+        )
+        return copy
+
+    def record_for(self, copy: DBObject) -> CheckoutRecord:
+        try:
+            return self._checkouts[copy.surrogate]
+        except KeyError:
+            raise VersionError(
+                f"{copy!r} is not checked out in this workspace"
+            ) from None
+
+    def checked_out(self) -> List[DBObject]:
+        """The working copies currently out."""
+        return [record.copy for record in self._checkouts.values()]
+
+    def is_checked_out(self, copy: DBObject) -> bool:
+        return copy.surrogate in self._checkouts
+
+    # -- checkin -------------------------------------------------------------------
+
+    def checkin(
+        self, copy: DBObject, state: str = VersionState.IN_DESIGN
+    ) -> CheckinResult:
+        """Contribute a working copy back as a new version.
+
+        The copy itself becomes the new graph member (derived from the
+        checkout origin) and leaves the workspace.  An unchanged copy is
+        rejected — there is nothing to version.
+        """
+        record = self.record_for(copy)
+        changes = diff_versions(record.origin, copy)
+        if not changes:
+            raise VersionError(
+                f"{copy!r} is unchanged since checkout; abandon it instead"
+            )
+        parallel = (
+            len(record.graph.derivatives_of(record.origin))
+            > record.origin_derivatives_at_checkout
+        )
+        record.graph.derive(record.origin, copy, state=state)
+        del self._checkouts[copy.surrogate]
+        return CheckinResult(version=copy, changes=changes, parallel=parallel)
+
+    def abandon(self, copy: DBObject) -> None:
+        """Discard a working copy (deletes it and its subobjects)."""
+        record = self.record_for(copy)
+        del self._checkouts[copy.surrogate]
+        record.copy.delete()
+
+    def abandon_all(self) -> int:
+        """Discard every working copy; returns how many were dropped."""
+        copies = self.checked_out()
+        for copy in copies:
+            self.abandon(copy)
+        return len(copies)
+
+    def __len__(self) -> int:
+        return len(self._checkouts)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Workspace user={self.user!r} checkouts={len(self._checkouts)}>"
+        )

@@ -1,0 +1,31 @@
+"""Synthetic workload generators for the gate and steel domains."""
+
+from .gates import (
+    gate_database,
+    generate_component_tree,
+    generate_composite,
+    generate_library,
+    make_flipflop,
+    make_implementation,
+    make_interface,
+)
+from .steel import (
+    generate_structure,
+    make_girder_interface,
+    make_plate_interface,
+    steel_database,
+)
+
+__all__ = [
+    "gate_database",
+    "generate_component_tree",
+    "generate_composite",
+    "generate_library",
+    "make_flipflop",
+    "make_implementation",
+    "make_interface",
+    "generate_structure",
+    "make_girder_interface",
+    "make_plate_interface",
+    "steel_database",
+]

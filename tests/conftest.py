@@ -1,0 +1,161 @@
+"""Shared fixtures: the paper's gate schema (§3–§4), built fresh per test.
+
+Types are mutable (``inheritor-in`` declarations attach to them), so every
+test gets its own copies.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core import (
+    BOOLEAN,
+    INTEGER,
+    IO,
+    POINT,
+    EnumDomain,
+    InheritanceRelationshipType,
+    ListOf,
+    MatrixOf,
+    ObjectType,
+    RecordDomain,
+    RelationshipType,
+    SetOf,
+)
+
+
+def build_gate_schema():
+    """The schema of §3 and §4: pins, wires, gates, interfaces."""
+    pin_type = ObjectType(
+        "PinType",
+        attributes={"InOut": IO, "PinLocation": POINT},
+        doc="External or internal connection pin of a gate.",
+    )
+
+    wire_type = RelationshipType(
+        "WireType",
+        relates={"Pin1": pin_type, "Pin2": pin_type},
+        attributes={"Corners": ListOf(POINT)},
+        doc="A wire between two pins, with its routing geometry.",
+    )
+
+    elementary_gate = ObjectType(
+        "ElementaryGate",
+        attributes={
+            "Length": INTEGER,
+            "Width": INTEGER,
+            "Function": EnumDomain("GateFunction", ["AND", "OR", "NOR", "NAND"]),
+            "GatePosition": POINT,
+        },
+        subclasses={"Pins": pin_type},
+        constraints=[
+            "count (Pins) = 2 where Pins.InOut = IN",
+            "count (Pins) = 1 where Pins.InOut = OUT",
+        ],
+        doc="A basic AND/OR/NAND/NOR gate with pins as subobjects.",
+    )
+
+    gate = ObjectType(
+        "Gate",
+        attributes={
+            "Length": INTEGER,
+            "Width": INTEGER,
+            "Function": MatrixOf(BOOLEAN),
+        },
+        subclasses={"Pins": pin_type, "SubGates": elementary_gate},
+        subrels={
+            "Wires": (
+                wire_type,
+                "(Wire.Pin1 in Pins or Wire.Pin1 in SubGates.Pins) and "
+                "(Wire.Pin2 in Pins or Wire.Pin2 in SubGates.Pins)",
+            )
+        },
+        doc="Figure 1: gates constructed from elementary gates and wires.",
+    )
+
+    gate_interface = ObjectType(
+        "GateInterface",
+        attributes={"Length": INTEGER, "Width": INTEGER},
+        subclasses={"Pins": pin_type},
+        doc="§4.2: the external image of a gate.",
+    )
+
+    all_of_gate_interface = InheritanceRelationshipType(
+        "AllOf_GateInterface",
+        transmitter_type=gate_interface,
+        inheriting=["Length", "Width", "Pins"],
+        doc="Enables objects to inherit all data of GateInterface objects.",
+    )
+
+    gate_implementation = ObjectType(
+        "GateImplementation",
+        attributes={"Function": MatrixOf(BOOLEAN)},
+        subclasses={"SubGates": elementary_gate},
+        subrels={
+            "Wires": (
+                wire_type,
+                "(Wire.Pin1 in Pins or Wire.Pin1 in SubGates.Pins) and "
+                "(Wire.Pin2 in Pins or Wire.Pin2 in SubGates.Pins)",
+            )
+        },
+        doc="§4.2: a realization of a gate interface.",
+    )
+    gate_implementation.declare_inheritor_in(all_of_gate_interface)
+
+    return SimpleNamespace(
+        pin_type=pin_type,
+        wire_type=wire_type,
+        elementary_gate=elementary_gate,
+        gate=gate,
+        gate_interface=gate_interface,
+        all_of_gate_interface=all_of_gate_interface,
+        gate_implementation=gate_implementation,
+    )
+
+
+@pytest.fixture
+def gates():
+    return build_gate_schema()
+
+
+def build_gate_database(name="gates", record_events=False):
+    """A Database whose catalog holds the gate schema, with stock classes."""
+    from repro.engine import Database
+
+    db = Database(name, record_events=record_events)
+    schema = build_gate_schema()
+    for type_ in (
+        schema.pin_type,
+        schema.wire_type,
+        schema.elementary_gate,
+        schema.gate,
+        schema.gate_interface,
+        schema.all_of_gate_interface,
+        schema.gate_implementation,
+    ):
+        db.catalog.register(type_)
+    db.create_class("Interfaces", schema.gate_interface)
+    db.create_class("Implementations", schema.gate_implementation)
+    db.create_class("Gates", schema.gate)
+    db.schema = schema
+    return db
+
+
+@pytest.fixture
+def gate_db():
+    return build_gate_database(record_events=True)
+
+
+def add_pins(owner, n_in=2, n_out=1, x0=0):
+    """Populate an object's Pins subclass with n_in inputs and n_out outputs."""
+    pins = []
+    container = owner.subclass("Pins")
+    for i in range(n_in):
+        pins.append(
+            container.create(InOut="IN", PinLocation={"X": x0, "Y": i})
+        )
+    for i in range(n_out):
+        pins.append(
+            container.create(InOut="OUT", PinLocation={"X": x0 + 10, "Y": i})
+        )
+    return pins

@@ -1,0 +1,93 @@
+"""E1 — Figure 1: the complex object type Gate and the "Flip-Flop" object.
+
+A Gate owns external Pins, SubGates (ElementaryGates, themselves complex),
+and a local relationship subclass Wires that may relate pins across nesting
+levels.  Subobjects are deleted with the complex object.
+"""
+
+import pytest
+
+from repro.engine.query import root_of, walk_tree
+from repro.errors import ConstraintViolation
+from repro.workloads import gate_database, make_flipflop
+
+
+@pytest.fixture
+def db():
+    return gate_database("fig1")
+
+
+@pytest.fixture
+def flipflop(db):
+    ff, subgates = make_flipflop(db)
+    return ff, subgates
+
+
+class TestFlipFlopStructure:
+    def test_external_pins(self, flipflop):
+        ff, _ = flipflop
+        pins = ff.subclass("Pins").members()
+        assert len(pins) == 4
+        assert sum(1 for p in pins if p["InOut"] == "IN") == 2
+        assert sum(1 for p in pins if p["InOut"] == "OUT") == 2
+
+    def test_two_nand_subgates(self, flipflop):
+        ff, subgates = flipflop
+        assert len(ff["SubGates"]) == 2
+        assert all(g["Function"] == "NAND" for g in subgates)
+
+    def test_subgate_constraints_hold(self, flipflop):
+        ff, subgates = flipflop
+        for gate in subgates:
+            gate.check_constraints()  # 2 IN + 1 OUT (paper constraint)
+
+    def test_wires_cross_nesting_levels(self, flipflop):
+        ff, subgates = flipflop
+        wires = ff.subrel("Wires").members()
+        assert len(wires) == 6
+        ext_pins = set(p.surrogate for p in ff.subclass("Pins"))
+        crossing = [
+            w
+            for w in wires
+            if (w["Pin1"].surrogate in ext_pins)
+            != (w["Pin2"].surrogate in ext_pins)
+        ]
+        assert len(crossing) == 4  # S, R, Q, Q̄ each cross the boundary
+
+    def test_cross_coupling_between_subgates(self, flipflop):
+        ff, subgates = flipflop
+        top = {p.surrogate for p in subgates[0].subclass("Pins")}
+        bottom = {p.surrogate for p in subgates[1].subclass("Pins")}
+        coupling = [
+            w
+            for w in ff.subrel("Wires")
+            if (w["Pin1"].surrogate in top and w["Pin2"].surrogate in bottom)
+            or (w["Pin1"].surrogate in bottom and w["Pin2"].surrogate in top)
+        ]
+        assert len(coupling) == 2
+
+    def test_wiring_restriction_enforced(self, db, flipflop):
+        ff, _ = flipflop
+        alien = db.create_object("PinType", InOut="IN")
+        some_pin = ff.subclass("Pins").members()[0]
+        with pytest.raises(ConstraintViolation):
+            ff.subrel("Wires").create({"Pin1": some_pin, "Pin2": alien})
+
+    def test_nesting_navigation(self, flipflop):
+        ff, subgates = flipflop
+        inner_pin = subgates[0].subclass("Pins").members()[0]
+        assert root_of(inner_pin) is ff
+        nodes = list(walk_tree(ff))
+        # ff + 4 pins + 2 subgates * (1 + 3 pins) = 13
+        assert len(nodes) == 13
+
+    def test_deep_constraint_check(self, flipflop):
+        ff, _ = flipflop
+        ff.check_constraints(deep=True)
+
+    def test_cascade_delete(self, db, flipflop):
+        ff, subgates = flipflop
+        all_objects = list(walk_tree(ff, include_relationships=True))
+        ff.delete()
+        assert all(obj.deleted for obj in all_objects)
+        assert db.get(subgates[0].surrogate) is None

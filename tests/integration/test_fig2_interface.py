@@ -1,0 +1,82 @@
+"""E2 — Figure 2: GateInterface ↔ GateImplementation.
+
+The relationship between an interface and its implementations is one
+inheritance relationship: implementations inherit Length/Width/Pins *by
+value*, the inherited data is read-only in the implementation, and
+interface updates are transmitted to all implementations immediately.
+"""
+
+import pytest
+
+from repro.consistency import AdaptationTracker
+from repro.errors import InheritanceError
+from repro.workloads import gate_database, make_implementation, make_interface
+
+
+@pytest.fixture
+def db():
+    return gate_database("fig2")
+
+
+class TestFigure2:
+    def test_implementations_share_interface_image(self, db):
+        iface = make_interface(db, length=40, width=20, n_in=2)
+        impls = [make_implementation(db, iface) for _ in range(4)]
+        for impl in impls:
+            assert impl["Length"] == 40 and impl["Width"] == 20
+            assert {p.surrogate for p in impl["Pins"]} == {
+                p.surrogate for p in iface["Pins"]
+            }
+
+    def test_identity_of_values_enforced(self, db):
+        # "the interface data must not be updated within a single
+        # implementation in order to safeguard that all implementations
+        # have the same interface"
+        iface = make_interface(db)
+        impl = make_implementation(db, iface)
+        with pytest.raises(InheritanceError):
+            impl.set_attribute("Length", 1)
+        with pytest.raises(InheritanceError):
+            impl.subclass("Pins").create(InOut="IN")
+
+    def test_interface_update_transmitted_to_all(self, db):
+        iface = make_interface(db, length=40)
+        impls = [make_implementation(db, iface) for _ in range(8)]
+        iface.set_attribute("Length", 41)
+        new_pin = iface.subclass("Pins").create(InOut="IN")
+        for impl in impls:
+            assert impl["Length"] == 41
+            assert any(p.surrogate == new_pin.surrogate for p in impl["Pins"])
+
+    def test_implementations_differ_in_own_data(self, db):
+        iface = make_interface(db)
+        fast = make_implementation(db, iface, time_behavior=1)
+        slow = make_implementation(db, iface, time_behavior=9)
+        assert fast["TimeBehavior"] == 1 and slow["TimeBehavior"] == 9
+
+    def test_adaptation_notice_per_implementation(self, db):
+        tracker = AdaptationTracker(db)
+        iface = make_interface(db)
+        impls = [make_implementation(db, iface) for _ in range(3)]
+        iface.set_attribute("Width", 99)
+        flagged = tracker.inheritors_needing_adaptation()
+        assert {o.surrogate for o in flagged} == {i.surrogate for i in impls}
+
+    def test_someof_gate_exposes_time_behavior(self, db):
+        # §4.2: a composite needing TimeBehavior binds to the
+        # implementation through SomeOf_Gate instead of the interface.
+        iface = make_interface(db)
+        impl = make_implementation(db, iface, time_behavior=7)
+        someof = db.catalog.inheritance_type("SomeOf_Gate")
+        from repro.core import ObjectType, bind, new_object
+
+        slot_type = ObjectType("TimingSlot")
+        slot_type.declare_inheritor_in(someof)
+        slot = new_object(slot_type, database=db)
+        bind(slot, impl, someof)
+        assert slot["TimeBehavior"] == 7
+        assert slot["Length"] == impl["Length"]  # passed through the impl
+        from repro.errors import UnknownAttributeError
+
+        with pytest.raises(UnknownAttributeError):
+            slot.get_member("Function")  # not permeable

@@ -1,0 +1,100 @@
+"""E4 — Figure 4: GateInterface in the roles of interface *and* component
+of GateImplementation, with wiring across the composite.
+
+Builds the figure's situation completely: a composite NAND-based gate whose
+SubGates inherit from component interfaces, placed via GateLocation, wired
+through the Wire subrel whose restriction spans inherited pins.
+"""
+
+import pytest
+
+from repro.composition import (
+    components_of,
+    configuration,
+    expand,
+    visible_image,
+    where_used,
+)
+from repro.errors import ConstraintViolation
+from repro.workloads import (
+    gate_database,
+    generate_component_tree,
+    make_implementation,
+    make_interface,
+)
+
+
+@pytest.fixture
+def db():
+    return gate_database("fig4")
+
+
+def build_figure4(db):
+    """An implementation with its own interface and two NAND components,
+    wired: external IN -> component1 IN, component1 OUT -> component2 IN,
+    component2 OUT -> external OUT."""
+    own_if = make_interface(db, length=40, width=20, n_in=1, n_out=1)
+    impl = make_implementation(db, own_if)
+    nand_if = make_interface(db, length=10, width=5, n_in=2, n_out=1)
+    slots = [
+        impl.subclass("SubGates").create(
+            transmitter=nand_if, GateLocation={"X": 10 * i, "Y": 0}
+        )
+        for i in range(2)
+    ]
+
+    def pins(obj, direction):
+        return [p for p in obj.get_member("Pins") if p["InOut"] == direction]
+
+    wires = impl.subrel("Wire")
+    wires.create({"Pin1": pins(own_if, "IN")[0], "Pin2": pins(slots[0], "IN")[0]})
+    wires.create({"Pin1": pins(slots[0], "OUT")[0], "Pin2": pins(slots[1], "IN")[0]})
+    wires.create({"Pin1": pins(slots[1], "OUT")[0], "Pin2": pins(own_if, "OUT")[0]})
+    return impl, own_if, nand_if, slots
+
+
+class TestFigure4:
+    def test_shared_component_interface(self, db):
+        impl, own_if, nand_if, slots = build_figure4(db)
+        # Both slots inherit from the same interface object; pins are the
+        # interface's pins, seen through both slots.
+        assert slots[0]["Pins"] == slots[1]["Pins"]
+        assert components_of(impl) == [(slots[0], nand_if), (slots[1], nand_if)]
+        assert where_used(nand_if) == [impl]
+
+    def test_wires_respect_restriction_over_inherited_pins(self, db):
+        impl, own_if, nand_if, slots = build_figure4(db)
+        assert len(impl.subrel("Wire")) == 3
+        alien_if = make_interface(db)
+        alien_pin = alien_if.subclass("Pins").members()[0]
+        own_pin = own_if.subclass("Pins").members()[0]
+        with pytest.raises(ConstraintViolation):
+            impl.subrel("Wire").create({"Pin1": own_pin, "Pin2": alien_pin})
+
+    def test_visible_image_of_slot(self, db):
+        impl, own_if, nand_if, slots = build_figure4(db)
+        image = visible_image(slots[0])
+        assert image["Length"] == 10  # from the component interface
+        assert image["GateLocation"].X == 0  # own placement
+        assert len(image["Pins"]) == 3
+
+    def test_expansion_materialises_both_roles(self, db):
+        impl, own_if, nand_if, slots = build_figure4(db)
+        expansion = expand(impl)
+        assert own_if in expansion  # interface role
+        assert nand_if in expansion  # component role
+        assert all(slot in expansion for slot in slots)
+
+    def test_configuration_tree(self, db):
+        impl, own_if, nand_if, slots = build_figure4(db)
+        tree = configuration(impl)
+        assert len(tree.children) == 2
+        assert all(child.component is nand_if for child in tree.children)
+
+    def test_deep_component_tree(self, db):
+        top, created = generate_component_tree(db, depth=3, fanout=2)
+        # 1 + 2 + 4 + 8 = 15 implementations in the tree.
+        assert created == 15
+        tree = configuration(top)
+        assert tree.size() == 15
+        assert len(tree.leaves()) == 8

@@ -1,0 +1,100 @@
+"""E5 — Figure 5 / §5: weight-carrying structures from plates and girders.
+
+The full steel-construction scenario: interfaces, value-inheriting
+component subclasses, the attributed ScrewingType relationship with its
+bolt/nut subobjects and quantified constraints, and the structure-level
+where restriction.
+"""
+
+import pytest
+
+from repro.errors import ConstraintViolation
+from repro.workloads import generate_structure, steel_database
+
+
+@pytest.fixture
+def db():
+    return steel_database("fig5")
+
+
+class TestFigure5:
+    def test_generated_structure_is_consistent(self, db):
+        structure, screwings = generate_structure(db, 3, 3, 4)
+        structure.check_constraints(deep=True)
+        for screwing in screwings:
+            screwing.check_constraints()
+
+    def test_component_values_inherited(self, db):
+        structure, _ = generate_structure(db, 2, 2, 2)
+        for slot in structure.subclass("Girders"):
+            interface = slot.inheritance_links[0].transmitter
+            assert slot["Length"] == interface["Length"]
+            assert len(slot["Bores"]) == len(interface["Bores"])
+        for slot in structure.subclass("Plates"):
+            interface = slot.inheritance_links[0].transmitter
+            assert slot["Thickness"] == interface["Thickness"]
+
+    def test_screwing_hides_bolt_and_nut(self, db):
+        # "bolds and nuts are hidden in the relationship ScrewingType"
+        structure, screwings = generate_structure(db, 1, 1, 1)
+        screwing = screwings[0]
+        assert len(screwing.subclass("Bolt")) == 1
+        assert len(screwing.subclass("Nut")) == 1
+        bolt_slot = screwing.subclass("Bolt").members()[0]
+        bolt = bolt_slot.inheritance_links[0].transmitter
+        assert bolt_slot["Diameter"] == bolt["Diameter"]
+
+    def test_screwing_constraints_detect_short_bolt(self, db):
+        structure, screwings = generate_structure(db, 1, 1, 1)
+        screwing = screwings[0]
+        bolt = screwing.subclass("Bolt").members()[0].inheritance_links[0].transmitter
+        bolt.set_attribute("Length", 1)
+        with pytest.raises(ConstraintViolation):
+            screwing.check_constraints()
+
+    def test_screwing_constraints_detect_wide_bolt(self, db):
+        structure, screwings = generate_structure(db, 1, 1, 1)
+        screwing = screwings[0]
+        bolt = screwing.subclass("Bolt").members()[0].inheritance_links[0].transmitter
+        nut = screwing.subclass("Nut").members()[0].inheritance_links[0].transmitter
+        bolt.set_attribute("Diameter", 50)
+        nut.set_attribute("Diameter", 50)  # keep s.D = n.D satisfied
+        with pytest.raises(ConstraintViolation):
+            screwing.check_constraints()  # bolt wider than the bores
+
+    def test_exactly_one_bolt_and_nut_required(self, db):
+        structure, screwings = generate_structure(db, 1, 1, 1)
+        screwing = screwings[0]
+        spare = db.create_object("BoltType", Length=100, Diameter=1)
+        screwing.subclass("Bolt").create(transmitter=spare)
+        with pytest.raises(ConstraintViolation):
+            screwing.check_constraints()  # #s in Bolt = 1 violated
+
+    def test_structure_where_restriction(self, db):
+        structure, _ = generate_structure(db, 1, 1, 1)
+        foreign_bore = db.create_object("BoreType", Diameter=12, Length=5)
+        with pytest.raises(ConstraintViolation):
+            structure.subrel("Screwings").create(
+                {"Bores": [foreign_bore]}, Strength=1
+            )
+
+    def test_bolt_update_propagates_to_screwing(self, db):
+        structure, screwings = generate_structure(db, 1, 1, 1)
+        screwing = screwings[0]
+        bolt_slot = screwing.subclass("Bolt").members()[0]
+        bolt = bolt_slot.inheritance_links[0].transmitter
+        nut = screwing.subclass("Nut").members()[0].inheritance_links[0].transmitter
+        bolt.set_attribute("Diameter", 9)
+        assert bolt_slot["Diameter"] == 9
+        nut.set_attribute("Diameter", 9)
+        # Shrinking both below the bores keeps everything consistent if
+        # the bolt length formula still holds.
+        bore_sum = sum(b["Length"] for b in screwing["Bores"])
+        bolt.set_attribute("Length", nut["Length"] + bore_sum)
+        screwing.check_constraints()
+
+    def test_scaling_structure(self, db):
+        structure, screwings = generate_structure(db, 5, 5, 10)
+        assert len(structure["Girders"]) == 5
+        assert len(structure["Screwings"]) == 10
+        structure.check_constraints(deep=True)

@@ -1,0 +1,187 @@
+"""The whole paper in one narrative: §2 → §6 in order.
+
+Each test method corresponds to one section's central claim, executed on a
+single shared database so the sections build on each other the way the
+paper's exposition does.
+"""
+
+import pytest
+
+from repro.composition import (
+    add_component,
+    copy_component,
+    expand,
+    stale_members,
+    where_used,
+)
+from repro.consistency import AdaptationTracker, change_impact
+from repro.core import INTEGER, ObjectType
+from repro.errors import (
+    ConstraintViolation,
+    InheritanceError,
+    LockConflictError,
+    VersionError,
+)
+from repro.txn import AccessControlManager, LockMode, TransactionManager
+from repro.versions import (
+    DefaultSelection,
+    GenericRelationship,
+    QuerySelection,
+    StateGuard,
+    VersionGraph,
+    Workspace,
+    derive_version,
+)
+from repro.workloads import (
+    gate_database,
+    make_flipflop,
+    make_implementation,
+    make_interface,
+)
+
+
+@pytest.fixture(scope="class")
+def world():
+    """One database shared through the walkthrough."""
+
+    class World:
+        db = gate_database("walkthrough")
+        guard = StateGuard(db)
+        tracker = AdaptationTracker(db)
+
+    return World
+
+
+@pytest.mark.usefixtures("world")
+class TestPaperWalkthrough:
+    def test_s2_copy_goes_stale_inheritance_does_not(self, world):
+        """§2: the two problems of copy composition, and the fix."""
+        db = world.db
+        component = make_interface(db, length=10)
+        slot_type = ObjectType("W.CopySlot", attributes={"N": INTEGER},
+                               subclasses={"Pins": db.catalog.object_type("PinType")})
+        holder_type = ObjectType("W.Holder", subclasses={"Slots": slot_type})
+        holder = db.create_object(holder_type)
+        copy = copy_component(holder, "Slots", component)
+
+        composite = make_implementation(db, make_interface(db))
+        linked = add_component(composite, "SubGates", component,
+                               GateLocation=(0, 0))
+        component.set_attribute("Length", 11)
+        assert stale_members(copy, component) == ["Length"]  # problem 1
+        assert linked["Length"] == 11                        # solved
+
+    def test_s3_complex_objects(self, world):
+        """§3: the flip-flop with constraints and local relationships."""
+        ff, subgates = make_flipflop(world.db)
+        ff.check_constraints(deep=True)
+        assert len(ff["Wires"]) == 6
+        alien = world.db.create_object("PinType", InOut="IN")
+        with pytest.raises(ConstraintViolation):
+            ff.subrel("Wires").create(
+                {"Pin1": ff["Pins"][0], "Pin2": alien}
+            )
+        world.ff = ff
+
+    def test_s41_inheritance_relationship(self, world):
+        """§4.1: values flow, inherited data is read-only."""
+        db = world.db
+        world.nand_if = make_interface(db, length=10)
+        world.nand_v1 = make_implementation(db, world.nand_if)
+        assert world.nand_v1["Length"] == 10
+        with pytest.raises(InheritanceError):
+            world.nand_v1.set_attribute("Length", 1)
+        world.nand_if.set_attribute("Length", 12)
+        assert world.nand_v1["Length"] == 12
+
+    def test_s42_interfaces_and_composites(self, world):
+        """§4.2: hierarchy + the same mechanism for components."""
+        db = world.db
+        top = db.create_object("GateInterface_I")
+        top.subclass("Pins").create(InOut="IN")
+        iface = db.create_object("GateInterface", transmitter=top,
+                                 Length=5, Width=5)
+        impl = db.create_object("GateImplementation", transmitter=iface)
+        assert len(impl["Pins"]) == 1  # two levels of value flow
+
+        composite = make_implementation(db, make_interface(db, length=50))
+        slot = add_component(composite, "SubGates", world.nand_if,
+                             GateLocation=(1, 2))
+        assert slot["Length"] == world.nand_if["Length"]
+        assert composite in where_used(world.nand_if)
+        world.composite, world.slot = composite, slot
+
+    def test_s42_adaptation_and_impact(self, world):
+        """§4.1/§4.2: change notification on the relationship."""
+        report = change_impact(world.nand_if, "Length")
+        assert any(
+            obj.surrogate == world.slot.surrogate for obj, _ in report.affected
+        )
+        world.tracker.clear()
+        world.nand_if.set_attribute("Width", 9)
+        assert world.tracker.needs_adaptation(world.slot)
+        world.tracker.acknowledge(world.slot)
+
+    def test_s5_steel_analogue(self, world):
+        """§5's lesson generalises: attributed relationships carry
+        assembly semantics (checked via the gate schema's Wire here;
+        the full steel scenario runs in test_fig5_steel.py)."""
+        wires = world.ff.subrel("Wires")
+        assert all(w.rel_type.name == "WireType" for w in wires)
+
+    def test_s6_versions(self, world):
+        """§6: graphs, states, workspaces, generic selection."""
+        db, guard = world.db, world.guard
+        graph = VersionGraph(design_object=world.nand_if, guard=guard)
+        graph.add_version(world.nand_if)
+        graph.release(world.nand_if)
+        with pytest.raises(VersionError):
+            world.nand_if.set_attribute("Length", 1)
+
+        workspace = Workspace(db, user="alice")
+        working = workspace.checkout(graph, world.nand_if)
+        working.set_attribute("Length", 8)
+        result = workspace.checkin(working)
+        assert graph.base_of(result.version) is world.nand_if
+
+        slot = db.create_object("GateImplementation")
+        rel = db.catalog.inheritance_type("AllOf_GateInterface")
+        generic = GenericRelationship(slot, rel, graph)
+        link = generic.resolve(QuerySelection("Length = 8"))
+        assert link.transmitter is result.version
+        graph.set_default(result.version)
+        other = db.create_object("GateImplementation")
+        GenericRelationship(other, rel, graph).resolve(DefaultSelection())
+        world.graph = graph
+
+    def test_s6_transactions(self, world):
+        """§6: lock inheritance, expansion locking, access capping."""
+        db = world.db
+        access = AccessControlManager()
+        tm = TransactionManager(db, access=access)
+
+        reader = tm.begin(user="alice")
+        reader.read(world.slot)  # read-locks the nand interface's image
+        writer = tm.begin(user="bob")
+        with pytest.raises(LockConflictError):
+            writer.write(world.nand_if, {"Length"})
+        reader.commit()
+        writer.abort()
+
+        # Now the interface becomes a protected standard part (§6).
+        access.protect_standard_object(world.nand_if)
+        sweeper = tm.begin(user="alice")
+        sweeper.lock_expansion(world.composite, mode=LockMode.X)
+        modes = {
+            e.mode for e in tm.lock_table.holders(world.nand_if.surrogate)
+        }
+        assert modes == {LockMode.S}  # capped: the standard part stays readable
+        sweeper.commit()
+
+    def test_world_is_structurally_sound(self, world):
+        """Epilogue: the whole walkthrough left a consistent database."""
+        from repro.engine.integrity import assert_integrity
+
+        assert_integrity(world.db)
+        expansion = expand(world.composite)
+        assert world.nand_if in expansion

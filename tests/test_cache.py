@@ -1,0 +1,142 @@
+"""Tests for the materialising inherited-value cache (repro.composition.cache)."""
+
+import pytest
+
+from repro.composition import add_component
+from repro.composition.cache import InheritedValueCache
+from repro.workloads import gate_database, make_implementation, make_interface
+
+
+@pytest.fixture
+def db():
+    return gate_database("cache")
+
+
+@pytest.fixture
+def cache(db):
+    return InheritedValueCache(db)
+
+
+def make_pair(db):
+    iface = make_interface(db, length=10)
+    impl = make_implementation(db, iface)
+    return iface, impl
+
+
+class TestCacheCorrectness:
+    def test_cached_value_matches_direct_resolution(self, db, cache):
+        iface, impl = make_pair(db)
+        assert cache.get(impl, "Length") == impl.get_member("Length") == 10
+
+    def test_hit_after_miss(self, db, cache):
+        iface, impl = make_pair(db)
+        cache.get(impl, "Length")
+        before_hits = cache.hits
+        cache.get(impl, "Length")
+        assert cache.hits == before_hits + 1
+
+    def test_local_members_bypass_cache(self, db, cache):
+        iface, impl = make_pair(db)
+        cache.get(impl, "TimeBehavior")
+        assert len(cache) == 0
+
+    def test_invalidation_on_transmitter_update(self, db, cache):
+        iface, impl = make_pair(db)
+        assert cache.get(impl, "Length") == 10
+        iface.set_attribute("Length", 42)
+        assert cache.get(impl, "Length") == 42
+
+    def test_invalidation_is_member_precise(self, db, cache):
+        iface, impl = make_pair(db)
+        cache.get(impl, "Length")
+        cache.get(impl, "Width")
+        before = cache.invalidations
+        iface.set_attribute("Length", 99)
+        assert cache.invalidations == before + 1  # only Length dropped
+        assert cache.get(impl, "Width") == iface["Width"]
+
+    def test_invalidation_on_subclass_change(self, db, cache):
+        iface, impl = make_pair(db)
+        assert len(cache.get(impl, "Pins")) == 3
+        iface.subclass("Pins").create(InOut="IN")
+        assert len(cache.get(impl, "Pins")) == 4
+
+    def test_transitive_invalidation_down_a_chain(self, db, cache):
+        top = db.create_object("GateInterface_I")
+        top.subclass("Pins").create(InOut="IN")
+        iface = db.create_object("GateInterface", transmitter=top, Length=1, Width=1)
+        impl = db.create_object("GateImplementation", transmitter=iface)
+        assert len(cache.get(impl, "Pins")) == 1
+        assert len(cache.get(iface, "Pins")) == 1
+        top.subclass("Pins").create(InOut="OUT")
+        assert len(cache.get(iface, "Pins")) == 2
+        assert len(cache.get(impl, "Pins")) == 2
+
+    def test_unbind_invalidates(self, db, cache):
+        iface, impl = make_pair(db)
+        cache.get(impl, "Length")
+        impl.inheritance_links[0].unbind()
+        assert cache.get(impl, "Length") is None  # unbound: structure only
+
+    def test_rebind_invalidates(self, db, cache):
+        from repro.composition import rebind
+
+        iface, impl = make_pair(db)
+        other = make_interface(db, length=77)
+        cache.get(impl, "Length")
+        rebind(impl, other)
+        assert cache.get(impl, "Length") == 77
+
+    def test_deleted_objects_dropped(self, db, cache):
+        iface, impl = make_pair(db)
+        cache.get(impl, "Length")
+        impl.delete()
+        assert len(cache) == 0
+
+    def test_component_slot_caching(self, db, cache):
+        iface, impl = make_pair(db)
+        component_if = make_interface(db, length=5)
+        slot = add_component(impl, "SubGates", component_if, GateLocation=(0, 0))
+        assert cache.get(slot, "Length") == 5
+        component_if.set_attribute("Length", 6)
+        assert cache.get(slot, "Length") == 6
+
+    def test_detach_freezes_cache(self, db, cache):
+        iface, impl = make_pair(db)
+        cache.get(impl, "Length")
+        cache.detach()
+        iface.set_attribute("Length", 1000)
+        # Stale by design after detach — demonstrates why invalidation
+        # subscriptions are load-bearing.
+        assert cache.get(impl, "Length") == 10
+
+    def test_clear(self, db, cache):
+        iface, impl = make_pair(db)
+        cache.get(impl, "Length")
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestCacheUnderRandomUpdates:
+    def test_cache_always_agrees_with_delegation(self, db, cache):
+        import random
+
+        rng = random.Random(3)
+        interfaces = [make_interface(db, length=i) for i in range(3)]
+        impls = [
+            make_implementation(db, rng.choice(interfaces)) for _ in range(6)
+        ]
+        members = ["Length", "Width"]
+        for step in range(200):
+            action = rng.randrange(3)
+            if action == 0:
+                iface = rng.choice(interfaces)
+                iface.set_attribute(rng.choice(members), rng.randrange(1000))
+            elif action == 1:
+                impl = rng.choice(impls)
+                member = rng.choice(members)
+                assert cache.get(impl, member) == impl.get_member(member)
+            else:
+                iface = rng.choice(interfaces)
+                member = rng.choice(members)
+                assert cache.get(iface, member) == iface.get_member(member)

@@ -1,0 +1,150 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.ddl.paper import GATE_SCHEMA
+from repro.engine import save
+from tests.conftest import build_gate_database
+
+
+@pytest.fixture
+def schema_file(tmp_path):
+    path = tmp_path / "gates.ddl"
+    path.write_text(GATE_SCHEMA)
+    return str(path)
+
+
+@pytest.fixture
+def image_file(tmp_path):
+    db = build_gate_database("persist")
+    iface = db.create_object("GateInterface", class_name="Interfaces", Length=10, Width=5)
+    iface.subclass("Pins").create(InOut="IN")
+    db.create_object("GateImplementation", transmitter=iface)
+    path = tmp_path / "image.json"
+    save(db, str(path))
+    return str(path)
+
+
+@pytest.fixture
+def paper_image_file(tmp_path, schema_file):
+    """An image whose schema is the paper's gate DDL itself."""
+    from repro.ddl import load_schema
+    from repro.engine import Database, save as save_db
+
+    db = Database("cli")
+    load_schema(GATE_SCHEMA, db.catalog)
+    iface = db.create_object("GateInterface", Length=10, Width=5)
+    iface.subclass("Pins").create(InOut="IN")
+    db.create_object("GateImplementation", transmitter=iface)
+    path = tmp_path / "paper-image.json"
+    save_db(db, str(path))
+    return str(path)
+
+
+class TestSchemaCommand:
+    def test_pretty_print(self, schema_file, capsys):
+        assert main(["schema", schema_file]) == 0
+        out = capsys.readouterr().out
+        assert "obj-type GateImplementation =" in out
+        assert "inher-rel-type AllOf_GateInterface =" in out
+
+    def test_notes_on_stderr(self, schema_file, capsys):
+        main(["schema", schema_file])
+        err = capsys.readouterr().err
+        assert "note:" in err  # the paper's quirks are reported
+
+    def test_missing_file(self, capsys):
+        assert main(["schema", "/does/not/exist.ddl"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_schema(self, tmp_path, capsys):
+        path = tmp_path / "bad.ddl"
+        path.write_text("this is not ddl")
+        assert main(["schema", str(path)]) == 1
+
+
+class TestCheckCommand:
+    def test_schema_only(self, schema_file, capsys):
+        assert main(["check", schema_file]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_schema_with_image(self, schema_file, paper_image_file, capsys):
+        assert main(["check", schema_file, paper_image_file]) == 0
+        out = capsys.readouterr().out
+        assert "loaded" in out and "OK" in out
+
+    def test_constraint_violation_detected(self, tmp_path, capsys):
+        from repro.ddl import load_schema
+        from repro.engine import Database, save as save_db
+
+        schema_path = tmp_path / "g.ddl"
+        schema_path.write_text(GATE_SCHEMA)
+        db = Database("cli")
+        load_schema(GATE_SCHEMA, db.catalog)
+        bad = db.create_object("ElementaryGate", Function="AND")
+        bad.subclass("Pins").create(InOut="IN")  # needs 2 IN + 1 OUT
+        image_path = tmp_path / "bad.json"
+        save_db(db, str(image_path))
+        assert main(["check", str(schema_path), str(image_path)]) == 2
+        assert "constraint:" in capsys.readouterr().err
+
+
+class TestStatsCommand:
+    def test_stats_output(self, schema_file, paper_image_file, capsys):
+        assert main(["stats", schema_file, paper_image_file]) == 0
+        out = capsys.readouterr().out
+        # iface + pin + implementation + the inheritance link object.
+        assert "objects: 4" in out
+        assert "GateInterface: 1" in out
+        assert "AllOf_GateInterface: 1" in out
+
+
+class TestQueryCommand:
+    def test_query_rows(self, schema_file, paper_image_file, capsys):
+        assert main([
+            "query", schema_file, paper_image_file,
+            "select Length, Width from GateInterface where Length = 10",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Length | Width" in out
+        assert "10 | 5" in out
+        # Two rows: the implementation is a subtype of GateInterface and
+        # inherits the same values — type queries include subtypes.
+        assert "(2 row(s))" in out
+
+    def test_query_error(self, schema_file, paper_image_file, capsys):
+        assert main(["query", schema_file, paper_image_file, "selekt"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestDocsCommand:
+    def test_docs_markdown(self, schema_file, capsys):
+        assert main(["docs", schema_file, "--title", "Gates"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# Gates")
+        assert "## Inheritance relationships" in out
+
+
+class TestPaperCommand:
+    def test_gate_normalised(self, capsys):
+        assert main(["paper", "gate"]) == 0
+        assert "obj-type Gate =" in capsys.readouterr().out
+
+    def test_steel_raw(self, capsys):
+        assert main(["paper", "steel", "--raw"]) == 0
+        assert "WeightCarrying_Structure" in capsys.readouterr().out
+
+    def test_module_entry_point(self, schema_file):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "schema", schema_file],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0
+        assert "obj-type" in result.stdout

@@ -1,0 +1,307 @@
+"""Tests for the DDL builder and the paper's full schemas (repro.ddl)."""
+
+import pytest
+
+from repro.core.domains import EnumDomain, SetOf
+from repro.core.inheritance import InheritanceRelationshipType
+from repro.ddl import load_schema
+from repro.ddl.paper import (
+    GATE_SCHEMA,
+    STEEL_SCHEMA,
+    load_gate_schema,
+    load_steel_schema,
+)
+from repro.engine import Database
+from repro.errors import (
+    ConstraintViolation,
+    DDLSyntaxError,
+    UnknownTypeError,
+)
+
+
+class TestBuilderBasics:
+    def test_domain_registration(self):
+        catalog = load_schema("domain Material = (wood, metal);")
+        assert catalog.domain("Material").validate("wood") == "wood"
+
+    def test_inline_enum_attribute_domain(self):
+        catalog = load_schema(
+            "obj-type T = attributes: F: (AND, OR); end T;"
+        )
+        domain = catalog.object_type("T").attributes["F"].domain
+        assert isinstance(domain, EnumDomain)
+        assert domain.labels == ("AND", "OR")
+
+    def test_set_of_record_attribute(self):
+        catalog = load_schema(
+            "domain I2 = (IN, OUT);"
+            "obj-type T = attributes: Pins: set-of (PinId: integer; InOut: I2;); end T;"
+        )
+        domain = catalog.object_type("T").attributes["Pins"].domain
+        assert isinstance(domain, SetOf)
+        value = domain.validate([{"PinId": 1, "InOut": "IN"}])
+        assert len(value) == 1
+
+    def test_unknown_type_reference(self):
+        with pytest.raises(UnknownTypeError):
+            load_schema("obj-type T = types-of-subclasses: X: Nowhere; end T;")
+
+    def test_case_insensitive_type_resolution_with_note(self):
+        catalog = load_schema(
+            "obj-type PinType = attributes: N: integer; end PinType;"
+            "rel-type WireType = relates: Pin1, Pin2: object-of-type PinType; end WireType;"
+            "obj-type G = types-of-subrels: W: Wiretype; end G;"
+        )
+        assert catalog.object_type("G").subrel_specs["W"].rel_type.name == "WireType"
+        assert any("case-insensitive" in note for note in catalog.ddl_notes)
+
+    def test_subclass_referencing_rel_type_rejected(self):
+        with pytest.raises(DDLSyntaxError):
+            load_schema(
+                "obj-type P = end P;"
+                "rel-type R = relates: A, B: object-of-type P; end R;"
+                "obj-type T = types-of-subclasses: X: R; end T;"
+            )
+
+    def test_inheritor_in_unknown_rel_rejected(self):
+        with pytest.raises(UnknownTypeError):
+            load_schema("obj-type T = inheritor-in: Nothing; end T;")
+
+    def test_inheritor_in_non_inheritance_type_rejected(self):
+        with pytest.raises(DDLSyntaxError):
+            load_schema(
+                "obj-type P = end P;"
+                "rel-type R = relates: A, B: object-of-type P; end R;"
+                "obj-type T = inheritor-in: R; end T;"
+            )
+
+
+class TestGateSchema:
+    @pytest.fixture(scope="class")
+    def catalog(self):
+        return load_gate_schema()
+
+    def test_all_types_registered(self, catalog):
+        for name in (
+            "SimpleGate",
+            "PinType",
+            "WireType",
+            "ElementaryGate",
+            "Gate",
+            "GateInterface_I",
+            "AllOf_GateInterface_I",
+            "GateInterface",
+            "AllOf_GateInterface",
+            "GateImplementation",
+            "SomeOf_Gate",
+        ):
+            assert catalog.has_type(name), name
+
+    def test_simple_gate_pins_are_attribute(self, catalog):
+        simple = catalog.object_type("SimpleGate")
+        assert "Pins" in simple.attributes
+        assert isinstance(simple.attributes["Pins"].domain, SetOf)
+
+    def test_elementary_gate_pins_are_subclass(self, catalog):
+        elementary = catalog.object_type("ElementaryGate")
+        assert "Pins" in elementary.subclass_specs
+        assert elementary.subclass_specs["Pins"].element_type.name == "PinType"
+
+    def test_interface_hierarchy_declared(self, catalog):
+        iface = catalog.object_type("GateInterface")
+        top_rel = catalog.inheritance_type("AllOf_GateInterface_I")
+        assert top_rel in iface.inheritor_in
+        # GateInterface passes the inherited Pins on (§4.2).
+        assert catalog.inheritance_type("AllOf_GateInterface").is_permeable("Pins")
+
+    def test_implementation_subtype_of_interface(self, catalog):
+        impl = catalog.object_type("GateImplementation")
+        assert impl.conforms_to(catalog.object_type("GateInterface"))
+        assert impl.conforms_to(catalog.object_type("GateInterface_I"))
+
+    def test_anonymous_subgates_type(self, catalog):
+        impl = catalog.object_type("GateImplementation")
+        subgates = impl.subclass_specs["SubGates"].element_type
+        assert subgates.name == "GateImplementation.SubGates"
+        assert "GateLocation" in subgates.attributes
+        assert subgates.conforms_to(catalog.object_type("GateInterface"))
+
+    def test_someof_gate_permeability(self, catalog):
+        someof = catalog.inheritance_type("SomeOf_Gate")
+        assert someof.is_permeable("TimeBehavior")
+        assert not someof.is_permeable("Function")
+
+    def test_paper_quirks_recorded(self, catalog):
+        notes = "\n".join(catalog.ddl_notes)
+        assert "connections" in notes
+        assert "case-insensitive" in notes  # Wiretype -> WireType
+
+
+class TestGateSchemaInstances:
+    """Figures 2 and 4, driven entirely from the parsed DDL."""
+
+    @pytest.fixture
+    def db(self):
+        db = Database("gates-ddl")
+        load_gate_schema(db.catalog)
+        return db
+
+    def test_interface_implementation_value_flow(self, db):
+        iface = db.create_object("GateInterface", Length=40, Width=20)
+        iface.subclass("Pins").create(InOut="IN", PinLocation=(0, 0))
+        iface.subclass("Pins").create(InOut="IN", PinLocation=(0, 1))
+        iface.subclass("Pins").create(InOut="OUT", PinLocation=(9, 0))
+        impl = db.create_object("GateImplementation", transmitter=iface)
+        assert impl["Length"] == 40
+        assert len(impl["Pins"]) == 3
+        iface.set_attribute("Length", 41)
+        assert impl["Length"] == 41
+
+    def test_composite_gate_via_interface_components(self, db):
+        # Figure 4: the component subobject inherits from GateInterface and
+        # adds GateLocation; wiring constraints bind pins.
+        nand_if = db.create_object("GateInterface", Length=10, Width=5)
+        a = nand_if.subclass("Pins").create(InOut="IN")
+        b = nand_if.subclass("Pins").create(InOut="IN")
+        out = nand_if.subclass("Pins").create(InOut="OUT")
+
+        ff_if = db.create_object("GateInterface", Length=40, Width=20)
+        ff_in = ff_if.subclass("Pins").create(InOut="IN")
+        impl = db.create_object("GateImplementation", transmitter=ff_if)
+
+        component = impl.subclass("SubGates").create(
+            transmitter=nand_if, GateLocation=(3, 4)
+        )
+        assert component["Length"] == 10  # inherited from the component
+        assert component["GateLocation"].X == 3  # own placement data
+
+        wire = impl.subrel("Wire").create({"Pin1": ff_in, "Pin2": a})
+        assert wire.participant("Pin2") is a
+
+    def test_wiring_constraint_rejects_alien_pins(self, db):
+        ff_if = db.create_object("GateInterface", Length=1, Width=1)
+        ff_in = ff_if.subclass("Pins").create(InOut="IN")
+        impl = db.create_object("GateImplementation", transmitter=ff_if)
+        alien = db.create_object("PinType", InOut="OUT")
+        with pytest.raises(ConstraintViolation):
+            impl.subrel("Wire").create({"Pin1": ff_in, "Pin2": alien})
+
+
+class TestSteelSchema:
+    @pytest.fixture(scope="class")
+    def catalog(self):
+        return load_steel_schema()
+
+    def test_all_types_registered(self, catalog):
+        for name in (
+            "BoltType",
+            "NutType",
+            "BoreType",
+            "GirderInterface",
+            "PlateInterface",
+            "Plate",
+            "Girder",
+            "AllOf_GirderIf",
+            "AllOf_PlateIf",
+            "AllOf_BoltType",
+            "AllOf_NutType",
+            "ScrewingType",
+            "WeightCarrying_Structure",
+        ):
+            assert catalog.has_type(name), name
+
+    def test_forward_inheritor_reference_resolved(self, catalog):
+        rel = catalog.inheritance_type("AllOf_GirderIf")
+        assert rel.inheritor_type is catalog.object_type("Girder")
+        assert rel in catalog.object_type("Girder").inheritor_in
+
+    def test_area_domain(self, catalog):
+        area = catalog.domain("AreaDom")
+        value = area.validate({"Length": 3, "Width": 4})
+        assert value.Width == 4
+
+    def test_screwing_subclasses_are_inheritors(self, catalog):
+        screwing = catalog.relationship_type("ScrewingType")
+        bolt_type = screwing.subclass_specs["Bolt"].element_type
+        assert bolt_type.conforms_to(catalog.object_type("BoltType"))
+
+    def test_typo_notes_recorded(self, catalog):
+        notes = "\n".join(catalog.ddl_notes)
+        assert "inher-rel-typ" in notes
+        assert "mismatch" in notes  # end AllOf_BoltType closes AllOf_NutType
+
+
+class TestSteelInstances:
+    """§5 at the instance level, from the parsed DDL."""
+
+    @pytest.fixture
+    def db(self):
+        db = Database("steel")
+        load_steel_schema(db.catalog)
+        return db
+
+    def make_structure(self, db, bolt_len=30, nut_len=10, bores=(12, 8)):
+        girder_if = db.create_object("GirderInterface", Length=100, Height=10, Width=10)
+        g_bore = girder_if.subclass("Bores").create(Diameter=10, Length=bores[0])
+        plate_if = db.create_object("PlateInterface", Thickness=8, Area=(50, 20))
+        p_bore = plate_if.subclass("Bores").create(Diameter=10, Length=bores[1])
+
+        structure = db.create_object(
+            "WeightCarrying_Structure", Designer="Pegels", Description="bridge"
+        )
+        structure.subclass("Girders").create(transmitter=girder_if)
+        structure.subclass("Plates").create(transmitter=plate_if)
+
+        bolt = db.create_object("BoltType", Length=bolt_len, Diameter=8)
+        nut = db.create_object("NutType", Length=nut_len, Diameter=8)
+        screwing = structure.subrel("Screwings").create(
+            {"Bores": [g_bore, p_bore]}, Strength=5
+        )
+        screwing.subclass("Bolt").create(transmitter=bolt)
+        screwing.subclass("Nut").create(transmitter=nut)
+        return structure, screwing
+
+    def test_structure_assembles(self, db):
+        structure, screwing = self.make_structure(db)
+        assert len(structure["Girders"]) == 1
+        assert structure["Girders"][0]["Length"] == 100  # inherited
+        screwing.check_constraints()
+
+    def test_bolt_length_constraint_violated(self, db):
+        # 25 != 10 + (12 + 8): the bolt is too short for the bore stack.
+        structure, screwing = self.make_structure(db, bolt_len=25)
+        with pytest.raises(ConstraintViolation):
+            screwing.check_constraints()
+
+    def test_diameter_mismatch_violated(self, db):
+        structure, screwing = self.make_structure(db)
+        nut_component = screwing.subclass("Nut").members()[0]
+        nut = nut_component.transmitter_of(
+            db.catalog.inheritance_type("AllOf_NutType")
+        )
+        nut.set_attribute("Diameter", 9)
+        with pytest.raises(ConstraintViolation):
+            screwing.check_constraints()
+
+    def test_screwing_where_clause_rejects_foreign_bores(self, db):
+        structure, _ = self.make_structure(db)
+        stray = db.create_object("BoreType", Diameter=10, Length=5)
+        bolt = db.create_object("BoltType", Length=15, Diameter=8)
+        nut = db.create_object("NutType", Length=10, Diameter=8)
+        with pytest.raises(ConstraintViolation):
+            structure.subrel("Screwings").create({"Bores": [stray]}, Strength=1)
+
+    def test_girder_interface_constraint(self, db):
+        girder_if = db.create_object("GirderInterface", Length=99, Height=1, Width=1)
+        girder_if.check_constraints()
+        girder_if.set_attribute("Length", 200)
+        with pytest.raises(ConstraintViolation):
+            girder_if.check_constraints()
+
+    def test_both_schemas_share_a_catalog(self):
+        db = Database("both")
+        load_steel_schema(db.catalog)
+        from repro.ddl.paper import load_gate_schema
+
+        load_gate_schema(db.catalog)
+        assert db.catalog.has_type("Gate") and db.catalog.has_type("Girder")

@@ -1,0 +1,299 @@
+"""Unit tests for the DDL lexer/parser (repro.ddl.lexer / parser)."""
+
+import pytest
+
+from repro.ddl.ast import (
+    ConstructorAst,
+    DomainRef,
+    EnumLiteral,
+    InherRelTypeDecl,
+    ObjTypeDecl,
+    RecordLiteral,
+    RelTypeDecl,
+)
+from repro.ddl.lexer import strip_comments, tokenize_ddl
+from repro.ddl.parser import parse_schema_source
+from repro.errors import DDLSyntaxError
+
+
+class TestDdlLexer:
+    def test_hyphenated_keywords_are_single_tokens(self):
+        tokens = tokenize_ddl("obj-type types-of-subclasses inheritor-in end-domain")
+        assert [t.text for t in tokens[:-1]] == [
+            "obj-type",
+            "types-of-subclasses",
+            "inheritor-in",
+            "end-domain",
+        ]
+        assert all(t.kind == "KEYWORD" for t in tokens[:-1])
+
+    def test_io_domain_name_with_slash(self):
+        tokens = tokenize_ddl("InOut: I/O;")
+        texts = [t.text for t in tokens[:-1]]
+        assert "I/O" in texts
+
+    def test_keywords_case_insensitive(self):
+        assert tokenize_ddl("OBJ-TYPE")[0].kind == "KEYWORD"
+
+    def test_comments_stripped_with_positions_kept(self):
+        source = "a /* comment */ b"
+        stripped = strip_comments(source)
+        assert len(stripped) == len(source)
+        assert stripped.startswith("a ") and stripped.endswith(" b")
+
+    def test_unterminated_comment(self):
+        with pytest.raises(DDLSyntaxError):
+            tokenize_ddl("a /* oops")
+
+    def test_line_numbers(self):
+        tokens = tokenize_ddl("a\nb\nc")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 3]
+
+    def test_hyphen_names(self):
+        # A hyphen followed by a letter continues the word.
+        tokens = tokenize_ddl("inher-rel-typ")
+        assert tokens[0].kind == "IDENT" and tokens[0].text == "inher-rel-typ"
+
+
+class TestDomainDecls:
+    def test_enum_domain(self):
+        schema = parse_schema_source("domain I/O = (IN, OUT);")
+        decl = schema.declarations[0]
+        assert decl.name == "I/O"
+        assert isinstance(decl.domain, EnumLiteral)
+        assert decl.domain.labels == ("IN", "OUT")
+
+    def test_inline_record_domain(self):
+        schema = parse_schema_source("domain Point = (X, Y: integer);")
+        record = schema.declarations[0].domain
+        assert isinstance(record, RecordLiteral)
+        assert record.fields[0][0] == ("X", "Y")
+        assert record.fields[0][1] == DomainRef("integer")
+
+    def test_record_end_domain_form(self):
+        schema = parse_schema_source(
+            "domain AreaDom = record: Length, Width: integer; end-domain AreaDom;"
+        )
+        record = schema.declarations[0].domain
+        assert isinstance(record, RecordLiteral)
+
+    def test_multi_field_inline_record(self):
+        schema = parse_schema_source(
+            "domain Pin = ( PinId: integer; InOut: I/O; );"
+        )
+        record = schema.declarations[0].domain
+        assert len(record.fields) == 2
+
+
+class TestObjTypeDecls:
+    def test_colon_and_equals_both_accepted(self):
+        for opener in (":", "="):
+            schema = parse_schema_source(
+                f"obj-type T {opener} attributes: X: integer; end T;"
+            )
+            assert schema.declarations[0].name == "T"
+
+    def test_multi_name_attribute_group(self):
+        schema = parse_schema_source(
+            "obj-type T = attributes: Length, Width: integer; end T;"
+        )
+        decl = schema.declarations[0]
+        assert decl.attributes[0].names == ("Length", "Width")
+
+    def test_set_of_record_attribute(self):
+        schema = parse_schema_source(
+            "obj-type T = attributes: "
+            "Pins: set-of ( PinId: integer; InOut: I/O; ); end T;"
+        )
+        domain = schema.declarations[0].attributes[0].domain
+        assert isinstance(domain, ConstructorAst) and domain.constructor == "set-of"
+        assert isinstance(domain.element, RecordLiteral)
+
+    def test_constraints_block_captured_raw(self):
+        schema = parse_schema_source(
+            "obj-type T = attributes: X: integer;\n"
+            "constraints:\n"
+            "  count (Pins) = 2 where Pins.InOut = IN;\n"
+            "  count (Pins) = 1 where Pins.InOut = OUT;\n"
+            "end T;"
+        )
+        constraints = schema.declarations[0].constraints
+        assert "count (Pins) = 2 where Pins.InOut = IN" in constraints
+        assert "OUT" in constraints
+
+    def test_subclasses_and_subrels(self):
+        schema = parse_schema_source(
+            "obj-type Gate =\n"
+            "  types-of-subclasses: Pins: PinType; SubGates: ElementaryGate;\n"
+            "  types-of-subrels: Wires: WireType where Wire.Pin1 in Pins;\n"
+            "end Gate;"
+        )
+        decl = schema.declarations[0]
+        assert [s.name for s in decl.subclasses] == ["Pins", "SubGates"]
+        assert decl.subrels[0].where_source == "Wire.Pin1 in Pins"
+
+    def test_connections_alias(self):
+        schema = parse_schema_source(
+            "obj-type T = connections: Wire: WireType; end T;"
+        )
+        assert schema.declarations[0].subrels[0].rel_type_name == "WireType"
+        assert any("connections" in note for note in schema.notes)
+
+    def test_anonymous_subclass_with_body(self):
+        schema = parse_schema_source(
+            "obj-type Impl =\n"
+            "  types-of-subclasses:\n"
+            "    SubGates:\n"
+            "      inheritor-in: AllOf_GateInterface;\n"
+            "      attributes: GateLocation: Point;\n"
+            "end Impl;"
+        )
+        entry = schema.declarations[0].subclasses[0]
+        assert entry.type_name is None
+        assert entry.body.inheritor_in == ["AllOf_GateInterface"]
+        assert entry.body.attributes[0].names == ("GateLocation",)
+
+    def test_inheritor_in_clause(self):
+        schema = parse_schema_source(
+            "obj-type Impl = inheritor-in: AllOf_GateInterface; end Impl;"
+        )
+        assert schema.declarations[0].inheritor_in == ["AllOf_GateInterface"]
+
+    def test_inheritor_typo_accepted_with_note(self):
+        schema = parse_schema_source(
+            "obj-type Girder inheritor: AllOf_GirderIf; end Girder;"
+        )
+        assert schema.declarations[0].inheritor_in == ["AllOf_GirderIf"]
+        assert any("typo" in note for note in schema.notes)
+
+    def test_end_name_mismatch_noted(self):
+        schema = parse_schema_source("obj-type A = end B;")
+        assert any("mismatch" in note for note in schema.notes)
+
+    def test_missing_end_rejected(self):
+        with pytest.raises(DDLSyntaxError):
+            parse_schema_source("obj-type A = attributes: X: integer;")
+
+    def test_where_with_for_spans_semicolons(self):
+        schema = parse_schema_source(
+            "obj-type W =\n"
+            "  types-of-subrels:\n"
+            "    Screwings: ScrewingType\n"
+            "      where for x in Bores: x in Girders.Bores or x in Plates.Bores;\n"
+            "end W;"
+        )
+        where = schema.declarations[0].subrels[0].where_source
+        assert where.startswith("for x in Bores")
+
+
+class TestRelTypeDecls:
+    def test_two_roles_one_group(self):
+        schema = parse_schema_source(
+            "rel-type WireType = relates: Pin1, Pin2: object-of-type PinType;\n"
+            "attributes: Corners: list-of Point; end WireType;"
+        )
+        decl = schema.declarations[0]
+        assert isinstance(decl, RelTypeDecl)
+        assert decl.relates[0].names == ("Pin1", "Pin2")
+        assert decl.relates[0].type_name == "PinType"
+
+    def test_set_valued_role(self):
+        schema = parse_schema_source(
+            "rel-type S = relates: Bores: set-of object-of-type BoreType; end S;"
+        )
+        assert schema.declarations[0].relates[0].many
+
+    def test_untyped_role(self):
+        schema = parse_schema_source("rel-type R = relates: Thing: object; end R;")
+        assert schema.declarations[0].relates[0].type_name is None
+
+    def test_rel_type_with_subclasses_and_constraints(self):
+        schema = parse_schema_source(
+            "rel-type ScrewingType =\n"
+            "  relates: Bores: set-of object-of-type BoreType;\n"
+            "  attributes: Strength: integer;\n"
+            "  types-of-subclasses:\n"
+            "    Bolt: inheritor-in: AllOf_BoltType;\n"
+            "    Nut: inheritor-in: AllOf_NutType;\n"
+            "  constraints:\n"
+            "    #s in Bolt = 1;\n"
+            "    #n in Nut = 1;\n"
+            "end ScrewingType;"
+        )
+        decl = schema.declarations[0]
+        assert [s.name for s in decl.subclasses] == ["Bolt", "Nut"]
+        assert "#s in Bolt = 1" in decl.constraints
+
+
+class TestInherRelTypeDecls:
+    def test_standard_form(self):
+        schema = parse_schema_source(
+            "inher-rel-type AllOf_GateInterface =\n"
+            "  transmitter: object-of-type GateInterface;\n"
+            "  inheritor: object;\n"
+            "  inheriting: Length, Width, Pins;\n"
+            "end AllOf_GateInterface;"
+        )
+        decl = schema.declarations[0]
+        assert isinstance(decl, InherRelTypeDecl)
+        assert decl.transmitter_type == "GateInterface"
+        assert decl.inheritor_type is None
+        assert decl.inheriting == ["Length", "Width", "Pins"]
+
+    def test_typed_inheritor(self):
+        schema = parse_schema_source(
+            "inher-rel-type R = transmitter: object-of-type A; "
+            "inheritor: object-of-type B; inheriting: X; end R;"
+        )
+        assert schema.declarations[0].inheritor_type == "B"
+
+    def test_missing_semicolons_between_clauses(self):
+        # The paper's SomeOf_Gate omits the ';' after the transmitter line.
+        schema = parse_schema_source(
+            "inher-rel-type SomeOf_Gate =\n"
+            "  transmitter: object-of-type GateImplementation\n"
+            "  inheritor: object;\n"
+            "  inheriting: Length, Width, TimeBehavior, Pins;\n"
+            "end SomeOf_Gate;"
+        )
+        assert schema.declarations[0].transmitter_type == "GateImplementation"
+
+    def test_trailing_comma_in_inheriting(self):
+        schema = parse_schema_source(
+            "inher-rel-type AllOf_BoltType =\n"
+            "  transmitter: object-of-type BoltType;\n"
+            "  inheritor: object;\n"
+            "  inheriting: Length, Diameter,\n"
+            "end AllOf_BoltType;"
+        )
+        assert schema.declarations[0].inheriting == ["Length", "Diameter"]
+        assert any("trailing comma" in note for note in schema.notes)
+
+    def test_inher_rel_typ_typo(self):
+        schema = parse_schema_source(
+            "inher-rel-typ R = transmitter: object-of-type A; "
+            "inheritor: object; inheriting: X; end R;"
+        )
+        assert schema.declarations[0].name == "R"
+        assert any("inher-rel-typ" in note for note in schema.notes)
+
+    def test_bad_transmitter_clause(self):
+        with pytest.raises(DDLSyntaxError):
+            parse_schema_source(
+                "inher-rel-type R = transmitter: object; end R;"
+            )
+
+
+class TestTopLevel:
+    def test_multiple_declarations(self):
+        schema = parse_schema_source(
+            "domain D = (A, B); obj-type T = attributes: X: D; end T;"
+        )
+        assert len(schema.declarations) == 2
+
+    def test_garbage_rejected(self):
+        with pytest.raises(DDLSyntaxError):
+            parse_schema_source("hello world")
+
+    def test_empty_source(self):
+        assert parse_schema_source("  \n ").declarations == []

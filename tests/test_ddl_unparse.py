@@ -1,0 +1,120 @@
+"""Round-trip tests for the DDL unparser (repro.ddl.unparse).
+
+Unparsing a catalog and re-loading the text must reproduce the same schema
+structure — this pins parser, builder and unparser against each other.
+"""
+
+import pytest
+
+from repro.core.inheritance import InheritanceRelationshipType
+from repro.core.reltype import RelationshipType
+from repro.ddl import load_schema
+from repro.ddl.paper import load_gate_schema, load_steel_schema
+from repro.ddl.unparse import unparse_catalog, unparse_domain, unparse_type
+from repro.engine import Catalog
+
+
+def assert_catalogs_equivalent(original: Catalog, rebuilt: Catalog) -> None:
+    original_types = {t.name for t in original if "." not in t.name}
+    rebuilt_types = {t.name for t in rebuilt if "." not in t.name}
+    assert original_types == rebuilt_types
+    for type_ in original:
+        twin = rebuilt.type(type_.name)
+        assert type(twin) is type(type_), type_.name
+        assert set(twin.attributes) == set(type_.attributes), type_.name
+        for name, spec in type_.attributes.items():
+            assert twin.attributes[name].domain.describe() == spec.domain.describe(), (
+                f"{type_.name}.{name}"
+            )
+        assert set(twin.subclass_specs) == set(type_.subclass_specs)
+        for name, spec in type_.subclass_specs.items():
+            assert (
+                twin.subclass_specs[name].element_type.name
+                == spec.element_type.name
+            )
+        assert set(twin.subrel_specs) == set(type_.subrel_specs)
+        assert len(twin.constraints) == len(type_.constraints), type_.name
+        assert [r.name for r in twin.inheritor_in] == [
+            r.name for r in type_.inheritor_in
+        ]
+        if isinstance(type_, InheritanceRelationshipType):
+            assert twin.inheriting == type_.inheriting
+            assert twin.transmitter_type.name == type_.transmitter_type.name
+        elif isinstance(type_, RelationshipType):
+            assert set(twin.participants) == set(type_.participants)
+            for role, participant in type_.participants.items():
+                twin_participant = twin.participants[role]
+                assert twin_participant.many == participant.many
+                if participant.object_type is None:
+                    assert twin_participant.object_type is None
+                else:
+                    assert (
+                        twin_participant.object_type.name
+                        == participant.object_type.name
+                    )
+
+
+class TestRoundTrips:
+    def test_gate_schema_round_trip(self):
+        original = load_gate_schema()
+        text = unparse_catalog(original)
+        rebuilt = load_schema(text)
+        assert_catalogs_equivalent(original, rebuilt)
+
+    def test_steel_schema_round_trip(self):
+        original = load_steel_schema()
+        text = unparse_catalog(original)
+        rebuilt = load_schema(text)
+        assert_catalogs_equivalent(original, rebuilt)
+
+    def test_double_round_trip_is_stable(self):
+        original = load_gate_schema()
+        once = unparse_catalog(load_schema(unparse_catalog(original)))
+        twice = unparse_catalog(load_schema(once))
+        assert once == twice
+
+    def test_combined_catalog_round_trip(self):
+        original = load_gate_schema()
+        load_steel_schema(original)
+        rebuilt = load_schema(unparse_catalog(original))
+        assert_catalogs_equivalent(original, rebuilt)
+
+
+class TestUnparseDetails:
+    def test_domain_rendering(self):
+        catalog = load_steel_schema()
+        area = catalog.domain("AreaDom")
+        assert unparse_domain(area, catalog) == "AreaDom"
+        rendered = unparse_domain(area, None)
+        assert rendered.startswith("(") and "Length: integer" in rendered
+
+    def test_inheritance_type_rendering(self):
+        catalog = load_gate_schema()
+        text = unparse_type(catalog.type("AllOf_GateInterface"), catalog)
+        assert "transmitter: object-of-type GateInterface;" in text
+        assert "inheritor: object;" in text
+        assert "inheriting: Length, Width, Pins;" in text
+
+    def test_anonymous_subclass_inlined(self):
+        catalog = load_gate_schema()
+        text = unparse_type(catalog.type("GateImplementation"), catalog)
+        assert "SubGates:" in text
+        assert "inheritor-in: AllOf_GateInterface;" in text
+        assert "GateLocation: Point;" in text
+        assert "GateImplementation.SubGates" not in text  # inlined, not named
+
+    def test_where_clause_preserved(self):
+        catalog = load_steel_schema()
+        text = unparse_type(catalog.type("WeightCarrying_Structure"), catalog)
+        assert "where for x in Bores:" in text
+
+    def test_typed_inheritor_rendering(self):
+        catalog = load_steel_schema()
+        text = unparse_type(catalog.type("AllOf_GirderIf"), catalog)
+        assert "inheritor: object-of-type Girder;" in text
+
+    def test_set_valued_participant_rendering(self):
+        catalog = load_steel_schema()
+        text = unparse_type(catalog.type("ScrewingType"), catalog)
+        assert "Bores: set-of object-of-type BoreType;" in text
+        assert "Bolt:" in text and "inheritor-in: AllOf_BoltType;" in text

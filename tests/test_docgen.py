@@ -1,0 +1,67 @@
+"""Tests for the schema documentation generator (repro.ddl.docgen)."""
+
+import pytest
+
+from repro.ddl.docgen import document_catalog, hierarchy_lines
+from repro.ddl.paper import load_gate_schema, load_steel_schema
+
+
+@pytest.fixture(scope="module")
+def gate_doc():
+    return document_catalog(load_gate_schema(), title="Gate schema")
+
+
+class TestDocumentCatalog:
+    def test_title_and_sections(self, gate_doc):
+        assert gate_doc.startswith("# Gate schema")
+        for section in ("## Object types", "## Relationship types",
+                        "## Inheritance relationships", "## Abstraction hierarchy"):
+            assert section in gate_doc
+
+    def test_object_type_members_table(self, gate_doc):
+        assert "### GateInterface" in gate_doc
+        assert "| `Length` | attribute | integer |" in gate_doc
+        assert "| `Pins` | inherited | via AllOf_GateInterface_I |" in gate_doc
+
+    def test_relationship_roles(self, gate_doc):
+        assert "| `Pin1` | PinType |" in gate_doc
+
+    def test_inheritance_table(self, gate_doc):
+        assert "| `AllOf_GateInterface` | GateInterface | object "\
+               "| Length, Width, Pins |" in gate_doc
+
+    def test_constraints_listed(self, gate_doc):
+        assert "count(Pins" in gate_doc
+
+    def test_subrel_where_shown(self, gate_doc):
+        assert "where `(Wire.Pin1 in Pins" in gate_doc
+
+    def test_steel_schema_documents(self):
+        doc = document_catalog(load_steel_schema())
+        assert "### ScrewingType" in doc
+        assert "`Bores` | set-of object-of-type BoreType" in doc
+        assert "| `AreaDom` |" in doc  # custom domain table
+
+    def test_typed_inheritor_shown(self):
+        doc = document_catalog(load_steel_schema())
+        assert "| `AllOf_GirderIf` | GirderInterface | Girder |" in doc
+
+
+class TestHierarchy:
+    def test_gate_hierarchy_chain(self):
+        lines = hierarchy_lines(load_gate_schema())
+        text = "\n".join(lines)
+        assert "GateInterface_I" in text
+        assert "[AllOf_GateInterface_I]→ GateInterface" in text
+        assert "[AllOf_GateInterface]→ GateImplementation" in text
+
+    def test_steel_hierarchy(self):
+        lines = hierarchy_lines(load_steel_schema())
+        text = "\n".join(lines)
+        assert "[AllOf_GirderIf]→ Girder" in text
+        assert "[AllOf_BoltType]→ ScrewingType.Bolt" in text
+
+    def test_no_transmitters_no_tree(self):
+        from repro.engine import Catalog
+
+        assert hierarchy_lines(Catalog()) == []

@@ -1,0 +1,187 @@
+"""Unit tests for the domain system (repro.core.domains)."""
+
+import pytest
+
+from repro.core.domains import (
+    ANY,
+    BOOLEAN,
+    CHAR,
+    INTEGER,
+    IO,
+    POINT,
+    REAL,
+    STRING,
+    EnumDomain,
+    ListOf,
+    MatrixOf,
+    RecordDomain,
+    RecordValue,
+    SetOf,
+    SurrogateDomain,
+)
+from repro.core.surrogate import Surrogate
+from repro.errors import DomainError
+
+
+class TestSimpleDomains:
+    def test_integer_accepts_ints(self):
+        assert INTEGER.validate(42) == 42
+        assert INTEGER.validate(-1) == -1
+
+    def test_integer_rejects_bool_float_str(self):
+        for bad in (True, 1.5, "1", None):
+            with pytest.raises(DomainError):
+                INTEGER.validate(bad)
+
+    def test_real_widens_int(self):
+        assert REAL.validate(3) == 3.0
+        assert isinstance(REAL.validate(3), float)
+
+    def test_real_rejects_bool(self):
+        with pytest.raises(DomainError):
+            REAL.validate(False)
+
+    def test_string_and_char(self):
+        assert STRING.validate("abc") == "abc"
+        assert CHAR.validate("W. Wilkes") == "W. Wilkes"
+        with pytest.raises(DomainError):
+            STRING.validate(5)
+
+    def test_boolean(self):
+        assert BOOLEAN.validate(True) is True
+        with pytest.raises(DomainError):
+            BOOLEAN.validate(1)
+
+    def test_any_accepts_everything(self):
+        for value in (1, "x", None, object()):
+            assert ANY.validate(value) is value
+
+    def test_contains(self):
+        assert INTEGER.contains(1)
+        assert not INTEGER.contains("1")
+
+    def test_surrogate_domain(self):
+        domain = SurrogateDomain()
+        token = Surrogate(1)
+        assert domain.validate(token) is token
+        with pytest.raises(DomainError):
+            domain.validate(1)
+
+
+class TestEnumDomain:
+    def test_io_domain_from_paper(self):
+        assert IO.validate("IN") == "IN"
+        assert IO.validate("OUT") == "OUT"
+        with pytest.raises(DomainError):
+            IO.validate("INOUT")
+
+    def test_case_sensitive(self):
+        with pytest.raises(DomainError):
+            IO.validate("in")
+
+    def test_empty_labels_rejected(self):
+        with pytest.raises(DomainError):
+            EnumDomain("E", [])
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(DomainError):
+            EnumDomain("E", ["A", "A"])
+
+    def test_describe_lists_labels(self):
+        assert "IN" in IO.describe() and "OUT" in IO.describe()
+
+
+class TestRecordDomain:
+    def test_point_from_paper(self):
+        value = POINT.validate({"X": 3, "Y": 4})
+        assert value.X == 3 and value["Y"] == 4
+
+    def test_positional_tuple_accepted(self):
+        assert POINT.validate((1, 2)) == POINT.validate({"X": 1, "Y": 2})
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(DomainError):
+            POINT.validate({"X": 1})
+
+    def test_extra_field_rejected(self):
+        with pytest.raises(DomainError):
+            POINT.validate({"X": 1, "Y": 2, "Z": 3})
+
+    def test_field_domain_enforced(self):
+        with pytest.raises(DomainError):
+            POINT.validate({"X": 1.5, "Y": 2})
+
+    def test_empty_record_rejected(self):
+        with pytest.raises(DomainError):
+            RecordDomain("E", {})
+
+    def test_nested_record(self):
+        area = RecordDomain("Area", {"Length": INTEGER, "Width": INTEGER})
+        slab = RecordDomain("Slab", {"Area": area, "Thickness": INTEGER})
+        value = slab.validate({"Area": {"Length": 2, "Width": 3}, "Thickness": 1})
+        assert value.Area.Width == 3
+
+
+class TestRecordValue:
+    def test_immutable(self):
+        value = POINT.validate({"X": 1, "Y": 2})
+        with pytest.raises(AttributeError):
+            value.X = 5
+
+    def test_hashable_and_equal(self):
+        a = POINT.validate({"X": 1, "Y": 2})
+        b = POINT.validate({"Y": 2, "X": 1})
+        assert a == b and hash(a) == hash(b)
+
+    def test_equality_with_plain_mapping(self):
+        assert POINT.validate({"X": 1, "Y": 2}) == {"X": 1, "Y": 2}
+
+    def test_replace(self):
+        moved = POINT.validate({"X": 1, "Y": 2}).replace(X=9)
+        assert moved.X == 9 and moved.Y == 2
+        with pytest.raises(KeyError):
+            moved.replace(Z=1)
+
+    def test_unknown_attribute(self):
+        with pytest.raises(AttributeError):
+            POINT.validate({"X": 1, "Y": 2}).Z
+
+
+class TestConstructors:
+    def test_list_of_preserves_order_and_duplicates(self):
+        corners = ListOf(POINT)
+        value = corners.validate([(0, 0), (1, 0), (0, 0)])
+        assert len(value) == 3 and value[0] == value[2]
+
+    def test_list_of_rejects_scalar_and_string(self):
+        with pytest.raises(DomainError):
+            ListOf(INTEGER).validate(5)
+        with pytest.raises(DomainError):
+            ListOf(STRING).validate("abc")
+
+    def test_set_of_merges_duplicates(self):
+        pins = SetOf(RecordDomain("Pin", {"PinId": INTEGER, "InOut": IO}))
+        value = pins.validate(
+            [{"PinId": 1, "InOut": "IN"}, {"PinId": 1, "InOut": "IN"}]
+        )
+        assert len(value) == 1
+
+    def test_set_of_element_domain_enforced(self):
+        with pytest.raises(DomainError):
+            SetOf(INTEGER).validate([1, "two"])
+
+    def test_matrix_of_boolean_truth_table(self):
+        function = MatrixOf(BOOLEAN)
+        table = function.validate([[False, False], [False, True]])
+        assert table[1][1] is True
+
+    def test_matrix_must_be_rectangular(self):
+        with pytest.raises(DomainError):
+            MatrixOf(INTEGER).validate([[1, 2], [3]])
+
+    def test_matrix_empty_ok(self):
+        assert MatrixOf(BOOLEAN).validate([]) == ()
+
+    def test_domain_equality_by_description(self):
+        assert ListOf(INTEGER) == ListOf(INTEGER)
+        assert ListOf(INTEGER) != SetOf(INTEGER)

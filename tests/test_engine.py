@@ -1,0 +1,286 @@
+"""Tests for the engine layer: catalog, database, extents, queries, events."""
+
+import pytest
+
+from repro.core import INTEGER, ObjectType
+from repro.engine import Database, walk_tree
+from repro.engine.query import (
+    inheritors_of,
+    relationships_of,
+    root_of,
+    transmitters_of,
+    walk_subobjects,
+)
+from repro.errors import (
+    DuplicateTypeError,
+    QueryError,
+    SchemaError,
+    UnknownTypeError,
+)
+from tests.conftest import add_pins
+
+
+class TestCatalog:
+    def test_builtin_domains(self, gate_db):
+        assert gate_db.catalog.domain("integer").validate(1) == 1
+        assert gate_db.catalog.domain("I/O").validate("IN") == "IN"
+        assert gate_db.catalog.has_domain("Point")
+
+    def test_unknown_domain(self, gate_db):
+        from repro.errors import UnknownDomainError
+
+        with pytest.raises(UnknownDomainError):
+            gate_db.catalog.domain("Voltage")
+
+    def test_define_domain_and_duplicate(self, gate_db):
+        from repro.core import EnumDomain
+
+        gate_db.catalog.define_domain("Material", EnumDomain("Material", ["wood", "metal"]))
+        assert gate_db.catalog.domain("Material").validate("wood") == "wood"
+        with pytest.raises(DuplicateTypeError):
+            gate_db.catalog.define_domain("Material", EnumDomain("M", ["x"]))
+
+    def test_type_lookup_by_kind(self, gate_db):
+        assert gate_db.catalog.object_type("GateInterface").name == "GateInterface"
+        assert gate_db.catalog.relationship_type("WireType").name == "WireType"
+        assert (
+            gate_db.catalog.inheritance_type("AllOf_GateInterface").name
+            == "AllOf_GateInterface"
+        )
+
+    def test_kind_mismatch_rejected(self, gate_db):
+        with pytest.raises(UnknownTypeError):
+            gate_db.catalog.object_type("WireType")
+        with pytest.raises(UnknownTypeError):
+            gate_db.catalog.relationship_type("GateInterface")
+        with pytest.raises(UnknownTypeError):
+            gate_db.catalog.inheritance_type("WireType")
+
+    def test_duplicate_type_rejected(self, gate_db):
+        with pytest.raises(DuplicateTypeError):
+            gate_db.catalog.define_object_type("GateInterface")
+
+    def test_kind_listings(self, gate_db):
+        assert gate_db.catalog.object_type("Gate") in gate_db.catalog.object_types()
+        names = [t.name for t in gate_db.catalog.relationship_types()]
+        assert "WireType" in names and "AllOf_GateInterface" not in names
+        assert [t.name for t in gate_db.catalog.inheritance_types()] == [
+            "AllOf_GateInterface"
+        ]
+
+    def test_contains_and_len(self, gate_db):
+        assert "Gate" in gate_db.catalog
+        assert len(gate_db.catalog) == 7
+
+
+class TestDatabaseObjects:
+    def test_create_object_in_class(self, gate_db):
+        iface = gate_db.create_object(
+            "GateInterface", class_name="Interfaces", Length=40, Width=20
+        )
+        assert iface in gate_db.class_("Interfaces")
+        assert gate_db.get(iface.surrogate) is iface
+
+    def test_create_object_by_type_object(self, gate_db):
+        iface = gate_db.create_object(gate_db.schema.gate_interface)
+        assert iface.database is gate_db
+
+    def test_class_type_conformance(self, gate_db):
+        with pytest.raises(SchemaError):
+            gate_db.create_object("Gate", class_name="Interfaces")
+
+    def test_subtype_allowed_in_class(self, gate_db):
+        # GateImplementation conforms to GateInterface (§4.1 subtype).
+        impl = gate_db.create_object("GateImplementation", class_name="Interfaces")
+        assert impl in gate_db.class_("Interfaces")
+
+    def test_duplicate_class_rejected(self, gate_db):
+        with pytest.raises(SchemaError):
+            gate_db.create_class("Interfaces", "GateInterface")
+
+    def test_unknown_class(self, gate_db):
+        with pytest.raises(UnknownTypeError):
+            gate_db.class_("Nope")
+
+    def test_subobjects_are_tracked(self, gate_db):
+        iface = gate_db.create_object("GateInterface")
+        pin = iface.subclass("Pins").create(InOut="IN")
+        assert gate_db.get(pin.surrogate) is pin
+
+    def test_bind_through_facade_by_name(self, gate_db):
+        iface = gate_db.create_object("GateInterface", Length=1, Width=2)
+        impl = gate_db.create_object("GateImplementation")
+        link = gate_db.bind(impl, iface, "AllOf_GateInterface")
+        assert impl["Length"] == 1
+        assert gate_db.get(link.surrogate) is link
+
+    def test_delete_removes_from_registry_and_classes(self, gate_db):
+        iface = gate_db.create_object("GateInterface", class_name="Interfaces")
+        surrogate = iface.surrogate
+        iface.delete()
+        assert gate_db.get(surrogate) is None
+        assert iface not in gate_db.class_("Interfaces")
+
+    def test_add_to_multiple_classes(self, gate_db):
+        gate_db.create_class("Favourites", "GateInterface")
+        iface = gate_db.create_object("GateInterface", class_name="Interfaces")
+        gate_db.add_to_class(iface, "Favourites")
+        assert iface in gate_db.class_("Favourites")
+        iface.delete()
+        assert len(gate_db.class_("Favourites")) == 0
+
+    def test_create_relationship_freestanding(self, gate_db):
+        iface = gate_db.create_object("GateInterface")
+        a = iface.subclass("Pins").create(InOut="IN")
+        b = iface.subclass("Pins").create(InOut="OUT")
+        wire = gate_db.create_relationship("WireType", {"Pin1": a, "Pin2": b})
+        assert gate_db.get(wire.surrogate) is wire
+
+    def test_create_relationship_requires_rel_type(self, gate_db):
+        with pytest.raises(SchemaError):
+            gate_db.create_relationship("GateInterface", {})
+
+    def test_objects_of_type(self, gate_db):
+        gate_db.create_object("GateInterface")
+        gate_db.create_object("GateImplementation")
+        with_subtypes = gate_db.objects_of_type("GateInterface")
+        exact = gate_db.objects_of_type("GateInterface", include_subtypes=False)
+        assert len(with_subtypes) == 2 and len(exact) == 1
+
+    def test_count_and_repr(self, gate_db):
+        gate_db.create_object("GateInterface")
+        assert gate_db.count() == 1
+        assert "gates" in repr(gate_db)
+
+
+class TestSelect:
+    def test_select_all(self, gate_db):
+        for length in (10, 20, 30):
+            gate_db.create_object(
+                "GateInterface", class_name="Interfaces", Length=length, Width=1
+            )
+        assert len(gate_db.select("Interfaces")) == 3
+
+    def test_select_with_expression(self, gate_db):
+        for length in (10, 20, 30):
+            gate_db.create_object(
+                "GateInterface", class_name="Interfaces", Length=length, Width=1
+            )
+        hits = gate_db.select("Interfaces", "Length > 15")
+        assert sorted(obj["Length"] for obj in hits) == [20, 30]
+
+    def test_select_with_callable(self, gate_db):
+        gate_db.create_object("GateInterface", class_name="Interfaces", Length=10, Width=1)
+        hits = gate_db.select("Interfaces", lambda o: o["Length"] == 10)
+        assert len(hits) == 1
+
+    def test_select_from_iterable(self, gate_db):
+        objs = [gate_db.create_object("GateInterface", Length=i, Width=1) for i in range(5)]
+        hits = gate_db.select(objs, "Length >= 3")
+        assert len(hits) == 2
+
+    def test_select_on_subclass_counts(self, gate_db):
+        iface = gate_db.create_object(
+            "GateInterface", class_name="Interfaces", Length=1, Width=1
+        )
+        add_pins(iface, n_in=2, n_out=1)
+        hits = gate_db.select("Interfaces", "count(Pins) = 3")
+        assert hits == [iface]
+
+    def test_bad_where_type(self, gate_db):
+        with pytest.raises(QueryError):
+            gate_db.select("Interfaces", 42)
+
+
+class TestNavigation:
+    def test_walk_tree(self, gate_db):
+        gate = gate_db.create_object("Gate")
+        sub = gate.subclass("SubGates").create(Function="AND")
+        add_pins(sub)
+        nodes = list(walk_tree(gate))
+        assert gate in nodes and sub in nodes and len(nodes) == 5
+
+    def test_walk_tree_with_relationships(self, gate_db):
+        gate = gate_db.create_object("Gate")
+        a = gate.subclass("Pins").create(InOut="IN")
+        b = gate.subclass("Pins").create(InOut="OUT")
+        wire = gate.subrel("Wires").create({"Pin1": a, "Pin2": b})
+        nodes = list(walk_tree(gate, include_relationships=True))
+        assert wire in nodes
+
+    def test_walk_subobjects(self, gate_db):
+        gate = gate_db.create_object("Gate")
+        gate.subclass("Pins").create(InOut="IN")
+        gate.subclass("SubGates").create(Function="OR")
+        assert len(list(walk_subobjects(gate))) == 2
+
+    def test_root_of(self, gate_db):
+        gate = gate_db.create_object("Gate")
+        sub = gate.subclass("SubGates").create()
+        pin = sub.subclass("Pins").create(InOut="IN")
+        assert root_of(pin) is gate
+        assert root_of(gate) is gate
+
+    def test_inheritors_and_transmitters(self, gate_db):
+        iface = gate_db.create_object("GateInterface", Length=1, Width=1)
+        impl = gate_db.create_object("GateImplementation", transmitter=iface)
+        assert inheritors_of(iface) == [impl]
+        assert transmitters_of(impl) == [iface]
+
+    def test_relationships_of_excludes_links(self, gate_db):
+        iface = gate_db.create_object("GateInterface", Length=1, Width=1)
+        impl = gate_db.create_object("GateImplementation", transmitter=iface)
+        a = iface.subclass("Pins").create(InOut="IN")
+        b = iface.subclass("Pins").create(InOut="OUT")
+        wire = gate_db.create_relationship("WireType", {"Pin1": a, "Pin2": b})
+        assert relationships_of(a) == [wire]
+        assert relationships_of(iface) == []  # the link does not count
+
+
+class TestEvents:
+    def test_attribute_update_event(self, gate_db):
+        iface = gate_db.create_object("GateInterface")
+        iface.set_attribute("Length", 5)
+        updates = gate_db.events.events_of("attribute_updated")
+        assert updates and updates[-1].attribute == "Length"
+        assert updates[-1].new == 5 and updates[-1].subject is iface
+
+    def test_subscription_and_unsubscribe(self, gate_db):
+        seen = []
+        sub = gate_db.events.subscribe("object_created", lambda e: seen.append(e))
+        gate_db.create_object("GateInterface")
+        assert len(seen) == 1
+        gate_db.events.unsubscribe(sub)
+        gate_db.create_object("GateInterface")
+        assert len(seen) == 1
+
+    def test_wildcard_subscription(self, gate_db):
+        kinds = []
+        gate_db.events.subscribe("*", lambda e: kinds.append(e.kind))
+        iface = gate_db.create_object("GateInterface")
+        iface.set_attribute("Length", 3)
+        assert "object_created" in kinds and "attribute_updated" in kinds
+
+    def test_bind_and_unbind_events(self, gate_db):
+        iface = gate_db.create_object("GateInterface", Length=1, Width=1)
+        impl = gate_db.create_object("GateImplementation", transmitter=iface)
+        assert gate_db.events.events_of("inheritor_bound")
+        impl.link_for(gate_db.schema.all_of_gate_interface).unbind()
+        assert gate_db.events.events_of("inheritor_unbound")
+
+    def test_history_limit(self):
+        from repro.engine.events import EventBus
+
+        bus = EventBus(record=True, history_limit=10)
+        for i in range(25):
+            bus.emit("tick", n=i)
+        assert len(bus.history) == 10
+        assert bus.history[-1].n == 24
+
+    def test_event_attribute_error(self):
+        from repro.engine.events import EventBus
+
+        event = EventBus().emit("kind", subject=None, a=1)
+        assert event.a == 1
+        with pytest.raises(AttributeError):
+            event.b

@@ -1,0 +1,84 @@
+"""Unit tests for the constraint-language tokenizer (repro.expr.lexer)."""
+
+import pytest
+
+from repro.errors import ExprSyntaxError
+from repro.expr.lexer import Token, tokenize
+
+
+def kinds(source):
+    return [token.kind for token in tokenize(source)]
+
+
+def texts(source):
+    return [token.text for token in tokenize(source)[:-1]]
+
+
+class TestTokenize:
+    def test_empty_input_yields_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1 and tokens[0].kind == "EOF"
+
+    def test_identifiers_and_keywords(self):
+        tokens = tokenize("count Pins where InOut")
+        assert tokens[0].kind == "KEYWORD" and tokens[0].text == "count"
+        assert tokens[1].kind == "IDENT" and tokens[1].text == "Pins"
+        assert tokens[2].kind == "KEYWORD"
+        assert tokens[3].kind == "IDENT"
+
+    def test_keywords_lowercase_only(self):
+        # Upper-case spellings are enum labels (IN, OUT, AND, OR), not
+        # operators, so they lex as identifiers.
+        assert tokenize("AND")[0].kind == "IDENT"
+        assert tokenize("IN")[0].kind == "IDENT"
+        assert tokenize("and")[0].kind == "KEYWORD"
+        assert tokenize("Where")[0].kind == "IDENT"
+
+    def test_numbers_int_and_float(self):
+        assert texts("12 3.5 0") == ["12", "3.5", "0"]
+        assert kinds("3.5")[:-1] == ["NUMBER"]
+
+    def test_number_then_dot_member(self):
+        # "3.x" is NUMBER(3), OP(.), IDENT(x) — no float swallowing.
+        assert texts("3.x") == ["3", ".", "x"]
+
+    def test_strings_single_and_double_quoted(self):
+        assert texts("'abc' \"de f\"") == ["abc", "de f"]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(ExprSyntaxError):
+            tokenize("'oops")
+
+    def test_two_char_operators(self):
+        assert texts("<= >= != <>") == ["<=", ">=", "!=", "<>"]
+
+    def test_single_char_operators(self):
+        assert texts("= < > + - * / % ( ) , . : ; #") == [
+            "=", "<", ">", "+", "-", "*", "/", "%",
+            "(", ")", ",", ".", ":", ";", "#",
+        ]
+
+    def test_unexpected_character(self):
+        with pytest.raises(ExprSyntaxError) as excinfo:
+            tokenize("a @ b")
+        assert excinfo.value.position == 2
+
+    def test_positions_recorded(self):
+        tokens = tokenize("ab + cd")
+        assert [token.position for token in tokens[:-1]] == [0, 3, 5]
+
+    def test_paper_constraint_tokenizes(self):
+        source = "count (Pins) = 2 where Pins.InOut = IN"
+        token_texts = texts(source)
+        assert token_texts[0] == "count"
+        assert "where" in token_texts and "IN" in token_texts
+
+    def test_hash_count_syntax(self):
+        assert texts("#s in Bolt = 1") == ["#", "s", "in", "Bolt", "=", "1"]
+
+    def test_underscore_identifiers(self):
+        assert texts("AllOf_GateInterface") == ["AllOf_GateInterface"]
+
+    def test_token_helpers(self):
+        token = Token("OP", "=", 0)
+        assert token.is_op("=", "<") and not token.is_keyword("and")

@@ -1,0 +1,92 @@
+"""Unparse coverage for every expression node kind (repro.expr.ast)."""
+
+import pytest
+
+from repro.expr import EvalContext, parse_constraints, parse_expression
+from repro.expr.ast import Aggregate, Name, Path
+
+
+class Obj:
+    def __init__(self, **members):
+        self._members = members
+
+    def get_member(self, name):
+        return self._members[name]
+
+
+def round_trip(source, root):
+    node = parse_expression(source)
+    again = parse_expression(node.unparse())
+    assert node.evaluate(EvalContext(root)) == again.evaluate(EvalContext(root))
+    return node
+
+
+class TestUnparseForms:
+    def test_literals(self):
+        assert parse_expression("1").unparse() == "1"
+        assert parse_expression("1.5").unparse() == "1.5"
+        assert parse_expression("'abc'").unparse() == "'abc'"
+        assert parse_expression("true").unparse() == "true"
+        assert parse_expression("false").unparse() == "false"
+
+    def test_unary(self):
+        assert parse_expression("-3").unparse() == "-3"
+        assert parse_expression("not true").unparse() == "not true"
+
+    def test_path(self):
+        node = parse_expression("a.b.c")
+        assert node.unparse() == "a.b.c"
+        assert isinstance(node, Path)
+        assert node.display_names() == ("a.b.c", "c")
+
+    def test_membership_ops(self):
+        root = Obj(Pins=[1, 2])
+        round_trip("1 in Pins", root)
+        round_trip("9 not in Pins", root)
+
+    def test_aggregate_with_binder(self):
+        # The #s in Bolt form unparsing keeps semantics.
+        root = Obj(Bolt=[Obj(D=3)])
+        node = round_trip("#s in Bolt = 1", root)
+
+    def test_aggregate_with_where_and_binder(self):
+        root = Obj(Bolt=[Obj(D=3), Obj(D=9)])
+        node = round_trip("#s in Bolt = 1 where s.D > 5", root)
+
+    def test_quantifier_with_multiple_binders(self):
+        root = Obj(A=[Obj(V=1)], B=[Obj(V=1)])
+        node = round_trip("for (x in A, y in B): x.V = y.V", root)
+        assert node.unparse().startswith("for (x in A, y in B):")
+
+    def test_constraint_list_unparse(self):
+        nodes = parse_constraints("1 = 1; 2 = 2")
+        assert [n.unparse() for n in nodes] == ["(1 = 1)", "(2 = 2)"]
+
+    def test_arithmetic_parenthesisation(self):
+        root = Obj()
+        round_trip("1 + 2 * 3 - 4 / 2", root)
+        round_trip("(1 + 2) % 2", root)
+
+    def test_logical_connectives(self):
+        root = Obj(A=1, B=2)
+        round_trip("A = 1 and (B = 2 or not (A = 2))", root)
+
+    def test_node_repr_contains_unparse(self):
+        node = parse_expression("count(Pins)")
+        assert "count(Pins)" in repr(node)
+
+
+class TestPathEdgeCases:
+    def test_path_over_record_value(self):
+        from repro.core.domains import POINT
+
+        root = Obj(Location=POINT.validate({"X": 4, "Y": 2}))
+        node = parse_expression("Location.X = 4")
+        assert node.evaluate(EvalContext(root))
+
+    def test_missing_midpath_yields_false_comparison(self):
+        root = Obj(A=Obj())
+        assert not parse_expression("A.b.c = 1").evaluate(EvalContext(root))
+
+    def test_name_display(self):
+        assert Name("Pins").unparse() == "Pins"

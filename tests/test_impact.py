@@ -1,0 +1,122 @@
+"""Tests for interface-change impact analysis (repro.consistency.impact)."""
+
+import pytest
+
+from repro.composition import add_component
+from repro.consistency import (
+    affected_types,
+    change_impact,
+    extension_impact,
+)
+from repro.core import INTEGER, InheritanceRelationshipType, ObjectType
+from repro.workloads import gate_database, make_implementation, make_interface
+
+
+@pytest.fixture
+def db():
+    return gate_database("impact")
+
+
+class TestChangeImpact:
+    def test_isolated_change(self, db):
+        iface = make_interface(db)
+        report = change_impact(iface, "Length")
+        assert report.is_isolated
+        assert "affects 0" in report.summary()
+
+    def test_direct_implementations_affected(self, db):
+        iface = make_interface(db)
+        impls = [make_implementation(db, iface) for _ in range(3)]
+        report = change_impact(iface, "Length")
+        assert {obj.surrogate for obj, _ in report.affected} == {
+            impl.surrogate for impl in impls
+        }
+        # Each affected object is reached by a one-link chain.
+        assert all(len(chain) == 1 for _, chain in report.affected)
+
+    def test_non_permeable_member_affects_nobody(self, db):
+        # Function is not in AllOf_GateInterface's inheriting list — and is
+        # not even an interface member; a change to an implementation's own
+        # Function concerns no other object.
+        iface = make_interface(db)
+        impl = make_implementation(db, iface)
+        assert change_impact(impl, "Function").is_isolated
+
+    def test_transitive_impact_through_hierarchy(self, db):
+        top = db.create_object("GateInterface_I")
+        top.subclass("Pins").create(InOut="IN")
+        iface = db.create_object("GateInterface", transmitter=top, Length=1, Width=1)
+        impl = db.create_object("GateImplementation", transmitter=iface)
+        report = change_impact(top, "Pins")
+        affected = {obj.surrogate for obj, _ in report.affected}
+        assert iface.surrogate in affected and impl.surrogate in affected
+        chains = {obj.surrogate: chain for obj, chain in report.affected}
+        assert len(chains[impl.surrogate]) == 2  # two hops from the top
+
+    def test_member_selectivity_cuts_the_chain(self, db):
+        # Length is not permeable through AllOf_GateInterface_I, so a
+        # Length change at the mid level reaches implementations, while the
+        # top level is never the subject here; and a change of Pins at mid
+        # level reaches implementations but a change of Length at top level
+        # reaches nobody (top has no Length at all — schema-level guard).
+        top = db.create_object("GateInterface_I")
+        iface = db.create_object("GateInterface", transmitter=top, Length=1, Width=1)
+        impl = db.create_object("GateImplementation", transmitter=iface)
+        report = change_impact(iface, "Length")
+        assert [obj.surrogate for obj, _ in report.affected] == [impl.surrogate]
+
+    def test_composites_enclosing_affected_slots_reported(self, db):
+        iface = make_interface(db)
+        composite = make_implementation(db, make_interface(db))
+        slot = add_component(composite, "SubGates", iface, GateLocation=(0, 0))
+        report = change_impact(iface, "Width")
+        assert [obj.surrogate for obj, _ in report.affected] == [slot.surrogate]
+        assert [c.surrogate for c in report.composites] == [composite.surrogate]
+
+    def test_shared_component_reports_each_composite_once(self, db):
+        iface = make_interface(db)
+        composites = [make_implementation(db, make_interface(db)) for _ in range(2)]
+        for composite in composites:
+            add_component(composite, "SubGates", iface, GateLocation=(0, 0))
+        report = change_impact(iface, "Width")
+        assert len(report.affected) == 2
+        assert {c.surrogate for c in report.composites} == {
+            c.surrogate for c in composites
+        }
+
+
+class TestTypeLevelImpact:
+    def test_affected_types_closure(self, db):
+        catalog = db.catalog
+        interface_i = catalog.object_type("GateInterface_I")
+        types = affected_types(interface_i, "Pins")
+        names = {t.name for t in types}
+        assert "GateInterface" in names
+        assert "GateImplementation" in names  # transitively, via AllOf_GateInterface
+
+    def test_affected_types_respects_permeability(self, db):
+        catalog = db.catalog
+        iface_type = catalog.object_type("GateInterface")
+        # Width flows through AllOf_GateInterface but not through a narrow
+        # relationship someone else might define.
+        types = affected_types(iface_type, "Width")
+        assert any(t.name == "GateImplementation" for t in types)
+
+    def test_extension_impact_lists_candidates(self, db):
+        catalog = db.catalog
+        iface_type = catalog.object_type("GateInterface")
+        candidates = extension_impact(iface_type, "Voltage")
+        names = {rel.name for rel in candidates}
+        assert "AllOf_GateInterface" in names
+
+    def test_extension_impact_excludes_already_permeable(self, db):
+        catalog = db.catalog
+        iface_type = catalog.object_type("GateInterface")
+        candidates = extension_impact(iface_type, "Length")
+        assert all(not rel.is_permeable("Length") for rel in candidates)
+        assert "AllOf_GateInterface" not in {rel.name for rel in candidates}
+
+    def test_fresh_type_has_no_relationships(self):
+        lonely = ObjectType("Lonely", attributes={"X": INTEGER})
+        assert affected_types(lonely, "X") == []
+        assert extension_impact(lonely, "Y") == []

@@ -1,0 +1,199 @@
+"""Tests for the integrity checker — including failure injection
+(repro.engine.integrity)."""
+
+import pytest
+
+from repro.composition import add_component
+from repro.engine.integrity import assert_integrity, check_integrity
+from repro.workloads import (
+    gate_database,
+    generate_component_tree,
+    generate_library,
+    generate_structure,
+    make_flipflop,
+    make_implementation,
+    make_interface,
+    steel_database,
+)
+
+
+class TestCleanDatabasesPass:
+    def test_empty_database(self):
+        assert check_integrity(gate_database("clean")) == []
+
+    def test_flipflop_database(self):
+        db = gate_database("clean")
+        make_flipflop(db)
+        assert_integrity(db)
+
+    def test_library_database(self):
+        db = gate_database("clean")
+        generate_library(db, 5, 3)
+        assert_integrity(db)
+
+    def test_component_tree_database(self):
+        db = gate_database("clean")
+        generate_component_tree(db, depth=3, fanout=2)
+        assert_integrity(db)
+
+    def test_steel_database(self):
+        db = steel_database("clean")
+        generate_structure(db, 3, 3, 5)
+        assert_integrity(db)
+
+    def test_after_deletions(self):
+        db = gate_database("clean")
+        iface = make_interface(db)
+        impl = make_implementation(db, iface)
+        impl.delete()
+        iface.delete()
+        assert_integrity(db)
+
+
+class TestFailedCreationRetraction:
+    """Creation failures must not leave half-created objects behind."""
+
+    def test_rejected_where_clause_leaves_no_residue(self):
+        from repro.errors import ConstraintViolation
+
+        db = gate_database("retract")
+        ff, _ = make_flipflop(db)
+        alien = db.create_object("PinType", InOut="IN")
+        count_before = db.count()
+        with pytest.raises(ConstraintViolation):
+            ff.subrel("Wires").create({"Pin1": ff["Pins"][0], "Pin2": alien})
+        assert db.count() == count_before
+        assert_integrity(db)
+
+    def test_bad_attribute_value_leaves_no_residue(self):
+        from repro.errors import DomainError
+
+        db = gate_database("retract")
+        count_before = db.count()
+        with pytest.raises(DomainError):
+            db.create_object("GateInterface", Length="very long")
+        assert db.count() == count_before
+        assert_integrity(db)
+
+    def test_bad_attrs_after_binding_unbinds(self):
+        from repro.errors import DomainError
+
+        db = gate_database("retract")
+        iface = make_interface(db)
+        with pytest.raises(DomainError):
+            db.create_object(
+                "GateImplementation", transmitter=iface, TimeBehavior="slow"
+            )
+        assert iface.inheritor_links == ()  # the failed bind was retracted
+        assert_integrity(db)
+
+    def test_bad_relationship_attrs_leave_no_residue(self):
+        from repro.errors import DomainError
+
+        db = gate_database("retract")
+        iface = make_interface(db)
+        a, b, _ = iface.subclass("Pins").members()
+        count_before = db.count()
+        with pytest.raises(DomainError):
+            db.create_relationship(
+                "WireType", {"Pin1": a, "Pin2": b}, Corners="zigzag"
+            )
+        assert db.count() == count_before
+        assert a._participating == set()
+        assert_integrity(db)
+
+
+class TestFailureInjection:
+    def test_dangling_registry_entry(self):
+        db = gate_database("inject")
+        iface = make_interface(db)
+        iface._deleted = True  # corrupt: deleted without unregistering
+        kinds = {v.kind for v in check_integrity(db)}
+        assert "registry" in kinds
+
+    def test_foreign_database_object(self):
+        db = gate_database("inject")
+        other = gate_database("elsewhere")
+        stray = make_interface(other)
+        db._objects[stray.surrogate] = stray  # corrupt: adopted by force
+        violations = check_integrity(db)
+        assert any(
+            "does not reference its database" in v.detail for v in violations
+        )
+
+    def test_container_membership_broken(self):
+        db = gate_database("inject")
+        iface = make_interface(db)
+        pin = iface.subclass("Pins").members()[0]
+        del iface.subclass("Pins")._members[pin.surrogate]  # corrupt
+        violations = check_integrity(db)
+        assert any(v.kind == "containment" for v in violations)
+
+    def test_parent_pointer_broken(self):
+        db = gate_database("inject")
+        iface = make_interface(db)
+        pin = iface.subclass("Pins").members()[0]
+        pin.parent = None  # corrupt: container still references it
+        violations = check_integrity(db)
+        assert any(v.kind == "containment" for v in violations)
+
+    def test_double_containment(self):
+        db = gate_database("inject")
+        a = make_interface(db)
+        b = make_interface(db)
+        pin = a.subclass("Pins").members()[0]
+        b.subclass("Pins")._members[pin.surrogate] = pin  # corrupt
+        violations = check_integrity(db)
+        assert any("two complex objects" in v.detail for v in violations)
+
+    def test_relationship_backreference_missing(self):
+        db = gate_database("inject")
+        iface = make_interface(db)
+        a, b, _ = iface.subclass("Pins").members()
+        wire = db.create_relationship("WireType", {"Pin1": a, "Pin2": b})
+        a._participating.discard(wire)  # corrupt
+        violations = check_integrity(db)
+        assert any("back-reference" in v.detail for v in violations)
+
+    def test_relationship_to_deleted_participant(self):
+        db = gate_database("inject")
+        iface = make_interface(db)
+        a, b, _ = iface.subclass("Pins").members()
+        wire = db.create_relationship("WireType", {"Pin1": a, "Pin2": b})
+        a._deleted = True  # corrupt: deleted without cascading
+        violations = check_integrity(db)
+        assert any("deleted" in v.detail for v in violations)
+
+    def test_half_registered_link(self):
+        db = gate_database("inject")
+        iface = make_interface(db)
+        impl = make_implementation(db, iface)
+        link = impl.inheritance_links[0]
+        iface._links_as_transmitter.remove(link)  # corrupt one side
+        violations = check_integrity(db)
+        assert any("does not register the link" in v.detail for v in violations)
+
+    def test_vanished_permeable_member(self):
+        db = gate_database("inject")
+        iface = make_interface(db)
+        impl = make_implementation(db, iface)
+        # Corrupt the schema: remove Width from the transmitter type.
+        del db.catalog.object_type("GateInterface").attributes["Width"]
+        violations = check_integrity(db)
+        assert any("vanished" in v.detail for v in violations)
+
+    def test_class_member_type_violation(self):
+        db = gate_database("inject")
+        db.create_class("PinsOnly", "PinType")
+        iface = make_interface(db)
+        db.class_("PinsOnly")._members[iface.surrogate] = iface  # corrupt
+        violations = check_integrity(db)
+        assert any(v.kind == "class" for v in violations)
+
+    def test_assert_integrity_raises_with_details(self):
+        db = gate_database("inject")
+        iface = make_interface(db)
+        iface._deleted = True
+        with pytest.raises(AssertionError) as excinfo:
+            assert_integrity(db)
+        assert "registry" in str(excinfo.value)

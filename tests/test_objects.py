@@ -1,0 +1,277 @@
+"""Unit tests for the instance layer (repro.core.objects): objects,
+complex objects, relationship objects, deletion cascades."""
+
+import pytest
+
+from repro.core import (
+    INTEGER,
+    ObjectType,
+    RelationshipType,
+    new_object,
+    new_relationship,
+)
+from repro.errors import (
+    ConstraintViolation,
+    DomainError,
+    ObjectDeletedError,
+    SchemaError,
+    UnknownAttributeError,
+)
+from tests.conftest import add_pins
+
+
+class TestBasicObjects:
+    def test_create_with_attributes(self, gates):
+        gate = new_object(gates.elementary_gate, Length=10, Width=5, Function="AND")
+        assert gate["Length"] == 10
+        assert gate["Function"] == "AND"
+
+    def test_surrogate_automatic_and_unique(self, gates):
+        a = new_object(gates.pin_type)
+        b = new_object(gates.pin_type)
+        assert a["surrogate"] == a.surrogate
+        assert a.surrogate != b.surrogate
+
+    def test_equality_by_surrogate(self, gates):
+        a = new_object(gates.pin_type)
+        assert a == a and hash(a) == hash(a.surrogate)
+
+    def test_domain_enforced_on_set(self, gates):
+        gate = new_object(gates.elementary_gate)
+        with pytest.raises(DomainError):
+            gate.set_attribute("Length", "long")
+        with pytest.raises(DomainError):
+            gate.set_attribute("Function", "XOR")
+
+    def test_unknown_attribute_rejected(self, gates):
+        gate = new_object(gates.elementary_gate)
+        with pytest.raises(UnknownAttributeError):
+            gate.set_attribute("Colour", "red")
+        with pytest.raises(UnknownAttributeError):
+            gate.get_member("Colour")
+
+    def test_unset_declared_attribute_reads_none(self, gates):
+        gate = new_object(gates.elementary_gate)
+        assert gate["Length"] is None
+
+    def test_default_value_visible_until_overwritten(self):
+        from repro.core import AttributeSpec
+
+        t = ObjectType("T", attributes={"N": AttributeSpec("N", INTEGER, default=7)})
+        obj = new_object(t)
+        assert obj["N"] == 7
+        obj.set("N", 9)
+        assert obj["N"] == 9
+
+    def test_dynamic_attributes_when_enabled(self):
+        t = ObjectType("Scratch", allow_dynamic=True)
+        obj = new_object(t)
+        obj.set("anything", [1, 2])
+        assert obj["anything"] == [1, 2]
+        with pytest.raises(UnknownAttributeError):
+            obj.get_member("unset_name")
+
+    def test_update_many(self, gates):
+        gate = new_object(gates.elementary_gate)
+        gate.update(Length=3, Width=4)
+        assert gate["Length"] == 3 and gate["Width"] == 4
+
+    def test_get_with_default(self, gates):
+        gate = new_object(gates.elementary_gate)
+        assert gate.get("Nope", 42) == 42
+
+    def test_setting_subclass_name_as_attribute_rejected(self, gates):
+        gate = new_object(gates.elementary_gate)
+        with pytest.raises(SchemaError):
+            gate.set_attribute("Pins", [1])
+
+    def test_visible_member_names(self, gates):
+        impl = new_object(gates.gate_implementation)
+        names = impl.visible_member_names()
+        assert "surrogate" in names and "Length" in names and "SubGates" in names
+
+
+class TestComplexObjects:
+    def test_subobjects_created_in_subclass(self, gates):
+        gate = new_object(gates.elementary_gate)
+        pins = add_pins(gate)
+        assert len(gate.subclass("Pins")) == 3
+        assert all(pin.parent is gate for pin in pins)
+
+    def test_get_member_returns_subclass_members(self, gates):
+        gate = new_object(gates.elementary_gate)
+        add_pins(gate)
+        assert len(gate["Pins"]) == 3
+
+    def test_subclass_membership(self, gates):
+        gate = new_object(gates.elementary_gate)
+        pin = gate.subclass("Pins").create(InOut="IN")
+        assert pin in gate.subclass("Pins")
+
+    def test_adopt_existing_object(self, gates):
+        gate = new_object(gates.elementary_gate)
+        pin = new_object(gates.pin_type, InOut="IN")
+        gate.subclass("Pins").add(pin)
+        assert pin.parent is gate
+
+    def test_adopt_twice_rejected(self, gates):
+        g1 = new_object(gates.elementary_gate)
+        g2 = new_object(gates.elementary_gate)
+        pin = new_object(gates.pin_type)
+        g1.subclass("Pins").add(pin)
+        with pytest.raises(SchemaError):
+            g2.subclass("Pins").add(pin)
+
+    def test_type_conformance_on_add(self, gates):
+        gate = new_object(gates.elementary_gate)
+        alien = new_object(gates.elementary_gate)
+        with pytest.raises(SchemaError):
+            gate.subclass("Pins").add(alien)
+
+    def test_unknown_subclass(self, gates):
+        gate = new_object(gates.elementary_gate)
+        with pytest.raises(UnknownAttributeError):
+            gate.subclass("Bolts")
+
+    def test_constraints_from_paper_hold(self, gates):
+        gate = new_object(gates.elementary_gate, Function="AND")
+        add_pins(gate, n_in=2, n_out=1)
+        gate.check_constraints()  # no exception
+
+    def test_constraints_from_paper_violated(self, gates):
+        gate = new_object(gates.elementary_gate, Function="AND")
+        add_pins(gate, n_in=3, n_out=1)
+        with pytest.raises(ConstraintViolation):
+            gate.check_constraints()
+
+    def test_nested_complex_objects(self, gates):
+        big = new_object(gates.gate)
+        sub = big.subclass("SubGates").create(Function="NAND")
+        add_pins(sub)
+        assert len(big["SubGates"]) == 1
+        assert len(sub["Pins"]) == 3
+
+
+class TestLocalRelationships:
+    def test_wire_between_subgate_pins(self, gates):
+        big = new_object(gates.gate)
+        ext = big.subclass("Pins").create(InOut="OUT")
+        sub = big.subclass("SubGates").create(Function="NAND")
+        inner = sub.subclass("Pins").create(InOut="IN")
+        wire = big.subrel("Wires").create({"Pin1": ext, "Pin2": inner})
+        assert wire.participant("Pin1") is ext
+        assert wire["Pin2"] is inner
+
+    def test_where_clause_rejects_foreign_pins(self, gates):
+        big = new_object(gates.gate)
+        ext = big.subclass("Pins").create(InOut="OUT")
+        stranger = new_object(gates.pin_type, InOut="IN")
+        with pytest.raises(ConstraintViolation):
+            big.subrel("Wires").create({"Pin1": ext, "Pin2": stranger})
+
+    def test_relationship_attributes(self, gates):
+        big = new_object(gates.gate)
+        a = big.subclass("Pins").create(InOut="IN")
+        b = big.subclass("Pins").create(InOut="OUT")
+        wire = big.subrel("Wires").create(
+            {"Pin1": a, "Pin2": b}, Corners=[(0, 0), (3, 4)]
+        )
+        assert len(wire["Corners"]) == 2
+
+    def test_missing_participant_rejected(self, gates):
+        big = new_object(gates.gate)
+        a = big.subclass("Pins").create(InOut="IN")
+        with pytest.raises(SchemaError):
+            big.subrel("Wires").create({"Pin1": a})
+
+    def test_unknown_role_rejected(self, gates):
+        big = new_object(gates.gate)
+        a = big.subclass("Pins").create(InOut="IN")
+        b = big.subclass("Pins").create(InOut="OUT")
+        with pytest.raises(SchemaError):
+            big.subrel("Wires").create({"Pin1": a, "Pin2": b, "Pin3": a})
+
+    def test_participant_type_checked(self, gates):
+        big = new_object(gates.gate)
+        sub = big.subclass("SubGates").create()
+        pin = big.subclass("Pins").create(InOut="IN")
+        with pytest.raises(SchemaError):
+            big.subrel("Wires").create({"Pin1": pin, "Pin2": sub})
+
+    def test_set_valued_participants(self, gates):
+        screw_type = RelationshipType(
+            "ScrewLike",
+            relates={"Bores": (gates.pin_type, True)},
+            attributes={"Strength": INTEGER},
+        )
+        a, b = new_object(gates.pin_type), new_object(gates.pin_type)
+        rel = new_relationship(screw_type, {"Bores": [a, b]}, Strength=5)
+        assert set(rel["Bores"]) == {a, b}
+        assert rel["Strength"] == 5
+
+    def test_single_valued_role_rejects_collection(self, gates):
+        a = new_object(gates.pin_type)
+        b = new_object(gates.pin_type)
+        with pytest.raises(SchemaError):
+            new_relationship(gates.wire_type, {"Pin1": [a], "Pin2": b})
+
+    def test_non_object_participant_rejected(self, gates):
+        b = new_object(gates.pin_type)
+        with pytest.raises(SchemaError):
+            new_relationship(gates.wire_type, {"Pin1": 42, "Pin2": b})
+
+
+class TestDeletion:
+    def test_delete_cascades_to_subobjects(self, gates):
+        gate = new_object(gates.elementary_gate)
+        pins = add_pins(gate)
+        gate.delete()
+        assert gate.deleted and all(pin.deleted for pin in pins)
+
+    def test_delete_cascades_to_local_relationships(self, gates):
+        big = new_object(gates.gate)
+        a = big.subclass("Pins").create(InOut="IN")
+        b = big.subclass("Pins").create(InOut="OUT")
+        wire = big.subrel("Wires").create({"Pin1": a, "Pin2": b})
+        big.delete()
+        assert wire.deleted
+
+    def test_deleting_participant_deletes_relationship(self, gates):
+        big = new_object(gates.gate)
+        a = big.subclass("Pins").create(InOut="IN")
+        b = big.subclass("Pins").create(InOut="OUT")
+        wire = big.subrel("Wires").create({"Pin1": a, "Pin2": b})
+        big.subclass("Pins").remove(a)
+        assert a.deleted and wire.deleted and not b.deleted
+
+    def test_operations_on_deleted_object_fail(self, gates):
+        gate = new_object(gates.elementary_gate)
+        gate.delete()
+        with pytest.raises(ObjectDeletedError):
+            gate.get_member("Length")
+        with pytest.raises(ObjectDeletedError):
+            gate.set_attribute("Length", 5)
+        with pytest.raises(ObjectDeletedError):
+            gate.subclass("Pins")
+
+    def test_double_delete_is_noop(self, gates):
+        gate = new_object(gates.elementary_gate)
+        gate.delete()
+        gate.delete()
+        assert gate.deleted
+
+    def test_remove_foreign_member_rejected(self, gates):
+        g1 = new_object(gates.elementary_gate)
+        g2 = new_object(gates.elementary_gate)
+        pin = g1.subclass("Pins").create(InOut="IN")
+        with pytest.raises(SchemaError):
+            g2.subclass("Pins").remove(pin)
+
+    def test_relationship_delete_unregisters_participants(self, gates):
+        a = new_object(gates.pin_type)
+        b = new_object(gates.pin_type)
+        rel = new_relationship(gates.wire_type, {"Pin1": a, "Pin2": b})
+        rel.delete()
+        assert rel.deleted
+        a.delete()  # should not resurrect or fail on the dead relationship
+        assert a.deleted

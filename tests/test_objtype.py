@@ -1,0 +1,251 @@
+"""Unit tests for the type system (repro.core.objtype)."""
+
+import pytest
+
+from repro.core import (
+    INTEGER,
+    STRING,
+    AttributeSpec,
+    InheritanceRelationshipType,
+    ObjectType,
+    RelationshipType,
+    SubclassSpec,
+    SubrelSpec,
+)
+from repro.errors import SchemaError
+
+
+class TestObjectTypeDefinition:
+    def test_simple_type(self):
+        t = ObjectType("Bolt", attributes={"Length": INTEGER, "Diameter": INTEGER})
+        assert set(t.attributes) == {"Length", "Diameter"}
+        assert not t.is_complex()
+
+    def test_invalid_type_name(self):
+        with pytest.raises(SchemaError):
+            ObjectType("3bad")
+        with pytest.raises(SchemaError):
+            ObjectType("")
+
+    def test_dotted_names_allowed_for_anonymous_subtypes(self):
+        t = ObjectType("GateImplementation.SubGates")
+        assert t.name == "GateImplementation.SubGates"
+
+    def test_attribute_spec_passthrough(self):
+        spec = AttributeSpec("Length", INTEGER, default=10)
+        t = ObjectType("T", attributes={"Length": spec})
+        assert t.attributes["Length"].default == 10
+
+    def test_attribute_spec_name_mismatch(self):
+        with pytest.raises(SchemaError):
+            ObjectType("T", attributes={"Width": AttributeSpec("Length", INTEGER)})
+
+    def test_reserved_attribute_name_rejected(self):
+        with pytest.raises(SchemaError):
+            ObjectType("T", attributes={"surrogate": INTEGER})
+
+    def test_bad_default_fails_at_schema_time(self):
+        with pytest.raises(SchemaError):
+            ObjectType("T", attributes={"Length": AttributeSpec("Length", INTEGER, default="x")})
+
+    def test_subclass_declaration(self, gates):
+        assert gates.gate.subclass_specs["Pins"].element_type is gates.pin_type
+        assert gates.gate.is_complex()
+
+    def test_subclass_spec_name_mismatch(self, gates):
+        with pytest.raises(SchemaError):
+            ObjectType("T", subclasses={"A": SubclassSpec("B", gates.pin_type)})
+
+    def test_subrel_with_where(self, gates):
+        spec = gates.gate.subrel_specs["Wires"]
+        assert spec.rel_type is gates.wire_type
+        assert "Pin1" in spec.where_source
+
+    def test_member_name_clash_rejected(self, gates):
+        with pytest.raises(SchemaError):
+            ObjectType(
+                "T",
+                attributes={"Pins": INTEGER},
+                subclasses={"Pins": gates.pin_type},
+            )
+
+    def test_constraints_parsed(self, gates):
+        assert len(gates.elementary_gate.constraints) == 2
+
+    def test_member_kind(self, gates):
+        assert gates.gate.member_kind("Length") == "attribute"
+        assert gates.gate.member_kind("Pins") == "subclass"
+        assert gates.gate.member_kind("Wires") == "subrel"
+        assert gates.gate.member_kind("Nope") is None
+
+
+class TestSubrelSpecBindingNames:
+    def test_binding_names_cover_paper_spelling(self, gates):
+        names = gates.gate.subrel_specs["Wires"].binding_names()
+        # The paper writes "Wire.Pin1" although the subclass is "Wires".
+        assert "Wires" in names and "Wire" in names and "WireType" in names
+
+    def test_no_duplicate_names(self, gates):
+        names = gates.gate.subrel_specs["Wires"].binding_names()
+        assert len(names) == len(set(names))
+
+
+class TestTypeLevelInheritance:
+    def test_effective_attributes_include_inherited(self, gates):
+        effective = gates.gate_implementation.effective_attributes()
+        assert {"Length", "Width", "Function"} <= set(effective)
+
+    def test_effective_subclasses_include_inherited(self, gates):
+        effective = gates.gate_implementation.effective_subclasses()
+        assert {"Pins", "SubGates"} <= set(effective)
+
+    def test_inherited_member_names(self, gates):
+        inherited = gates.gate_implementation.inherited_member_names()
+        assert inherited == {"Length", "Width", "Pins"}
+
+    def test_conforms_to_transmitter_type(self, gates):
+        # GateImplementation is a subtype of GateInterface (§4.1).
+        assert gates.gate_implementation.conforms_to(gates.gate_interface)
+        assert not gates.gate_interface.conforms_to(gates.gate_implementation)
+
+    def test_conforms_to_self_and_none(self, gates):
+        assert gates.gate.conforms_to(gates.gate)
+        assert gates.gate.conforms_to(None)
+
+    def test_transitive_conformance_through_hierarchy(self, gates):
+        # GateInterface_I -> GateInterface -> GateImplementation (§4.2).
+        interface_i = ObjectType("GateInterface_I", subclasses={"Pins": gates.pin_type})
+        all_of_i = InheritanceRelationshipType(
+            "AllOf_GateInterface_I", interface_i, ["Pins"]
+        )
+        fresh_interface = ObjectType(
+            "GateInterface2", attributes={"Length": INTEGER, "Width": INTEGER}
+        )
+        fresh_interface.declare_inheritor_in(all_of_i)
+        rel = InheritanceRelationshipType(
+            "AllOf_GateInterface2", fresh_interface, ["Length", "Width", "Pins"]
+        )
+        impl = ObjectType("Impl")
+        impl.declare_inheritor_in(rel)
+        assert impl.conforms_to(interface_i)
+        assert impl.effective_subclass("Pins") is interface_i.subclass_specs["Pins"]
+
+    def test_local_member_collision_with_inherited_rejected(self, gates):
+        bad = ObjectType("Bad", attributes={"Length": INTEGER})
+        with pytest.raises(SchemaError):
+            bad.declare_inheritor_in(gates.all_of_gate_interface)
+
+    def test_inheritance_cycle_rejected(self):
+        a = ObjectType("A", attributes={"X": INTEGER})
+        rel_a = InheritanceRelationshipType("AllOfA", a, ["X"])
+        b = ObjectType("B", attributes={"Y": INTEGER})
+        b.declare_inheritor_in(rel_a)
+        rel_b = InheritanceRelationshipType("AllOfB", b, ["Y"])
+        with pytest.raises(SchemaError):
+            a.declare_inheritor_in(rel_b)
+
+    def test_self_cycle_rejected(self):
+        a = ObjectType("A", attributes={"X": INTEGER})
+        rel = InheritanceRelationshipType("AllOfA", a, ["X"])
+        with pytest.raises(SchemaError):
+            a.declare_inheritor_in(rel)
+
+    def test_redeclaration_is_idempotent(self, gates):
+        before = len(gates.gate_implementation.inheritor_in)
+        gates.gate_implementation.declare_inheritor_in(gates.all_of_gate_interface)
+        assert len(gates.gate_implementation.inheritor_in) == before
+
+    def test_diamond_resolution_order_is_declaration_order(self):
+        t1 = ObjectType("T1", attributes={"X": INTEGER})
+        t2 = ObjectType("T2", attributes={"X": INTEGER})
+        rel1 = InheritanceRelationshipType("R1", t1, ["X"])
+        rel2 = InheritanceRelationshipType("R2", t2, ["X"])
+        sub = ObjectType("Sub")
+        sub.declare_inheritor_in(rel1)
+        sub.declare_inheritor_in(rel2)
+        assert sub.effective_attribute("X") is t1.attributes["X"]
+
+
+class TestRelationshipTypeBasics:
+    def test_roles(self, gates):
+        assert set(gates.wire_type.participants) == {"Pin1", "Pin2"}
+
+    def test_empty_relates_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationshipType("R", relates={})
+
+    def test_role_member_clash_rejected(self, gates):
+        with pytest.raises(SchemaError):
+            RelationshipType(
+                "R",
+                relates={"Strength": gates.pin_type},
+                attributes={"Strength": INTEGER},
+            )
+
+    def test_untyped_role(self):
+        r = RelationshipType("R", relates={"Thing": None})
+        assert r.participants["Thing"].object_type is None
+        assert r.participants["Thing"].describe() == "object"
+
+    def test_set_valued_role(self, gates):
+        r = RelationshipType("R", relates={"Bores": (gates.pin_type, True)})
+        assert r.participants["Bores"].many
+        assert "set-of" in r.participants["Bores"].describe()
+
+
+class TestInheritanceRelationshipType:
+    def test_permeability(self, gates):
+        rel = gates.all_of_gate_interface
+        assert rel.is_permeable("Length") and rel.is_permeable("Pins")
+        assert not rel.is_permeable("Function")
+
+    def test_empty_inheriting_rejected(self, gates):
+        with pytest.raises(SchemaError):
+            InheritanceRelationshipType("R", gates.gate_interface, [])
+
+    def test_unknown_inheriting_member_rejected(self, gates):
+        with pytest.raises(SchemaError):
+            InheritanceRelationshipType("R", gates.gate_interface, ["Nope"])
+
+    def test_duplicate_inheriting_member_rejected(self, gates):
+        with pytest.raises(SchemaError):
+            InheritanceRelationshipType(
+                "R", gates.gate_interface, ["Length", "Length"]
+            )
+
+    def test_transmitter_may_pass_on_inherited_members(self, gates):
+        # GateInterface itself inherits Pins from GateInterface_I, and
+        # AllOf_GateInterface may list Pins (§4.2).
+        interface_i = ObjectType("GateInterface_I", subclasses={"Pins": gates.pin_type})
+        all_of_i = InheritanceRelationshipType("AllOf_I", interface_i, ["Pins"])
+        iface = ObjectType("Iface", attributes={"Length": INTEGER})
+        iface.declare_inheritor_in(all_of_i)
+        rel = InheritanceRelationshipType("AllOf_Iface", iface, ["Length", "Pins"])
+        assert rel.is_permeable("Pins")
+
+    def test_permeable_specs(self, gates):
+        rel = gates.all_of_gate_interface
+        assert set(rel.permeable_attributes()) == {"Length", "Width"}
+        assert set(rel.permeable_subclasses()) == {"Pins"}
+
+    def test_inheritor_type_restriction(self, gates):
+        restricted = InheritanceRelationshipType(
+            "OnlyImpls",
+            gates.gate_interface,
+            ["Length"],
+            inheritor_type=gates.gate_implementation,
+        )
+        assert restricted.accepts_inheritor(gates.gate_implementation)
+        assert not restricted.accepts_inheritor(gates.pin_type)
+        # Declaring an inheritor type registers the inheritor-in clause.
+        assert restricted in gates.gate_implementation.inheritor_in
+
+    def test_string_transmitter_rejected(self):
+        with pytest.raises(SchemaError):
+            InheritanceRelationshipType("R", "NotAType", ["X"])
+
+    def test_known_inheritor_types_tracked(self, gates):
+        assert (
+            gates.gate_implementation
+            in gates.all_of_gate_interface.known_inheritor_types
+        )

@@ -1,0 +1,97 @@
+"""Property-based DDL round-trips: random schemas survive
+unparse → parse → build (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import INTEGER, STRING
+from repro.core.inheritance import InheritanceRelationshipType
+from repro.core.objtype import ObjectType
+from repro.ddl import load_schema
+from repro.ddl.unparse import unparse_catalog
+from repro.engine import Catalog
+from tests.test_ddl_unparse import assert_catalogs_equivalent
+
+type_names = st.from_regex(r"T[a-z0-9]{1,6}", fullmatch=True)
+member_names = st.from_regex(r"[A-Z][a-z0-9]{1,6}", fullmatch=True)
+
+
+@st.composite
+def random_schemas(draw):
+    """A random but well-formed catalog:
+
+    * 1–4 simple object types with integer/string attributes;
+    * optionally an inheritance relationship over the first type and a
+      subtype declaring inheritor-in;
+    * optionally a complex type with a subclass of the first type.
+    """
+    catalog = Catalog()
+    names = draw(st.lists(type_names, min_size=1, max_size=4, unique=True))
+    types = []
+    for name in names:
+        member_list = draw(
+            st.lists(member_names, min_size=1, max_size=4, unique=True)
+        )
+        attributes = {
+            member: draw(st.sampled_from([INTEGER, STRING]))
+            for member in member_list
+        }
+        object_type = ObjectType(name, attributes=attributes)
+        catalog.register(object_type)
+        types.append(object_type)
+
+    base = types[0]
+    if draw(st.booleans()) and base.attributes:
+        inheriting = draw(
+            st.lists(
+                st.sampled_from(sorted(base.attributes)),
+                min_size=1,
+                max_size=len(base.attributes),
+                unique=True,
+            )
+        )
+        rel = InheritanceRelationshipType(
+            f"AllOf_{base.name}", base, inheriting
+        )
+        catalog.register(rel)
+        sub_members = draw(
+            st.lists(
+                member_names.filter(lambda m: m not in base.attributes),
+                min_size=0,
+                max_size=2,
+                unique=True,
+            )
+        )
+        subtype = ObjectType(
+            f"Sub{base.name}",
+            attributes={m: INTEGER for m in sub_members},
+        )
+        subtype.declare_inheritor_in(rel)
+        catalog.register(subtype)
+
+    if draw(st.booleans()):
+        container_name = draw(
+            member_names.filter(lambda m: True)
+        )
+        complex_type = ObjectType(
+            f"Cx{base.name}", subclasses={container_name: base}
+        )
+        catalog.register(complex_type)
+    return catalog
+
+
+class TestRandomSchemaRoundTrips:
+    @settings(max_examples=60, deadline=None)
+    @given(random_schemas())
+    def test_unparse_parse_preserves_structure(self, catalog):
+        text = unparse_catalog(catalog)
+        rebuilt = load_schema(text)
+        assert_catalogs_equivalent(catalog, rebuilt)
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_schemas())
+    def test_double_round_trip_stable(self, catalog):
+        once_text = unparse_catalog(catalog)
+        once = load_schema(once_text)
+        twice_text = unparse_catalog(once)
+        assert once_text == twice_text

@@ -1,0 +1,153 @@
+"""Property-based tests for the domain system (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.domains import (
+    BOOLEAN,
+    INTEGER,
+    POINT,
+    REAL,
+    STRING,
+    EnumDomain,
+    ListOf,
+    MatrixOf,
+    RecordDomain,
+    SetOf,
+)
+from repro.errors import DomainError
+
+# -- strategies -----------------------------------------------------------------
+
+simple_domains = st.sampled_from([INTEGER, REAL, STRING, BOOLEAN])
+
+identifiers = st.from_regex(r"[A-Z][A-Za-z0-9_]{0,10}", fullmatch=True)
+
+
+def values_for(domain):
+    if domain is INTEGER:
+        return st.integers(min_value=-10**6, max_value=10**6)
+    if domain is REAL:
+        return st.floats(allow_nan=False, allow_infinity=False, width=32)
+    if domain is STRING:
+        return st.text(max_size=20)
+    return st.booleans()
+
+
+class TestValidationIdempotence:
+    """validate(validate(x)) == validate(x) for every domain."""
+
+    @given(st.integers())
+    def test_integer(self, value):
+        assert INTEGER.validate(INTEGER.validate(value)) == INTEGER.validate(value)
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_real(self, value):
+        once = REAL.validate(value)
+        assert REAL.validate(once) == once
+
+    @given(st.lists(st.integers(), max_size=30))
+    def test_list_of(self, values):
+        domain = ListOf(INTEGER)
+        once = domain.validate(values)
+        assert domain.validate(once) == once
+
+    @given(st.lists(st.integers(), max_size=30))
+    def test_set_of(self, values):
+        domain = SetOf(INTEGER)
+        once = domain.validate(values)
+        assert domain.validate(once) == once
+
+    @given(st.lists(st.lists(st.booleans(), min_size=3, max_size=3), max_size=10))
+    def test_matrix_of(self, rows):
+        domain = MatrixOf(BOOLEAN)
+        once = domain.validate(rows)
+        assert domain.validate(once) == once
+
+    @given(st.integers(), st.integers())
+    def test_point(self, x, y):
+        once = POINT.validate({"X": x, "Y": y})
+        assert POINT.validate(once) == once
+
+
+class TestSetSemantics:
+    @given(st.lists(st.integers(), max_size=40))
+    def test_set_of_deduplicates(self, values):
+        result = SetOf(INTEGER).validate(values)
+        assert len(result) == len(set(values))
+
+    @given(st.lists(st.integers(), max_size=40))
+    def test_set_of_order_independent(self, values):
+        domain = SetOf(INTEGER)
+        assert domain.validate(values) == domain.validate(list(reversed(values)))
+
+
+class TestRecordProperties:
+    @given(st.integers(), st.integers())
+    def test_record_equality_and_hash(self, x, y):
+        a = POINT.validate({"X": x, "Y": y})
+        b = POINT.validate({"Y": y, "X": x})
+        assert a == b and hash(a) == hash(b)
+
+    @given(st.integers(), st.integers(), st.integers())
+    def test_replace_changes_exactly_one_field(self, x, y, new_x):
+        point = POINT.validate({"X": x, "Y": y})
+        moved = point.replace(X=new_x)
+        assert moved.X == new_x and moved.Y == y
+        assert point.X == x  # original untouched
+
+    @given(
+        st.dictionaries(
+            identifiers, simple_domains, min_size=1, max_size=6
+        ),
+        st.data(),
+    )
+    def test_random_record_domains_validate_their_own_values(self, fields, data):
+        domain = RecordDomain("R", fields)
+        candidate = {
+            name: data.draw(values_for(field_domain))
+            for name, field_domain in fields.items()
+        }
+        value = domain.validate(candidate)
+        assert set(value) == set(fields)
+        assert domain.validate(value) == value
+
+
+class TestEnumProperties:
+    @given(st.lists(identifiers, min_size=1, max_size=10, unique=True))
+    def test_every_label_validates(self, labels):
+        domain = EnumDomain("E", labels)
+        for label in labels:
+            assert domain.validate(label) == label
+
+    @given(st.lists(identifiers, min_size=1, max_size=10, unique=True), st.text(min_size=1))
+    def test_non_labels_rejected(self, labels, candidate):
+        domain = EnumDomain("E", labels)
+        if candidate not in labels:
+            try:
+                domain.validate(candidate)
+            except DomainError:
+                pass
+            else:
+                raise AssertionError("expected rejection")
+
+
+class TestCrossDomainRejection:
+    @given(st.text(max_size=5))
+    def test_integer_rejects_strings(self, value):
+        try:
+            INTEGER.validate(value)
+        except DomainError:
+            pass
+        else:
+            raise AssertionError("expected rejection")
+
+    @given(st.booleans())
+    def test_integer_and_real_reject_bools(self, value):
+        for domain in (INTEGER, REAL):
+            try:
+                domain.validate(value)
+            except DomainError:
+                pass
+            else:
+                raise AssertionError("expected rejection")

@@ -1,0 +1,157 @@
+"""Property-based tests for the expression language (hypothesis).
+
+Key invariants: unparse/re-parse preserves semantics, evaluation is
+deterministic, arithmetic agrees with Python, and the quantifier semantics
+match an explicit cartesian-product check.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.expr import EvalContext, parse_expression, truthy
+from repro.expr.lexer import KEYWORDS
+
+
+class Obj:
+    def __init__(self, **members):
+        self._members = members
+
+    def get_member(self, name):
+        return self._members[name]
+
+
+# -- strategies ------------------------------------------------------------------
+
+numbers = st.integers(min_value=-999, max_value=999)
+small_numbers = st.integers(min_value=1, max_value=20)
+
+identifiers = st.from_regex(r"[A-Za-z][A-Za-z0-9_]{0,8}", fullmatch=True).filter(
+    lambda s: s not in KEYWORDS
+)
+
+
+@st.composite
+def arithmetic_exprs(draw, depth=0):
+    """Random arithmetic expression source + its Python value."""
+    if depth >= 3 or draw(st.booleans()):
+        value = draw(numbers)
+        return str(value), value
+    left_src, left_val = draw(arithmetic_exprs(depth=depth + 1))
+    right_src, right_val = draw(arithmetic_exprs(depth=depth + 1))
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    result = {"+": left_val + right_val, "-": left_val - right_val,
+              "*": left_val * right_val}[op]
+    return f"({left_src} {op} {right_src})", result
+
+
+def evaluate(source, root=None, **bindings):
+    return parse_expression(source).evaluate(
+        EvalContext(root if root is not None else Obj(), bindings)
+    )
+
+
+class TestArithmeticAgreesWithPython:
+    @given(arithmetic_exprs())
+    def test_random_arithmetic(self, pair):
+        source, expected = pair
+        assert evaluate(source) == expected
+
+    @given(numbers, numbers)
+    def test_comparison_table(self, a, b):
+        # Negative literals exercise unary-minus parsing.
+        assert evaluate(f"({a}) < ({b})") == (a < b)
+        assert evaluate(f"({a}) = ({b})") == (a == b)
+        assert evaluate(f"({a}) <= ({b})") == (a <= b)
+        assert evaluate(f"({a}) != ({b})") == (a != b)
+
+
+class TestUnparseRoundTrip:
+    @given(arithmetic_exprs())
+    def test_arithmetic_round_trip(self, pair):
+        source, expected = pair
+        node = parse_expression(source)
+        again = parse_expression(node.unparse())
+        assert again.evaluate(EvalContext(Obj())) == expected
+
+    @given(st.lists(small_numbers, min_size=0, max_size=10))
+    def test_aggregate_round_trip(self, values):
+        root = Obj(Bores=values)
+        for source in ("count(Bores)", "sum(Bores)", "exists(Bores)"):
+            node = parse_expression(source)
+            again = parse_expression(node.unparse())
+            assert node.evaluate(EvalContext(root)) == again.evaluate(
+                EvalContext(root)
+            )
+
+    @given(st.lists(small_numbers, min_size=1, max_size=10), small_numbers)
+    def test_quantifier_round_trip(self, values, bound):
+        root = Obj(Items=[Obj(V=v) for v in values])
+        source = f"for i in Items: i.V <= {bound}"
+        node = parse_expression(source)
+        again = parse_expression(node.unparse())
+        ctx = EvalContext(root)
+        assert node.evaluate(ctx) == again.evaluate(EvalContext(root))
+
+
+class TestAggregates:
+    @given(st.lists(small_numbers, max_size=20))
+    def test_count_and_sum(self, values):
+        root = Obj(Bores=values)
+        assert evaluate("count(Bores)", root) == len(values)
+        assert evaluate("sum(Bores)", root) == sum(values)
+
+    @given(st.lists(small_numbers, min_size=1, max_size=20))
+    def test_min_max_avg(self, values):
+        root = Obj(Bores=values)
+        assert evaluate("min(Bores)", root) == min(values)
+        assert evaluate("max(Bores)", root) == max(values)
+        assert abs(evaluate("avg(Bores)", root) - sum(values) / len(values)) < 1e-9
+
+    @given(st.lists(small_numbers, max_size=20), small_numbers)
+    def test_filtered_count_equals_python_filter(self, values, threshold):
+        root = Obj(Items=[Obj(V=v) for v in values])
+        got = evaluate(f"count(Items where Items.V >= {threshold})", root)
+        assert got == sum(1 for v in values if v >= threshold)
+
+
+class TestQuantifierSemantics:
+    @given(
+        st.lists(small_numbers, max_size=6),
+        st.lists(small_numbers, max_size=6),
+    )
+    def test_forall_matches_cartesian_product(self, xs, ys):
+        root = Obj(Xs=[Obj(V=x) for x in xs], Ys=[Obj(V=y) for y in ys])
+        got = truthy(
+            parse_expression("for (a in Xs, b in Ys): a.V <= b.V").evaluate(
+                EvalContext(root)
+            )
+        )
+        expected = all(x <= y for x in xs for y in ys)
+        assert got == expected
+
+    @given(st.lists(small_numbers, max_size=8))
+    def test_vacuous_truth(self, values):
+        root = Obj(Items=[], Others=[Obj(V=v) for v in values])
+        assert truthy(
+            parse_expression("for i in Items: i.V > 999").evaluate(EvalContext(root))
+        )
+
+
+class TestDeterminism:
+    @given(st.lists(small_numbers, max_size=10), small_numbers)
+    def test_repeated_evaluation_stable(self, values, threshold):
+        root = Obj(Items=[Obj(V=v) for v in values])
+        node = parse_expression(f"count(Items where Items.V > {threshold}) >= 1")
+        results = {node.evaluate(EvalContext(root)) for _ in range(5)}
+        assert len(results) == 1
+
+
+class TestIdentifierResolution:
+    @given(identifiers, numbers)
+    def test_member_lookup(self, name, value):
+        root = Obj(**{name: value})
+        assert evaluate(f"{name} = {value}", root)
+
+    @given(identifiers)
+    def test_unresolved_names_become_labels(self, name):
+        assert evaluate(name) == name

@@ -1,0 +1,94 @@
+"""Fuzz-style property tests: parsers never crash with anything but their
+declared error types, and evaluation never corrupts state."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ddl.lexer import tokenize_ddl
+from repro.ddl.parser import parse_schema_source
+from repro.errors import (
+    DDLSyntaxError,
+    ExprEvaluationError,
+    ExprSyntaxError,
+    QueryError,
+    ReproError,
+)
+from repro.expr import EvalContext, parse_expression
+from repro.expr.lexer import tokenize
+from repro.query import parse_query
+
+printable = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=80
+)
+
+
+class TestLexersTotal:
+    @given(printable)
+    def test_expr_tokenize_total(self, source):
+        try:
+            tokens = tokenize(source)
+        except ExprSyntaxError:
+            return
+        assert tokens[-1].kind == "EOF"
+
+    @given(printable)
+    def test_ddl_tokenize_total(self, source):
+        try:
+            tokens = tokenize_ddl(source)
+        except DDLSyntaxError:
+            return
+        assert tokens[-1].kind == "EOF"
+
+
+class TestParsersRaiseOnlyDeclaredErrors:
+    @given(printable)
+    def test_expr_parser(self, source):
+        try:
+            parse_expression(source)
+        except ExprSyntaxError:
+            pass
+
+    @given(printable)
+    def test_ddl_parser(self, source):
+        try:
+            parse_schema_source(source)
+        except DDLSyntaxError:
+            pass
+
+    @given(printable)
+    def test_query_parser(self, source):
+        try:
+            parse_query(source)
+        except (QueryError, ExprSyntaxError):
+            pass
+
+    @given(printable)
+    def test_query_parser_with_select_prefix(self, source):
+        try:
+            parse_query("select " + source)
+        except (QueryError, ExprSyntaxError):
+            pass
+
+
+class TestEvaluationContained:
+    class Obj:
+        def __init__(self, **members):
+            self._members = members
+
+        def get_member(self, name):
+            return self._members[name]
+
+    @settings(max_examples=200)
+    @given(printable, st.integers(-5, 5), st.lists(st.integers(-3, 3), max_size=4))
+    def test_evaluation_raises_only_declared_errors(self, source, n, items):
+        try:
+            node = parse_expression(source)
+        except ExprSyntaxError:
+            return
+        root = self.Obj(N=n, Items=items)
+        try:
+            node.evaluate(EvalContext(root))
+        except (ExprEvaluationError, ReproError):
+            pass
+        except RecursionError:
+            pass

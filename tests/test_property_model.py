@@ -1,0 +1,215 @@
+"""Property-based tests on core model invariants (hypothesis).
+
+Invariants:
+
+* value-inheritance transparency: a bound inheritor always reads exactly
+  the transmitter's current value for every permeable member;
+* the lock table never grants two conflicting locks;
+* version-graph derivation stays acyclic and history lengths are bounded;
+* persistence round-trips arbitrary generated instance populations.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    INTEGER,
+    InheritanceRelationshipType,
+    ObjectType,
+    new_object,
+)
+from repro.core.surrogate import Surrogate
+from repro.errors import LockConflictError
+from repro.txn.locks import LockMode, LockTable, scopes_overlap
+from repro.versions import VersionGraph
+
+# ---------------------------------------------------------------------------
+# value-inheritance transparency
+# ---------------------------------------------------------------------------
+
+attribute_names = [f"A{i}" for i in range(6)]
+
+
+@st.composite
+def inheritance_setups(draw):
+    permeable = draw(
+        st.lists(st.sampled_from(attribute_names), min_size=1, max_size=6, unique=True)
+    )
+    updates = draw(
+        st.lists(
+            st.tuples(st.sampled_from(attribute_names), st.integers(-100, 100)),
+            max_size=20,
+        )
+    )
+    return permeable, updates
+
+
+class TestInheritanceTransparency:
+    @given(inheritance_setups())
+    def test_inheritor_always_sees_current_transmitter_values(self, setup):
+        permeable, updates = setup
+        transmitter_type = ObjectType(
+            "T", attributes={name: INTEGER for name in attribute_names}
+        )
+        rel = InheritanceRelationshipType("R", transmitter_type, permeable)
+        inheritor_type = ObjectType("I")
+        inheritor_type.declare_inheritor_in(rel)
+
+        transmitter = new_object(transmitter_type)
+        inheritor = new_object(inheritor_type, transmitter=transmitter)
+        for name, value in updates:
+            transmitter.set_attribute(name, value)
+            for member in permeable:
+                assert inheritor[member] == transmitter[member]
+
+    @given(inheritance_setups())
+    def test_unbinding_severs_visibility(self, setup):
+        permeable, updates = setup
+        transmitter_type = ObjectType(
+            "T", attributes={name: INTEGER for name in attribute_names}
+        )
+        rel = InheritanceRelationshipType("R", transmitter_type, permeable)
+        inheritor_type = ObjectType("I")
+        inheritor_type.declare_inheritor_in(rel)
+        transmitter = new_object(transmitter_type)
+        inheritor = new_object(inheritor_type, transmitter=transmitter)
+        for name, value in updates:
+            transmitter.set_attribute(name, value)
+        inheritor.link_for(rel).unbind()
+        for member in permeable:
+            assert inheritor[member] is None
+
+
+# ---------------------------------------------------------------------------
+# lock-table safety
+# ---------------------------------------------------------------------------
+
+lock_requests = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=4),        # txn id
+        st.integers(min_value=1, max_value=3),        # object id
+        st.sampled_from([LockMode.S, LockMode.X]),    # mode
+        st.one_of(                                     # scope
+            st.none(),
+            st.frozensets(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=3),
+        ),
+    ),
+    max_size=25,
+)
+
+
+class TestLockTableSafety:
+    @given(lock_requests)
+    def test_never_two_conflicting_grants(self, requests):
+        table = LockTable()
+        for txn_id, obj_id, mode, scope in requests:
+            try:
+                table.acquire(txn_id, Surrogate(obj_id), mode, scope)
+            except LockConflictError:
+                pass
+            # Invariant: all granted entries on each object are pairwise
+            # compatible across transactions.
+            for oid in {1, 2, 3}:
+                entries = table.holders(Surrogate(oid))
+                for i, first in enumerate(entries):
+                    for second in entries[i + 1:]:
+                        if first.txn_id == second.txn_id:
+                            continue
+                        conflicting = (
+                            not (first.mode == "S" and second.mode == "S")
+                            and scopes_overlap(first.scope, second.scope)
+                        )
+                        assert not conflicting
+
+    @given(lock_requests)
+    def test_release_all_removes_everything(self, requests):
+        table = LockTable()
+        for txn_id, obj_id, mode, scope in requests:
+            try:
+                table.acquire(txn_id, Surrogate(obj_id), mode, scope)
+            except LockConflictError:
+                pass
+        for txn_id in (1, 2, 3, 4):
+            table.release_all(txn_id)
+        assert table.lock_count() == 0
+
+
+# ---------------------------------------------------------------------------
+# version graphs
+# ---------------------------------------------------------------------------
+
+derivation_scripts = st.lists(
+    st.integers(min_value=0, max_value=10**6), min_size=1, max_size=30
+)
+
+
+class TestVersionGraphInvariants:
+    @given(derivation_scripts)
+    def test_histories_acyclic_and_bounded(self, script):
+        graph = VersionGraph(name="prop")
+        holder_type = ObjectType("V", attributes={"N": INTEGER})
+        members = []
+        rng = random.Random(42)
+        for value in script:
+            version = new_object(holder_type, N=value)
+            base = members[rng.randrange(len(members))] if members else None
+            graph.add_version(version, derived_from=base)
+            members.append(version)
+        for member in members:
+            history = graph.history_of(member)
+            assert history[-1] is member
+            assert len(history) <= len(members)
+            assert len({v.surrogate for v in history}) == len(history)  # acyclic
+        assert len(graph.roots()) >= 1
+        assert sum(len(graph.derivatives_of(m)) for m in members) == len(members) - len(
+            graph.roots()
+        )
+
+
+# ---------------------------------------------------------------------------
+# persistence round-trips
+# ---------------------------------------------------------------------------
+
+populations = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=100),   # Length
+        st.integers(min_value=0, max_value=100),   # Width
+        st.integers(min_value=0, max_value=3),     # implementations
+        st.integers(min_value=0, max_value=3),     # pins
+    ),
+    max_size=6,
+)
+
+
+class TestPersistenceRoundTrip:
+    @settings(max_examples=25, deadline=None)
+    @given(populations)
+    def test_generated_databases_round_trip(self, population):
+        from repro.engine import dump_image, load_image
+        from tests.conftest import build_gate_database
+
+        db = build_gate_database("prop")
+        for length, width, n_impls, n_pins in population:
+            iface = db.create_object(
+                "GateInterface", class_name="Interfaces", Length=length, Width=width
+            )
+            for i in range(n_pins):
+                iface.subclass("Pins").create(InOut="IN" if i % 2 else "OUT")
+            for _ in range(n_impls):
+                db.create_object(
+                    "GateImplementation",
+                    class_name="Implementations",
+                    transmitter=iface,
+                )
+        image = dump_image(db)
+        fresh = build_gate_database("prop")
+        load_image(image, fresh)
+        assert fresh.count() == db.count()
+        for obj in db.objects():
+            twin = fresh.get(obj.surrogate)
+            assert twin is not None
+            assert twin.object_type.name == obj.object_type.name
+            for name in obj.object_type.effective_attributes():
+                assert twin[name] == obj[name]

@@ -1,0 +1,160 @@
+"""Tests for the query language (repro.query)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query import parse_query, run_query
+from tests.conftest import add_pins, build_gate_database
+
+
+@pytest.fixture
+def db():
+    db = build_gate_database("query")
+    for length, width in ((10, 5), (20, 5), (30, 9), (40, 9)):
+        iface = db.create_object(
+            "GateInterface", class_name="Interfaces", Length=length, Width=width
+        )
+        add_pins(iface, n_in=2, n_out=1)
+    return db
+
+
+class TestParser:
+    def test_minimal_query(self):
+        spec = parse_query("select * from Interfaces")
+        assert spec.projection is None
+        assert spec.source_name == "Interfaces"
+        assert spec.where is None
+
+    def test_full_query(self):
+        spec = parse_query(
+            "select distinct Length, Width from Interfaces "
+            "where Length > 10 order by Width desc limit 3"
+        )
+        assert spec.distinct
+        assert spec.column_names == ["Length", "Width"]
+        assert spec.where_source == "Length > 10"
+        assert spec.order_source == "Width"
+        assert spec.descending and spec.limit == 3
+
+    def test_expression_projection(self):
+        spec = parse_query("select Length * Width from Interfaces")
+        assert spec.column_names == ["Length * Width"]
+
+    def test_aggregate_in_where(self):
+        spec = parse_query("select * from Interfaces where count(Pins) = 3")
+        assert "count" in spec.where_source
+
+    def test_nested_commas_stay_in_projection(self):
+        spec = parse_query("select min(Length + 1), Width from Interfaces")
+        assert len(spec.projection) == 2
+
+    def test_missing_select(self):
+        with pytest.raises(QueryError):
+            parse_query("from Interfaces")
+
+    def test_missing_from(self):
+        with pytest.raises(QueryError):
+            parse_query("select *")
+
+    def test_bad_limit(self):
+        with pytest.raises(QueryError):
+            parse_query("select * from A limit x")
+        with pytest.raises(QueryError):
+            parse_query("select * from A limit 1.5")
+
+    def test_order_requires_by(self):
+        with pytest.raises(QueryError):
+            parse_query("select * from A order Length")
+
+    def test_empty_where(self):
+        with pytest.raises(QueryError):
+            parse_query("select * from A where")
+
+    def test_case_insensitive_clause_words(self):
+        spec = parse_query("SELECT * FROM Interfaces LIMIT 2")
+        assert spec.limit == 2
+
+
+class TestExecution:
+    def test_select_star(self, db):
+        result = db.query("select * from Interfaces")
+        assert len(result) == 4
+        assert result.objects is not None
+        assert all(obj.object_type.name == "GateInterface" for obj in result.objects)
+
+    def test_where_filter(self, db):
+        result = db.query("select Length from Interfaces where Width = 9")
+        assert sorted(result.scalars()) == [30, 40]
+
+    def test_from_type_name_fallback(self, db):
+        # GateInterface is a type, not a class name.
+        result = db.query("select * from GateInterface where Length = 10")
+        assert len(result) == 1
+
+    def test_unknown_source(self, db):
+        with pytest.raises(QueryError):
+            db.query("select * from Nowhere")
+
+    def test_projection_expressions(self, db):
+        result = db.query(
+            "select Length, Length * Width from Interfaces where Length = 30"
+        )
+        assert result.rows == [(30, 270)]
+        assert result.columns == ["Length", "Length * Width"]
+
+    def test_aggregate_over_subclass(self, db):
+        result = db.query("select count(Pins) from Interfaces")
+        assert result.scalars() == [3, 3, 3, 3]
+
+    def test_order_by_asc_and_desc(self, db):
+        asc = db.query("select Length from Interfaces order by Length")
+        desc = db.query("select Length from Interfaces order by Length desc")
+        assert asc.scalars() == [10, 20, 30, 40]
+        assert desc.scalars() == list(reversed(asc.scalars()))
+
+    def test_order_by_expression(self, db):
+        result = db.query(
+            "select Length from Interfaces order by Length * Width desc limit 1"
+        )
+        assert result.scalars() == [40]
+
+    def test_limit(self, db):
+        result = db.query("select * from Interfaces order by Length limit 2")
+        assert [obj["Length"] for obj in result.objects] == [10, 20]
+
+    def test_limit_zero(self, db):
+        assert len(db.query("select * from Interfaces limit 0")) == 0
+
+    def test_distinct_values(self, db):
+        result = db.query("select distinct Width from Interfaces")
+        assert sorted(result.scalars()) == [5, 9]
+
+    def test_distinct_star(self, db):
+        result = db.query("select distinct * from Interfaces")
+        assert len(result) == 4
+
+    def test_missing_member_projects_none(self, db):
+        result = db.query("select Nonsense from Interfaces limit 1")
+        # Unresolved bare identifiers follow the enum-label convention and
+        # evaluate to their own spelling — documented expression semantics.
+        assert result.scalars() == ["Nonsense"]
+
+    def test_deleted_objects_excluded(self, db):
+        victim = db.class_("Interfaces").members()[0]
+        victim.delete()
+        assert len(db.query("select * from Interfaces")) == 3
+
+    def test_inherited_members_queryable(self, db):
+        iface = db.class_("Interfaces").members()[0]
+        db.create_object(
+            "GateImplementation", class_name="Implementations", transmitter=iface
+        )
+        result = db.query(
+            "select Length from Implementations where count(Pins) = 3"
+        )
+        assert result.scalars() == [iface["Length"]]
+
+    def test_result_repr_and_iter(self, db):
+        result = db.query("select Length from Interfaces limit 1")
+        assert "rows=1" in repr(result)
+        assert list(result) == result.rows

@@ -1,0 +1,83 @@
+"""Unit tests for surrogate identity (repro.core.surrogate)."""
+
+import threading
+
+import pytest
+
+from repro.core.surrogate import Surrogate, SurrogateGenerator
+
+
+class TestSurrogate:
+    def test_equality_by_value_and_space(self):
+        assert Surrogate(1, "a") == Surrogate(1, "a")
+        assert Surrogate(1, "a") != Surrogate(1, "b")
+        assert Surrogate(1, "a") != Surrogate(2, "a")
+
+    def test_hashable_usable_in_sets(self):
+        assert len({Surrogate(1), Surrogate(1), Surrogate(2)}) == 2
+
+    def test_ordering_follows_value(self):
+        assert Surrogate(1, "a") < Surrogate(2, "a")
+
+    def test_str_rendering(self):
+        assert str(Surrogate(7, "demo")) == "@demo:7"
+
+    def test_frozen(self):
+        surrogate = Surrogate(1)
+        with pytest.raises(Exception):
+            surrogate.value = 2  # type: ignore[misc]
+
+
+class TestSurrogateGenerator:
+    def test_fresh_is_unique_and_increasing(self):
+        gen = SurrogateGenerator("t")
+        issued = [gen.fresh() for _ in range(100)]
+        assert len(set(issued)) == 100
+        assert issued == sorted(issued)
+
+    def test_space_propagates(self):
+        gen = SurrogateGenerator("mydb")
+        assert gen.fresh().space == "mydb"
+
+    def test_fresh_many(self):
+        gen = SurrogateGenerator()
+        assert len(list(gen.fresh_many(5))) == 5
+        with pytest.raises(ValueError):
+            list(gen.fresh_many(-1))
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SurrogateGenerator(start=-1)
+
+    def test_advance_past_prevents_reuse_after_load(self):
+        gen = SurrogateGenerator()
+        gen.advance_past(500)
+        assert gen.fresh().value == 501
+
+    def test_advance_past_never_goes_backward(self):
+        gen = SurrogateGenerator(start=1000)
+        first = gen.fresh()
+        gen.advance_past(5)
+        assert gen.fresh().value > first.value
+
+    def test_last_issued_tracks(self):
+        gen = SurrogateGenerator(start=10)
+        gen.fresh()
+        assert gen.last_issued == 10
+
+    def test_thread_safety_no_duplicates(self):
+        gen = SurrogateGenerator()
+        issued = []
+        lock = threading.Lock()
+
+        def worker():
+            local = [gen.fresh() for _ in range(200)]
+            with lock:
+                issued.extend(local)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(set(issued)) == 1600

@@ -1,0 +1,352 @@
+"""Tests for transactions, scoped locks, lock inheritance and access
+control (repro.txn)."""
+
+import pytest
+
+from repro.composition import add_component
+from repro.core.surrogate import Surrogate
+from repro.ddl.paper import load_gate_schema
+from repro.engine import Database
+from repro.errors import AccessDeniedError, LockConflictError, TransactionError
+from repro.txn import (
+    AccessControlManager,
+    LockMode,
+    LockTable,
+    Right,
+    TransactionManager,
+    inherited_lock_plan,
+    scopes_overlap,
+)
+
+
+@pytest.fixture
+def db():
+    db = Database("txn")
+    load_gate_schema(db.catalog)
+    return db
+
+
+@pytest.fixture
+def tm(db):
+    return TransactionManager(db)
+
+
+def make_interface(db, length=10):
+    iface = db.create_object("GateInterface", Length=length, Width=5)
+    iface.subclass("Pins").create(InOut="IN")
+    iface.subclass("Pins").create(InOut="OUT")
+    return iface
+
+
+def make_composite(db):
+    own_if = make_interface(db, 40)
+    impl = db.create_object("GateImplementation", transmitter=own_if)
+    component_if = make_interface(db, 10)
+    sub = add_component(impl, "SubGates", component_if, GateLocation=(0, 0))
+    return impl, own_if, component_if, sub
+
+
+class TestLockTable:
+    def test_shared_locks_compatible(self):
+        table = LockTable()
+        s = Surrogate(1)
+        table.acquire(1, s, LockMode.S)
+        table.acquire(2, s, LockMode.S)
+        assert len(table.holders(s)) == 2
+
+    def test_exclusive_conflicts(self):
+        table = LockTable()
+        s = Surrogate(1)
+        table.acquire(1, s, LockMode.X)
+        with pytest.raises(LockConflictError) as excinfo:
+            table.acquire(2, s, LockMode.S)
+        assert excinfo.value.holder == 1
+
+    def test_scoped_locks_disjoint_no_conflict(self):
+        table = LockTable()
+        s = Surrogate(1)
+        table.acquire(1, s, LockMode.X, frozenset({"Length"}))
+        table.acquire(2, s, LockMode.X, frozenset({"Width"}))  # disjoint
+        with pytest.raises(LockConflictError):
+            table.acquire(3, s, LockMode.S, frozenset({"Length"}))
+
+    def test_whole_object_scope_overlaps_everything(self):
+        assert scopes_overlap(None, frozenset({"A"}))
+        assert scopes_overlap(None, None)
+        assert not scopes_overlap(frozenset({"A"}), frozenset({"B"}))
+
+    def test_reacquire_merges_scope_and_mode(self):
+        table = LockTable()
+        s = Surrogate(1)
+        table.acquire(1, s, LockMode.S, frozenset({"A"}))
+        entry = table.acquire(1, s, LockMode.X, frozenset({"B"}))
+        assert entry.mode == LockMode.X
+        assert entry.scope == frozenset({"A", "B"})
+        assert len(table.holders(s)) == 1
+
+    def test_upgrade_blocked_by_other_reader(self):
+        table = LockTable()
+        s = Surrogate(1)
+        table.acquire(1, s, LockMode.S)
+        table.acquire(2, s, LockMode.S)
+        with pytest.raises(LockConflictError):
+            table.acquire(1, s, LockMode.X)
+
+    def test_release_all(self):
+        table = LockTable()
+        table.acquire(1, Surrogate(1), LockMode.S)
+        table.acquire(1, Surrogate(2), LockMode.X)
+        assert table.release_all(1) == 2
+        assert not table.is_locked(Surrogate(1))
+        assert table.lock_count() == 0
+
+
+class TestLockInheritance:
+    def test_plan_covers_visible_part(self, db):
+        impl, own_if, component_if, sub = make_composite(db)
+        plan = inherited_lock_plan(impl)
+        targets = {obj.surrogate: scope for obj, scope in plan}
+        assert own_if.surrogate in targets
+        assert targets[own_if.surrogate] == frozenset({"Length", "Width", "Pins"})
+
+    def test_plan_scoped_by_members(self, db):
+        impl, own_if, *_ = make_composite(db)
+        plan = inherited_lock_plan(impl, frozenset({"Length"}))
+        assert plan == [(own_if, frozenset({"Length"}))]
+
+    def test_plan_empty_for_local_members(self, db):
+        impl, *_ = make_composite(db)
+        assert inherited_lock_plan(impl, frozenset({"Function"})) == []
+
+    def test_plan_climbs_interface_hierarchy(self, db):
+        top = db.create_object("GateInterface_I")
+        top.subclass("Pins").create(InOut="IN")
+        iface = db.create_object("GateInterface", transmitter=top, Length=1, Width=1)
+        impl = db.create_object("GateImplementation", transmitter=iface)
+        plan = inherited_lock_plan(impl, frozenset({"Pins"}))
+        locked = {obj.surrogate: scope for obj, scope in plan}
+        assert iface.surrogate in locked and top.surrogate in locked
+        assert locked[top.surrogate] == frozenset({"Pins"})
+
+    def test_composite_reader_blocks_component_writer(self, db, tm):
+        impl, own_if, component_if, sub = make_composite(db)
+        reader = tm.begin()
+        reader.read(sub)  # touches inherited data of the component
+        writer = tm.begin()
+        with pytest.raises(LockConflictError):
+            writer.set(component_if, "Length", 99)
+        reader.commit()
+        writer.set(component_if, "Length", 99)
+        writer.commit()
+        assert component_if["Length"] == 99
+
+    def test_component_writer_blocks_composite_reader(self, db, tm):
+        impl, own_if, component_if, sub = make_composite(db)
+        writer = tm.begin()
+        writer.write(component_if, {"Length"})
+        reader = tm.begin()
+        with pytest.raises(LockConflictError):
+            reader.read(sub, {"Length"})
+
+    def test_invisible_member_write_does_not_conflict(self, db, tm):
+        # TimeBehavior is not permeable through AllOf_GateInterface, and
+        # the interface does not even declare it — but a scoped write on a
+        # *different* member of the component must not block the reader.
+        impl, own_if, component_if, sub = make_composite(db)
+        reader = tm.begin()
+        reader.read(sub, {"Length"})
+        writer = tm.begin()
+        writer.write(component_if, {"Width"})  # disjoint from Length
+        reader.commit()
+        writer.commit()
+
+
+class TestTransactions:
+    def test_commit_releases_locks(self, db, tm):
+        iface = make_interface(db)
+        txn = tm.begin()
+        txn.write(iface)
+        txn.commit()
+        assert not tm.lock_table.is_locked(iface.surrogate)
+        assert tm.active_transactions() == []
+
+    def test_abort_undoes_updates(self, db, tm):
+        iface = make_interface(db, length=10)
+        txn = tm.begin()
+        txn.set(iface, "Length", 99)
+        txn.set(iface, "Width", 77)
+        assert iface["Length"] == 99
+        txn.abort()
+        assert iface["Length"] == 10 and iface["Width"] == 5
+
+    def test_abort_undoes_first_time_set(self, db):
+        fresh_db = Database("txn2")
+        load_gate_schema(fresh_db.catalog)
+        tm2 = TransactionManager(fresh_db)
+        iface = fresh_db.create_object("GateInterface")
+        txn = tm2.begin()
+        txn.set(iface, "Length", 1)
+        txn.abort()
+        assert iface["Length"] is None
+
+    def test_context_manager_commit_and_abort(self, db, tm):
+        iface = make_interface(db, length=10)
+        with tm.begin() as txn:
+            txn.set(iface, "Length", 20)
+        assert iface["Length"] == 20
+        with pytest.raises(RuntimeError):
+            with tm.begin() as txn:
+                txn.set(iface, "Length", 30)
+                raise RuntimeError("boom")
+        assert iface["Length"] == 20  # rolled back
+
+    def test_operations_after_commit_rejected(self, db, tm):
+        iface = make_interface(db)
+        txn = tm.begin()
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.read(iface)
+        with pytest.raises(TransactionError):
+            txn.commit()
+
+    def test_locked_get(self, db, tm):
+        iface = make_interface(db, length=10)
+        txn = tm.begin()
+        assert txn.get(iface, "Length") == 10
+        holders = tm.lock_table.holders(iface.surrogate)
+        assert holders and holders[0].scope == frozenset({"Length"})
+
+    def test_two_writers_conflict(self, db, tm):
+        iface = make_interface(db)
+        a, b = tm.begin(), tm.begin()
+        a.write(iface)
+        with pytest.raises(LockConflictError):
+            b.write(iface)
+
+    def test_abort_all(self, db, tm):
+        iface = make_interface(db, length=10)
+        txn = tm.begin()
+        txn.set(iface, "Length", 50)
+        tm.abort_all()
+        assert iface["Length"] == 10 and tm.active_transactions() == []
+
+
+class TestDesignTransactions:
+    def test_persistent_locks_survive_commit(self, db, tm):
+        iface = make_interface(db)
+        design = tm.begin(persistent=True)
+        design.write(iface)
+        design.commit()
+        assert tm.lock_table.is_locked(iface.surrogate)
+        other = tm.begin()
+        with pytest.raises(LockConflictError):
+            other.read(iface)
+        design.checkin()
+        other.read(iface)
+
+    def test_checkin_requires_completion(self, db, tm):
+        design = tm.begin(persistent=True)
+        with pytest.raises(TransactionError):
+            design.checkin()
+        design.commit()
+        design.checkin()
+        with pytest.raises(TransactionError):
+            design.checkin()
+
+    def test_checkin_on_plain_transaction_rejected(self, db, tm):
+        txn = tm.begin()
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.checkin()
+
+
+class TestExpansionLocking:
+    def test_expansion_locks_whole_hierarchy(self, db, tm):
+        impl, own_if, component_if, sub = make_composite(db)
+        txn = tm.begin()
+        locked = txn.lock_expansion(impl)
+        assert locked >= 4  # impl, sub, pins…, interfaces
+        assert tm.lock_table.is_locked(component_if.surrogate)
+        # Component visible part is read-locked: a writer on Length fails…
+        writer = tm.begin()
+        with pytest.raises(LockConflictError):
+            writer.write(component_if, {"Length"})
+
+    def test_expansion_components_not_write_locked(self, db, tm):
+        impl, own_if, component_if, sub = make_composite(db)
+        txn = tm.begin()
+        txn.lock_expansion(impl, mode=LockMode.X)
+        holders = tm.lock_table.holders(component_if.surrogate)
+        assert all(entry.mode == LockMode.S for entry in holders)
+        own = tm.lock_table.holders(impl.surrogate)
+        assert own[0].mode == LockMode.X
+
+
+class TestAccessControl:
+    def test_rights_ladder(self):
+        assert Right.includes(Right.WRITE, Right.READ)
+        assert not Right.includes(Right.READ, Right.WRITE)
+        with pytest.raises(AccessDeniedError):
+            Right.validate("root")
+
+    def test_object_grant_precedence(self, db):
+        acm = AccessControlManager(default_right=Right.READ)
+        iface = make_interface(db)
+        acm.grant("alice", iface, Right.WRITE)
+        assert acm.allowed("alice", iface) == Right.WRITE
+        assert acm.allowed("bob", iface) == Right.READ
+
+    def test_type_and_principal_defaults(self, db):
+        acm = AccessControlManager(default_right=Right.NONE)
+        iface = make_interface(db)
+        acm.grant("carol", db.catalog.type("GateInterface"), Right.READ)
+        assert acm.allowed("carol", iface) == Right.READ
+        acm.grant("carol", None, Right.WRITE)
+        # Type grant is more specific than the principal default.
+        assert acm.allowed("carol", iface) == Right.READ
+
+    def test_protected_standard_object(self, db, tm):
+        acm = AccessControlManager()
+        tm.access = acm
+        bolt_if = make_interface(db)
+        acm.protect_standard_object(bolt_if)
+        txn = tm.begin(user="designer")
+        txn.read(bolt_if)  # reading is fine
+        with pytest.raises(AccessDeniedError):
+            txn.set(bolt_if, "Length", 1)
+
+    def test_cap_mode_downgrades_for_readers(self, db):
+        acm = AccessControlManager()
+        iface = make_interface(db)
+        acm.protect_standard_object(iface)
+        assert acm.cap_mode("u", iface, LockMode.X) == LockMode.S
+        acm.grant("owner", iface, Right.WRITE)
+        assert acm.cap_mode("owner", iface, LockMode.X) == LockMode.X
+
+    def test_cap_mode_none_raises(self, db):
+        acm = AccessControlManager()
+        iface = make_interface(db)
+        acm.protect_standard_object(iface, everyone_reads=False)
+        with pytest.raises(AccessDeniedError):
+            acm.cap_mode("u", iface, LockMode.S)
+
+    def test_expansion_capped_by_access_control(self, db):
+        # The §6 scenario: expanding a chip write-locks the own design but
+        # the customized standard cells stay read-locked.
+        acm = AccessControlManager()
+        tm = TransactionManager(db, access=acm)
+        impl, own_if, component_if, sub = make_composite(db)
+        acm.protect_standard_object(component_if)
+        acm.protect_standard_object(own_if)
+        txn = tm.begin(user="designer")
+        txn.lock_expansion(impl, mode=LockMode.X)
+        for entry in tm.lock_table.holders(component_if.surrogate):
+            assert entry.mode == LockMode.S
+
+    def test_read_denied_without_rights(self, db):
+        acm = AccessControlManager(default_right=Right.NONE)
+        tm = TransactionManager(db, access=acm)
+        iface = make_interface(db)
+        txn = tm.begin(user="intruder")
+        with pytest.raises(AccessDeniedError):
+            txn.read(iface)

@@ -1,0 +1,119 @@
+"""Tests for cooperative transaction groups (repro.txn.groups)."""
+
+import pytest
+
+from repro.errors import LockConflictError, TransactionError
+from repro.txn import TransactionGroup, TransactionManager
+from repro.workloads import gate_database, make_interface
+
+
+@pytest.fixture
+def db():
+    return gate_database("groups")
+
+
+@pytest.fixture
+def tm(db):
+    return TransactionManager(db)
+
+
+class TestGroupSharing:
+    def test_members_share_locks(self, db, tm):
+        part = make_interface(db)
+        team = TransactionGroup(tm, "team")
+        alice = team.begin(user="alice")
+        bob = team.begin(user="bob")
+        alice.write(part)
+        bob.read(part)  # no conflict inside the group
+        bob.write(part)  # not even on write
+        alice.commit()
+        bob.commit()
+
+    def test_outsiders_still_conflict(self, db, tm):
+        part = make_interface(db)
+        team = TransactionGroup(tm)
+        alice = team.begin(user="alice")
+        alice.write(part)
+        outsider = tm.begin(user="eve")
+        with pytest.raises(LockConflictError):
+            outsider.read(part)
+
+    def test_two_groups_conflict(self, db, tm):
+        part = make_interface(db)
+        team_a = TransactionGroup(tm, "a")
+        team_b = TransactionGroup(tm, "b")
+        a = team_a.begin()
+        b = team_b.begin()
+        a.write(part)
+        with pytest.raises(LockConflictError):
+            b.read(part)
+
+    def test_join_existing_transaction(self, db, tm):
+        part = make_interface(db)
+        team = TransactionGroup(tm)
+        alice = team.begin()
+        loner = tm.begin()
+        team.join(loner)
+        alice.write(part)
+        loner.read(part)
+
+    def test_join_with_held_locks_rejected(self, db, tm):
+        part = make_interface(db)
+        team = TransactionGroup(tm)
+        loner = tm.begin()
+        loner.read(part)
+        with pytest.raises(TransactionError):
+            team.join(loner)
+
+
+class TestGroupLifecycle:
+    def test_commit_all(self, db, tm):
+        part = make_interface(db)
+        team = TransactionGroup(tm)
+        alice = team.begin()
+        alice.set(part, "Length", 42)
+        team.commit_all()
+        assert part["Length"] == 42
+        assert team.ended
+        assert not tm.lock_table.is_locked(part.surrogate)
+
+    def test_abort_all(self, db, tm):
+        part = make_interface(db, length=10)
+        team = TransactionGroup(tm)
+        alice = team.begin()
+        alice.set(part, "Length", 99)
+        team.abort_all()
+        assert part["Length"] == 10
+
+    def test_end_requires_completed_members(self, db, tm):
+        team = TransactionGroup(tm)
+        team.begin()
+        with pytest.raises(TransactionError):
+            team.end()
+
+    def test_end_releases_persistent_checkouts(self, db, tm):
+        part = make_interface(db)
+        team = TransactionGroup(tm)
+        designer = team.begin(user="alice", persistent=True)
+        designer.write(part)
+        designer.commit()  # locks survive commit (checkout)
+        assert tm.lock_table.is_locked(part.surrogate)
+        team.end()  # the group is the checkout unit
+        assert not tm.lock_table.is_locked(part.surrogate)
+
+    def test_ended_group_rejects_new_members(self, db, tm):
+        team = TransactionGroup(tm)
+        team.commit_all()
+        with pytest.raises(TransactionError):
+            team.begin()
+        with pytest.raises(TransactionError):
+            team.join(tm.begin())
+
+    def test_end_is_idempotent(self, db, tm):
+        team = TransactionGroup(tm)
+        team.commit_all()
+        team.end()
+        assert team.ended
+
+    def test_group_ids_unique(self, tm):
+        assert TransactionGroup(tm).group_id != TransactionGroup(tm).group_id

@@ -1,0 +1,314 @@
+"""Tests for value inheritance — the paper's central mechanism (§4.1/§4.2).
+
+Covers Figure 2 (interface/implementation), binding rules, read-only
+inherited data, live propagation, unbound inheritors (generalization),
+permeability, unbinding and interface hierarchies.
+"""
+
+import pytest
+
+from repro.core import (
+    INTEGER,
+    InheritanceRelationshipType,
+    ObjectType,
+    bind,
+    new_object,
+)
+from repro.errors import InheritanceError
+from tests.conftest import add_pins
+
+
+@pytest.fixture
+def interface(gates):
+    iface = new_object(gates.gate_interface, Length=40, Width=20)
+    add_pins(iface)
+    return iface
+
+
+class TestBinding:
+    def test_bind_at_creation(self, gates, interface):
+        impl = new_object(gates.gate_implementation, transmitter=interface)
+        assert impl.transmitter_of(gates.all_of_gate_interface) is interface
+
+    def test_bind_after_creation(self, gates, interface):
+        impl = new_object(gates.gate_implementation)
+        link = bind(impl, interface, gates.all_of_gate_interface)
+        assert link.transmitter is interface and link.inheritor is impl
+
+    def test_undeclared_type_rejected(self, gates, interface):
+        loner = new_object(gates.pin_type)
+        with pytest.raises(InheritanceError):
+            bind(loner, interface, gates.all_of_gate_interface)
+
+    def test_declare_flag_adds_declaration(self, gates, interface):
+        note_type = ObjectType("Note", attributes={"Text": INTEGER})
+        note = new_object(note_type)
+        bind(note, interface, gates.all_of_gate_interface, declare=True)
+        assert note["Length"] == 40
+
+    def test_wrong_transmitter_type_rejected(self, gates):
+        impl = new_object(gates.gate_implementation)
+        not_an_interface = new_object(gates.elementary_gate)
+        with pytest.raises(InheritanceError):
+            bind(impl, not_an_interface, gates.all_of_gate_interface)
+
+    def test_double_binding_rejected(self, gates, interface):
+        impl = new_object(gates.gate_implementation, transmitter=interface)
+        other = new_object(gates.gate_interface, Length=1, Width=1)
+        with pytest.raises(InheritanceError):
+            bind(impl, other, gates.all_of_gate_interface)
+
+    def test_inheritor_type_restriction_enforced_for_undeclared(self, gates, interface):
+        restricted = InheritanceRelationshipType(
+            "ImplOnly",
+            gates.gate_interface,
+            ["Length"],
+            inheritor_type=gates.gate_implementation,
+        )
+        # A type that never declared inheritor-in cannot sneak in through
+        # declare=True when the inheritor: clause restricts the type.
+        other = new_object(ObjectType("Other"))
+        with pytest.raises(InheritanceError):
+            bind(other, interface, restricted, declare=True)
+
+    def test_explicit_declaration_authorizes_despite_restriction(self, gates, interface):
+        # §5: WeightCarrying_Structure's Girders subclass declares
+        # inheritor-in AllOf_GirderIf although the relationship restricts
+        # inheritors to Girder — the declaration is the authorization.
+        restricted = InheritanceRelationshipType(
+            "ImplOnly2",
+            gates.gate_interface,
+            ["Length"],
+            inheritor_type=gates.gate_implementation,
+        )
+        declared_type = ObjectType("Declared")
+        declared_type.declare_inheritor_in(restricted)
+        declared = new_object(declared_type)
+        link = bind(declared, interface, restricted)
+        assert declared["Length"] == interface["Length"]
+        assert link.rel_type is restricted
+
+    def test_object_level_cycle_rejected(self, gates):
+        # Two interfaces that could inherit from each other via two rels.
+        t = ObjectType("T", attributes={"X": INTEGER})
+        rel = InheritanceRelationshipType("AllOfT", t, ["X"])
+        sub = ObjectType("Sub", attributes={"Y": INTEGER})
+        sub.declare_inheritor_in(rel)
+        rel2 = InheritanceRelationshipType("AllOfSub", sub, ["Y"])
+        t2 = ObjectType("T2")
+        t2.declare_inheritor_in(rel2)
+
+        a = new_object(t, X=1)
+        b = new_object(sub, transmitter=a)
+        # b inherits from a; binding something upstream of a to b is fine,
+        # but a cycle a -> b -> a must be refused at the object level.
+        assert b["X"] == 1
+
+    def test_local_shadow_blocks_binding(self, gates, interface):
+        impl = new_object(gates.gate_implementation)
+        impl.set_attribute("Length", 99)  # allowed while unbound
+        with pytest.raises(InheritanceError):
+            bind(impl, interface, gates.all_of_gate_interface)
+
+    def test_local_subobjects_block_binding(self, gates, interface):
+        impl = new_object(gates.gate_implementation)
+        impl.subclass("Pins").create(InOut="IN")
+        with pytest.raises(InheritanceError):
+            bind(impl, interface, gates.all_of_gate_interface)
+
+    def test_via_required_when_ambiguous(self, gates, interface):
+        t1 = ObjectType("T1", attributes={"X": INTEGER})
+        t2 = ObjectType("T2", attributes={"Y": INTEGER})
+        r1 = InheritanceRelationshipType("R1", t1, ["X"])
+        r2 = InheritanceRelationshipType("R2", t2, ["Y"])
+        sub = ObjectType("Sub")
+        sub.declare_inheritor_in(r1)
+        sub.declare_inheritor_in(r2)
+        src = new_object(t1, X=5)
+        with pytest.raises(InheritanceError):
+            new_object(sub, transmitter=src)
+        obj = new_object(sub, transmitter=src, via=r1)
+        assert obj["X"] == 5
+
+    def test_via_without_transmitter_rejected(self, gates):
+        with pytest.raises(InheritanceError):
+            new_object(
+                gates.gate_implementation, via=gates.all_of_gate_interface
+            )
+
+    def test_link_attributes(self, gates, interface):
+        rel_with_attrs = InheritanceRelationshipType(
+            "Tracked",
+            gates.gate_interface,
+            ["Length"],
+            attributes={"Revision": INTEGER},
+        )
+        t = ObjectType("Client")
+        t.declare_inheritor_in(rel_with_attrs)
+        client = new_object(t)
+        link = bind(client, interface, rel_with_attrs, Revision=1)
+        assert link["Revision"] == 1
+
+
+class TestValueInheritance:
+    def test_figure2_attributes_and_pins_inherited(self, gates, interface):
+        impl = new_object(gates.gate_implementation, transmitter=interface)
+        assert impl["Length"] == 40 and impl["Width"] == 20
+        assert len(impl["Pins"]) == 3  # the interface's pins, seen live
+
+    def test_inherited_values_are_the_transmitters_objects(self, gates, interface):
+        impl = new_object(gates.gate_implementation, transmitter=interface)
+        assert set(p.surrogate for p in impl["Pins"]) == set(
+            p.surrogate for p in interface["Pins"]
+        )
+
+    def test_transmitter_update_visible_immediately(self, gates, interface):
+        impl_a = new_object(gates.gate_implementation, transmitter=interface)
+        impl_b = new_object(gates.gate_implementation, transmitter=interface)
+        interface.set_attribute("Length", 55)
+        assert impl_a["Length"] == 55 and impl_b["Length"] == 55
+
+    def test_new_interface_pin_visible_in_implementations(self, gates, interface):
+        impl = new_object(gates.gate_implementation, transmitter=interface)
+        before = len(impl["Pins"])
+        interface.subclass("Pins").create(InOut="IN")
+        assert len(impl["Pins"]) == before + 1
+
+    def test_inherited_attribute_readonly(self, gates, interface):
+        impl = new_object(gates.gate_implementation, transmitter=interface)
+        with pytest.raises(InheritanceError):
+            impl.set_attribute("Length", 1)
+
+    def test_inherited_subclass_readonly(self, gates, interface):
+        impl = new_object(gates.gate_implementation, transmitter=interface)
+        with pytest.raises(InheritanceError):
+            impl.subclass("Pins").create(InOut="IN")
+
+    def test_own_attributes_still_writable(self, gates, interface):
+        impl = new_object(gates.gate_implementation, transmitter=interface)
+        impl.set_attribute("Function", [[True, False]])
+        assert impl["Function"] == ((True, False),)
+
+    def test_own_subclasses_still_writable(self, gates, interface):
+        impl = new_object(gates.gate_implementation, transmitter=interface)
+        sub = impl.subclass("SubGates").create(Function="AND")
+        assert sub in impl.subclass("SubGates")
+
+    def test_permeability_is_selective(self, gates):
+        # SomeOf_Gate (§4.2): only the listed members flow through.
+        some_of = InheritanceRelationshipType(
+            "SomeOf_GateInterface", gates.gate_interface, ["Length"]
+        )
+        t = ObjectType("Narrow")
+        t.declare_inheritor_in(some_of)
+        iface = new_object(gates.gate_interface, Length=40, Width=20)
+        narrow = new_object(t, transmitter=iface)
+        assert narrow["Length"] == 40
+        from repro.errors import UnknownAttributeError
+
+        with pytest.raises(UnknownAttributeError):
+            narrow.get_member("Width")
+
+    def test_is_member_inherited(self, gates, interface):
+        impl = new_object(gates.gate_implementation, transmitter=interface)
+        assert impl.is_member_inherited("Length")
+        assert not impl.is_member_inherited("Function")
+
+
+class TestUnboundInheritor:
+    def test_structure_without_values(self, gates):
+        impl = new_object(gates.gate_implementation)
+        assert impl["Length"] is None  # structure inherited, no value
+        assert impl["Pins"] == []  # empty local structural container
+
+    def test_unbound_may_hold_local_values(self, gates):
+        impl = new_object(gates.gate_implementation)
+        impl.set_attribute("Length", 12)
+        assert impl["Length"] == 12
+
+    def test_unbound_may_populate_structural_subclass(self, gates):
+        impl = new_object(gates.gate_implementation)
+        impl.subclass("Pins").create(InOut="IN")
+        assert len(impl["Pins"]) == 1
+
+
+class TestUnbind:
+    def test_unbind_restores_structural_state(self, gates, interface):
+        impl = new_object(gates.gate_implementation, transmitter=interface)
+        link = impl.link_for(gates.all_of_gate_interface)
+        link.unbind()
+        assert impl.transmitter_of(gates.all_of_gate_interface) is None
+        assert impl["Length"] is None
+        impl.set_attribute("Length", 3)  # writable again
+        assert impl["Length"] == 3
+
+    def test_unbind_is_idempotent(self, gates, interface):
+        impl = new_object(gates.gate_implementation, transmitter=interface)
+        link = impl.link_for(gates.all_of_gate_interface)
+        link.unbind()
+        link.unbind()
+        assert link.deleted
+
+    def test_deleting_transmitter_requires_opt_in(self, gates, interface):
+        new_object(gates.gate_implementation, transmitter=interface)
+        with pytest.raises(InheritanceError):
+            interface.delete()
+
+    def test_deleting_transmitter_with_unbind(self, gates, interface):
+        impl = new_object(gates.gate_implementation, transmitter=interface)
+        interface.delete(unbind_inheritors=True)
+        assert interface.deleted and not impl.deleted
+        assert impl.transmitter_of(gates.all_of_gate_interface) is None
+
+    def test_deleting_inheritor_releases_transmitter(self, gates, interface):
+        impl = new_object(gates.gate_implementation, transmitter=interface)
+        impl.delete()
+        assert interface.inheritor_links == ()
+        interface.delete()  # now permitted
+        assert interface.deleted
+
+
+class TestInterfaceHierarchy:
+    """§4.2: GateInterface_I -> GateInterface -> GateImplementation."""
+
+    @pytest.fixture
+    def hierarchy(self, gates):
+        interface_i_type = ObjectType(
+            "GateInterface_I", subclasses={"Pins": gates.pin_type}
+        )
+        all_of_i = InheritanceRelationshipType(
+            "AllOf_GateInterface_I", interface_i_type, ["Pins"]
+        )
+        iface_type = ObjectType(
+            "GateInterfaceV", attributes={"Length": INTEGER, "Width": INTEGER}
+        )
+        iface_type.declare_inheritor_in(all_of_i)
+        all_of_iface = InheritanceRelationshipType(
+            "AllOf_GateInterfaceV", iface_type, ["Length", "Width", "Pins"]
+        )
+        impl_type = ObjectType("GateImplV")
+        impl_type.declare_inheritor_in(all_of_iface)
+        return interface_i_type, all_of_i, iface_type, all_of_iface, impl_type
+
+    def test_two_level_value_flow(self, gates, hierarchy):
+        interface_i_type, all_of_i, iface_type, all_of_iface, impl_type = hierarchy
+        super_iface = new_object(interface_i_type)
+        add_pins(super_iface)
+        iface_v1 = new_object(iface_type, transmitter=super_iface, Length=10, Width=5)
+        iface_v2 = new_object(iface_type, transmitter=super_iface, Length=99, Width=9)
+        impl = new_object(impl_type, transmitter=iface_v1)
+        # Pins flow from the super-interface through the interface version.
+        assert len(impl["Pins"]) == 3
+        assert impl["Length"] == 10
+        # The versions share pins but differ in expansion (the paper's point).
+        assert iface_v2["Length"] == 99
+        assert len(iface_v2["Pins"]) == 3
+
+    def test_update_at_top_reaches_bottom(self, gates, hierarchy):
+        interface_i_type, _, iface_type, _, impl_type = hierarchy
+        super_iface = new_object(interface_i_type)
+        add_pins(super_iface)
+        iface = new_object(iface_type, transmitter=super_iface, Length=10, Width=5)
+        impl = new_object(impl_type, transmitter=iface)
+        super_iface.subclass("Pins").create(InOut="IN")
+        assert len(impl["Pins"]) == 4

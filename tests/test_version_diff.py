@@ -1,0 +1,134 @@
+"""Tests for version derivation and diffs (repro.versions.diff)."""
+
+import pytest
+
+from repro.versions import (
+    StateGuard,
+    VersionGraph,
+    VersionState,
+    derive_version,
+    diff_versions,
+)
+from repro.workloads import gate_database, make_interface
+
+
+@pytest.fixture
+def db():
+    return gate_database("version-diff")
+
+
+@pytest.fixture
+def graph(db):
+    return VersionGraph(name="diffs", guard=StateGuard(db))
+
+
+class TestDeriveVersion:
+    def test_derived_version_copies_data(self, db, graph):
+        base = make_interface(db, length=10)
+        graph.add_version(base)
+        derived = derive_version(graph, base)
+        assert derived["Length"] == 10
+        assert len(derived["Pins"]) == 3
+        assert derived.surrogate != base.surrogate
+
+    def test_derivation_registered(self, db, graph):
+        base = make_interface(db)
+        graph.add_version(base)
+        derived = derive_version(graph, base)
+        assert graph.base_of(derived) is base
+        assert graph.state_of(derived) == VersionState.IN_DESIGN
+
+    def test_derived_version_is_independent(self, db, graph):
+        base = make_interface(db, length=10)
+        graph.add_version(base)
+        derived = derive_version(graph, base)
+        derived.set_attribute("Length", 99)
+        assert base["Length"] == 10
+
+    def test_derive_from_released_base(self, db, graph):
+        base = make_interface(db, length=10)
+        graph.add_version(base)
+        graph.release(base)
+        derived = derive_version(graph, base)
+        derived.set_attribute("Length", 11)  # the copy is in design
+        assert graph.state_of(base) == VersionState.RELEASED
+
+
+class TestDiffVersions:
+    def test_no_changes_no_diff(self, db, graph):
+        base = make_interface(db)
+        graph.add_version(base)
+        derived = derive_version(graph, base)
+        assert diff_versions(base, derived) == []
+
+    def test_attribute_change(self, db, graph):
+        base = make_interface(db, length=10)
+        graph.add_version(base)
+        derived = derive_version(graph, base)
+        derived.set_attribute("Length", 12)
+        entries = diff_versions(base, derived)
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry.path == "Length" and entry.old == 10 and entry.new == 12
+
+    def test_subclass_growth(self, db, graph):
+        base = make_interface(db)
+        graph.add_version(base)
+        derived = derive_version(graph, base)
+        derived.subclass("Pins").create(InOut="IN")
+        entries = diff_versions(base, derived)
+        size_entries = [e for e in entries if e.kind == "size"]
+        assert len(size_entries) == 1
+        entry = size_entries[0]
+        assert entry.path == "Pins" and entry.old == 3 and entry.new == 4
+
+    def test_nested_member_change(self, db, graph):
+        base = make_interface(db)
+        graph.add_version(base)
+        derived = derive_version(graph, base)
+        pin = derived.subclass("Pins").members()[0]
+        pin.set_attribute("PinLocation", (9, 9))
+        entries = diff_versions(base, derived)
+        assert len(entries) == 1
+        assert entries[0].path.startswith("Pins[0].PinLocation")
+
+    def test_diff_is_directional(self, db, graph):
+        base = make_interface(db, length=10)
+        graph.add_version(base)
+        derived = derive_version(graph, base)
+        derived.set_attribute("Length", 12)
+        forward = diff_versions(base, derived)[0]
+        backward = diff_versions(derived, base)[0]
+        assert forward.old == backward.new and forward.new == backward.old
+
+    def test_multiple_changes_sorted_paths(self, db, graph):
+        base = make_interface(db, length=10, width=5)
+        graph.add_version(base)
+        derived = derive_version(graph, base)
+        derived.set_attribute("Width", 6)
+        derived.set_attribute("Length", 11)
+        paths = [e.path for e in diff_versions(base, derived)]
+        assert paths == ["Length", "Width"]
+
+    def test_str_rendering(self, db, graph):
+        base = make_interface(db, length=10)
+        graph.add_version(base)
+        derived = derive_version(graph, base)
+        derived.set_attribute("Length", 12)
+        assert "10 -> 12" in str(diff_versions(base, derived)[0])
+
+
+class TestDesignFlow:
+    def test_iterate_release_iterate(self, db, graph):
+        """The full §6 loop: derive, modify, diff, release, derive again."""
+        v1 = make_interface(db, length=10)
+        graph.add_version(v1)
+        v2 = derive_version(graph, v1)
+        v2.set_attribute("Length", 12)
+        assert [e.path for e in diff_versions(v1, v2)] == ["Length"]
+        graph.release(v2)
+        v3 = derive_version(graph, v2)
+        v3.subclass("Pins").create(InOut="IN")
+        assert graph.history_of(v3) == [v1, v2, v3]
+        assert len(diff_versions(v2, v3)) == 1
+        assert graph.leaves() == [v3]

@@ -1,0 +1,124 @@
+"""Tests for three-way version merge (repro.versions.merge)."""
+
+import pytest
+
+from repro.errors import VersionError
+from repro.versions import (
+    StateGuard,
+    VersionGraph,
+    derive_version,
+    merge_versions,
+)
+from repro.workloads import gate_database, make_interface
+
+
+@pytest.fixture
+def db():
+    return gate_database("merge")
+
+
+@pytest.fixture
+def graph(db):
+    return VersionGraph(name="merge", guard=StateGuard(db))
+
+
+def fork(db, graph, length=10, width=5):
+    """base with two derived alternatives."""
+    base = make_interface(db, length=length, width=width)
+    graph.add_version(base)
+    left = derive_version(graph, base)
+    right = derive_version(graph, base)
+    return base, left, right
+
+
+class TestCleanMerges:
+    def test_disjoint_changes_merge(self, db, graph):
+        base, left, right = fork(db, graph)
+        left.set_attribute("Length", 11)
+        right.set_attribute("Width", 6)
+        result = merge_versions(graph, base, left, right)
+        assert result.clean
+        assert result.merged["Length"] == 11  # from left
+        assert result.merged["Width"] == 6    # from right
+        assert len(result.applied_from_right) == 1
+
+    def test_identical_changes_merge_silently(self, db, graph):
+        base, left, right = fork(db, graph)
+        left.set_attribute("Length", 11)
+        right.set_attribute("Length", 11)
+        result = merge_versions(graph, base, left, right)
+        assert result.clean and result.merged["Length"] == 11
+
+    def test_no_changes_at_all(self, db, graph):
+        base, left, right = fork(db, graph)
+        result = merge_versions(graph, base, left, right)
+        assert result.clean
+        assert result.merged["Length"] == base["Length"]
+
+    def test_nested_member_change_applied(self, db, graph):
+        base, left, right = fork(db, graph)
+        pin = right.subclass("Pins").members()[0]
+        pin.set_attribute("PinLocation", (7, 7))
+        result = merge_versions(graph, base, left, right)
+        assert result.clean
+        merged_pin = result.merged.subclass("Pins").members()[0]
+        assert merged_pin["PinLocation"].X == 7
+
+    def test_merged_version_registered_with_parents(self, db, graph):
+        base, left, right = fork(db, graph)
+        result = merge_versions(graph, base, left, right)
+        assert graph.base_of(result.merged) is left
+        assert graph.merge_parents_of(result.merged) == [right]
+        assert result.merged in graph
+
+
+class TestConflicts:
+    def test_competing_attribute_change(self, db, graph):
+        base, left, right = fork(db, graph)
+        left.set_attribute("Length", 11)
+        right.set_attribute("Length", 12)
+        result = merge_versions(graph, base, left, right)
+        assert not result.clean
+        conflict = result.conflicts[0]
+        assert conflict.path == "Length"
+        assert conflict.base == 10 and conflict.left == 11 and conflict.right == 12
+        # The merged object keeps the left value pending manual resolution.
+        assert result.merged["Length"] == 11
+
+    def test_structural_change_on_right_is_conflict(self, db, graph):
+        base, left, right = fork(db, graph)
+        right.subclass("Pins").create(InOut="IN")
+        result = merge_versions(graph, base, left, right)
+        assert any(c.kind == "structure" for c in result.conflicts)
+
+    def test_both_resize_same_subclass(self, db, graph):
+        base, left, right = fork(db, graph)
+        left.subclass("Pins").create(InOut="IN")
+        right.subclass("Pins").create(InOut="OUT")
+        right.subclass("Pins").create(InOut="OUT")
+        result = merge_versions(graph, base, left, right)
+        structural = [c for c in result.conflicts if c.path == "Pins"]
+        assert structural and structural[0].left == 4 and structural[0].right == 5
+
+    def test_conflict_str(self, db, graph):
+        base, left, right = fork(db, graph)
+        left.set_attribute("Length", 11)
+        right.set_attribute("Length", 12)
+        result = merge_versions(graph, base, left, right)
+        assert "base 10" in str(result.conflicts[0])
+
+
+class TestMergeValidation:
+    def test_non_member_rejected(self, db, graph):
+        base, left, right = fork(db, graph)
+        stranger = make_interface(db)
+        with pytest.raises(VersionError):
+            merge_versions(graph, base, left, stranger)
+
+    def test_base_must_be_common_ancestor(self, db, graph):
+        base_a, left_a, _ = fork(db, graph)
+        base_b = make_interface(db)
+        graph.add_version(base_b)
+        other = derive_version(graph, base_b)
+        with pytest.raises(VersionError):
+            merge_versions(graph, base_a, left_a, other)

@@ -1,0 +1,93 @@
+"""Tests for the synthetic workload generators (repro.workloads)."""
+
+import pytest
+
+from repro.engine.integrity import assert_integrity
+from repro.workloads import (
+    gate_database,
+    generate_component_tree,
+    generate_composite,
+    generate_library,
+    generate_structure,
+    make_flipflop,
+    make_implementation,
+    make_interface,
+    steel_database,
+)
+
+
+class TestGateGenerators:
+    def test_interface_shape(self):
+        db = gate_database()
+        iface = make_interface(db, length=12, width=6, n_in=3, n_out=2)
+        assert iface["Length"] == 12
+        pins = iface["Pins"]
+        assert sum(1 for p in pins if p["InOut"] == "IN") == 3
+        assert sum(1 for p in pins if p["InOut"] == "OUT") == 2
+
+    def test_implementation_bound(self):
+        db = gate_database()
+        iface = make_interface(db)
+        impl = make_implementation(db, iface, time_behavior=4)
+        assert impl["TimeBehavior"] == 4
+        assert impl.transmitter_of(
+            db.catalog.inheritance_type("AllOf_GateInterface")
+        ) is iface
+
+    def test_library_deterministic(self):
+        db_a, db_b = gate_database("a"), gate_database("b")
+        ifaces_a, impls_a = generate_library(db_a, 5, 2, seed=99)
+        ifaces_b, impls_b = generate_library(db_b, 5, 2, seed=99)
+        assert [i["Length"] for i in ifaces_a] == [i["Length"] for i in ifaces_b]
+        assert len(impls_a) == len(impls_b) == 10
+
+    def test_library_seed_changes_output(self):
+        db_a, db_b = gate_database("a"), gate_database("b")
+        ifaces_a, _ = generate_library(db_a, 5, 1, seed=1)
+        ifaces_b, _ = generate_library(db_b, 5, 1, seed=2)
+        assert [i["Length"] for i in ifaces_a] != [i["Length"] for i in ifaces_b]
+
+    def test_composite_reuses_components(self):
+        db = gate_database()
+        interfaces, _ = generate_library(db, 3, 1)
+        composite = generate_composite(db, interfaces, n_components=10)
+        assert len(composite["SubGates"]) == 10
+        assert_integrity(db)
+
+    def test_component_tree_counts(self):
+        db = gate_database()
+        top, created = generate_component_tree(db, depth=2, fanout=3)
+        assert created == 1 + 3 + 9
+        assert len(top["SubGates"]) == 3
+
+    def test_flipflop_constraints(self):
+        db = gate_database()
+        ff, subgates = make_flipflop(db)
+        ff.check_constraints(deep=True)
+        assert len(subgates) == 2
+
+
+class TestSteelGenerators:
+    def test_structure_is_valid_by_construction(self):
+        db = steel_database()
+        structure, screwings = generate_structure(db, 2, 2, 4, seed=5)
+        structure.check_constraints(deep=True)
+        assert len(screwings) == 4
+        assert_integrity(db)
+
+    def test_structure_deterministic(self):
+        db_a, db_b = steel_database("a"), steel_database("b")
+        s_a, _ = generate_structure(db_a, 2, 2, 2, seed=7)
+        s_b, _ = generate_structure(db_b, 2, 2, 2, seed=7)
+        girders_a = [g["Length"] for g in s_a["Girders"]]
+        girders_b = [g["Length"] for g in s_b["Girders"]]
+        assert girders_a == girders_b
+
+    def test_bolt_lengths_satisfy_formula(self):
+        db = steel_database()
+        _, screwings = generate_structure(db, 2, 2, 3)
+        for screwing in screwings:
+            bolt = screwing.subclass("Bolt").members()[0]
+            nut = screwing.subclass("Nut").members()[0]
+            bore_sum = sum(b["Length"] for b in screwing["Bores"])
+            assert bolt["Length"] == nut["Length"] + bore_sum

@@ -1,0 +1,124 @@
+"""Tests for design workspaces (repro.versions.workspace)."""
+
+import pytest
+
+from repro.errors import VersionError
+from repro.versions import (
+    StateGuard,
+    VersionGraph,
+    VersionState,
+    Workspace,
+    derive_version,
+)
+from repro.workloads import gate_database, make_interface
+
+
+@pytest.fixture
+def db():
+    return gate_database("workspace")
+
+
+@pytest.fixture
+def guard(db):
+    return StateGuard(db)
+
+
+@pytest.fixture
+def graph(db, guard):
+    graph = VersionGraph(name="parts", guard=guard)
+    base = make_interface(db, length=10)
+    graph.add_version(base)
+    graph.release(base)
+    return graph
+
+
+@pytest.fixture
+def workspace(db):
+    return Workspace(db, user="alice")
+
+
+class TestCheckout:
+    def test_checkout_clones(self, graph, workspace):
+        base = graph.members()[0]
+        copy = workspace.checkout(graph, base)
+        assert copy["Length"] == 10
+        assert copy.surrogate != base.surrogate
+        assert workspace.is_checked_out(copy)
+
+    def test_copy_is_editable_although_origin_released(self, graph, workspace):
+        base = graph.members()[0]
+        copy = workspace.checkout(graph, base)
+        copy.set_attribute("Length", 11)  # the released origin stays safe
+        assert base["Length"] == 10
+
+    def test_checkout_of_non_member_rejected(self, db, graph, workspace):
+        stranger = make_interface(db)
+        with pytest.raises(VersionError):
+            workspace.checkout(graph, stranger)
+
+    def test_multiple_checkouts_tracked(self, graph, workspace):
+        base = graph.members()[0]
+        copies = [workspace.checkout(graph, base) for _ in range(3)]
+        assert len(workspace) == 3
+        assert set(workspace.checked_out()) == set(copies)
+
+
+class TestCheckin:
+    def test_checkin_creates_derived_version(self, graph, workspace):
+        base = graph.members()[0]
+        copy = workspace.checkout(graph, base)
+        copy.set_attribute("Length", 12)
+        result = workspace.checkin(copy)
+        assert result.version is copy
+        assert graph.base_of(copy) is base
+        assert graph.state_of(copy) == VersionState.IN_DESIGN
+        assert not workspace.is_checked_out(copy)
+        assert [e.path for e in result.changes] == ["Length"]
+
+    def test_unchanged_checkin_rejected(self, graph, workspace):
+        base = graph.members()[0]
+        copy = workspace.checkout(graph, base)
+        with pytest.raises(VersionError):
+            workspace.checkin(copy)
+        assert workspace.is_checked_out(copy)  # still out
+
+    def test_parallel_work_flagged(self, db, graph, workspace):
+        base = graph.members()[0]
+        copy = workspace.checkout(graph, base)
+        copy.set_attribute("Length", 12)
+        # Someone else derives from the origin while the copy is out.
+        derive_version(graph, base)
+        result = workspace.checkin(copy)
+        assert result.parallel
+        assert len(graph.derivatives_of(base)) == 2
+
+    def test_sequential_checkin_not_parallel(self, graph, workspace):
+        base = graph.members()[0]
+        copy = workspace.checkout(graph, base)
+        copy.set_attribute("Length", 12)
+        assert not workspace.checkin(copy).parallel
+
+    def test_checkin_unknown_copy_rejected(self, db, graph, workspace):
+        with pytest.raises(VersionError):
+            workspace.checkin(make_interface(db))
+
+
+class TestAbandon:
+    def test_abandon_deletes_copy(self, graph, workspace):
+        base = graph.members()[0]
+        copy = workspace.checkout(graph, base)
+        pins = copy.subclass("Pins").members()
+        workspace.abandon(copy)
+        assert copy.deleted and all(p.deleted for p in pins)
+        assert len(workspace) == 0
+        assert not base.deleted
+
+    def test_abandon_all(self, graph, workspace):
+        base = graph.members()[0]
+        for _ in range(3):
+            workspace.checkout(graph, base)
+        assert workspace.abandon_all() == 3
+        assert len(workspace) == 0
+
+    def test_workspace_repr(self, workspace):
+        assert "alice" in repr(workspace)
