@@ -1,0 +1,73 @@
+"""E13 — ablation: observability overhead on the hot paths.
+
+The instrumentation contract: with ``observe=False`` (the default) the
+engine pays one attribute load and a branch per instrumented site — within
+noise of the uninstrumented baseline rows of E2.  With ``observe=True``
+every transmitter update additionally walks its propagation fan-out, which
+is the measurement the ROADMAP's scaling work needs.
+
+Rows to compare:
+
+* ``update_observe_off``  vs  E2's ``update_with_inheritance`` — noise;
+* ``update_observe_on``   — the cost of measuring a fan-out of N;
+* ``inherited_read_observe_{off,on}`` — one counter increment per hop.
+"""
+
+import pytest
+
+from repro.workloads import gate_database, make_implementation, make_interface
+
+from benchmarks import obs_hook
+
+FANOUTS = [1, 10, 100]
+
+
+def _setup(n_impls, observe):
+    db = gate_database("e13-bench")
+    if observe:
+        db.enable_observability(tracing=False)
+    iface = make_interface(db)
+    for _ in range(n_impls):
+        make_implementation(db, iface)
+    return db, iface
+
+
+class TestUpdateOverhead:
+    @pytest.mark.parametrize("n_impls", FANOUTS)
+    def test_update_observe_off(self, benchmark, n_impls):
+        """Must match E2's update_with_inheritance within noise."""
+        db, iface = _setup(n_impls, observe=False)
+        counter = iter(range(10**9))
+
+        def update():
+            iface.set_attribute("Length", 10 + next(counter) % 50)
+
+        benchmark(update)
+        assert db.obs is None
+
+    @pytest.mark.parametrize("n_impls", FANOUTS)
+    def test_update_observe_on(self, benchmark, n_impls):
+        """Measured updates pay the O(fan-out) propagation walk."""
+        db, iface = _setup(n_impls, observe=True)
+        counter = iter(range(10**9))
+
+        def update():
+            iface.set_attribute("Length", 10 + next(counter) % 50)
+
+        benchmark(update)
+        assert db.obs.metrics.value("propagation.updates") > 0
+        obs_hook.collect(db, label=f"update_observe_on[{n_impls}]")
+
+
+class TestReadOverhead:
+    def test_inherited_read_observe_off(self, benchmark):
+        db, iface = _setup(1, observe=False)
+        impl = db.objects_of_type("GateImplementation")[0]
+        benchmark(impl.get_member, "Length")
+
+    def test_inherited_read_observe_on(self, benchmark):
+        db, iface = _setup(1, observe=True)
+        impl = db.objects_of_type("GateImplementation")[0]
+        benchmark(impl.get_member, "Length")
+        assert db.obs.metrics.value("reads.inherited") > 0
+        obs_hook.collect(db, label="inherited_read_observe_on")

@@ -3,11 +3,35 @@
 Every benchmark regenerates one experiment of DESIGN.md's index (E1–E9).
 Scales are kept laptop-friendly; the *shapes* (who wins, how costs grow)
 are what EXPERIMENTS.md records, not absolute numbers.
+
+Benches that opt into observability (see ``obs_hook``) have their metric
+snapshots merged and written to ``--obs-json=PATH`` at session end, so a
+benchmark run can emit propagation/lock/cache summaries alongside timings.
 """
+
+import json
 
 import pytest
 
 from repro.workloads import gate_database, steel_database
+
+from benchmarks import obs_hook
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--obs-json",
+        default=None,
+        help="write merged observability snapshots from observed benches "
+        "to this path (see benchmarks/obs_hook.py)",
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = session.config.getoption("--obs-json", default=None)
+    if path and obs_hook.collected:
+        with open(path, "w") as f:
+            json.dump(obs_hook.merged(), f, indent=1)
 
 
 @pytest.fixture

@@ -1,0 +1,50 @@
+"""Observability hook for the benchmark suite.
+
+Bench scripts that build an *observed* database can register its metrics
+snapshot here; the conftest session hook writes the merged result to the
+path given with ``--obs-json=PATH`` so runs capture span/metric summaries
+(propagation fan-out, lock waits, cache hit rates) alongside wall-clock
+timings, and ``benchmarks/report.py BENCH.json OBS.json`` folds them into
+EXPERIMENTS.md::
+
+    def test_something(benchmark):
+        db = gate_database("bench", )
+        db.enable_observability(tracing=False)
+        ...
+        benchmark(op)
+        obs_hook.collect(db, label="something")
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.obs.report import snapshot
+
+#: Snapshots registered during this pytest session.
+collected: List[Dict[str, Any]] = []
+
+
+def collect(db, label: str) -> Dict[str, Any]:
+    """Snapshot an observed database's registry under ``label``."""
+    snap = snapshot(db, include_events=False)
+    snap["label"] = label
+    collected.append(snap)
+    return snap
+
+
+def merged() -> Dict[str, Any]:
+    """All collected runs plus counter totals across them."""
+    totals: Dict[str, int] = {}
+    for snap in collected:
+        for name, value in snap.get("counters", {}).items():
+            totals[name] = totals.get(name, 0) + value
+    return {
+        "schema": "repro.metrics/1",
+        "runs": collected,
+        "totals": {name: totals[name] for name in sorted(totals)},
+    }
+
+
+def reset() -> None:
+    collected.clear()

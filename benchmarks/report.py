@@ -3,12 +3,16 @@
 
 Usage::
 
-    pytest benchmarks/ --benchmark-only --benchmark-json=bench.json
-    python benchmarks/report.py bench.json > EXPERIMENTS.md
+    pytest benchmarks/ --benchmark-only --benchmark-json=bench.json \
+        --obs-json=obs.json
+    python benchmarks/report.py bench.json [obs.json] > EXPERIMENTS.md
 
 The report groups results by experiment (benchmark module), renders a
 mean/ops table per group, and carries the experiment commentary that maps
-measurements back to the paper's claims.
+measurements back to the paper's claims.  When an observability export
+(``--obs-json``, see ``benchmarks/obs_hook.py``) is passed as the second
+argument, its metric snapshots — propagation fan-out, lock waits, cache
+hit rates — are appended so BENCH_*.json captures more than wall-clock.
 """
 
 from __future__ import annotations
@@ -119,6 +123,15 @@ EXPERIMENTS = {
         "collection scan on top of the plain attribute predicate; parsing "
         "is a constant prefix.",
     ),
+    "bench_e13_observability": (
+        "E13 — ablation: observability overhead",
+        "instrumentation layer (repro.obs)",
+        "With observe=False the *_observe_off rows match their E2 "
+        "counterparts within noise (one attribute load + branch per "
+        "site).  With observe=True an update additionally walks its "
+        "propagation fan-out — linear in the inheritor count — and an "
+        "inherited read pays one counter increment per delegation hop.",
+    ),
 }
 
 HEADER = """# EXPERIMENTS — paper vs. measured
@@ -163,7 +176,58 @@ def format_time(seconds: float) -> str:
     return f"{seconds:.3f} s"
 
 
-def main(path: str) -> None:
+def _snapshot_stats(snap: dict) -> Dict[str, object]:
+    """Headline figures of one ``repro.metrics/1`` snapshot (inline so the
+    report stays runnable without ``repro`` on the path)."""
+    counters = snap.get("counters", {})
+    hits = counters.get("cache.hits", 0)
+    misses = counters.get("cache.misses", 0)
+    fanout = snap.get("histograms", {}).get("propagation.fanout") or {}
+    mean_fanout = fanout.get("mean")
+    return {
+        "updates": counters.get("propagation.updates", 0),
+        "fan-out total": counters.get("propagation.fanout_total", 0),
+        "mean fan-out": round(mean_fanout, 3) if mean_fanout is not None else None,
+        "inherited reads": counters.get("reads.inherited", 0),
+        "lock acquisitions": counters.get("locks.acquired", 0),
+        "lock waits (conflicts)": counters.get("locks.conflicts", 0),
+        "cache hit rate": (
+            round(hits / (hits + misses), 3) if hits + misses else None
+        ),
+    }
+
+
+def print_observability(obs_path: str) -> None:
+    """Render the ``--obs-json`` export as a metrics section."""
+    with open(obs_path) as f:
+        data = json.load(f)
+    runs = data.get("runs", [])
+    print("## Observability metrics\n")
+    print(
+        "*Metric snapshots collected from observed benchmark databases "
+        "(`repro.obs`, merged by `benchmarks/obs_hook.py`); the "
+        "`repro.metrics/1` schema is documented in "
+        "`docs/observability.md`.*\n"
+    )
+    if not runs:
+        print("No observed benches registered snapshots in this run.\n")
+        return
+    keys = list(_snapshot_stats({}))
+    print("| run | " + " | ".join(keys) + " |")
+    print("|-----|" + "|".join("---" for _ in keys) + "|")
+    for snap in runs:
+        stats = _snapshot_stats(snap)
+        cells = " | ".join(str(stats[key]) for key in keys)
+        print(f"| `{snap.get('label', snap.get('database', '?'))}` | {cells} |")
+    totals = data.get("totals", {})
+    if totals:
+        stats = _snapshot_stats({"counters": totals})
+        cells = " | ".join(str(stats[key]) for key in keys)
+        print(f"| **total** | {cells} |")
+    print()
+
+
+def main(path: str, obs_path: str = None) -> None:
     with open(path) as f:
         data = json.load(f)
 
@@ -197,9 +261,12 @@ def main(path: str) -> None:
             )
         print(f"\n**Measured shape.** {shape}\n")
 
+    if obs_path is not None:
+        print_observability(obs_path)
+
 
 if __name__ == "__main__":
-    if len(sys.argv) != 2:
+    if len(sys.argv) not in (2, 3):
         print(__doc__, file=sys.stderr)
         sys.exit(2)
-    main(sys.argv[1])
+    main(*sys.argv[1:])

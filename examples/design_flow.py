@@ -10,10 +10,16 @@ implies, using the extension features of the reproduction:
 4. the composites re-resolve their generic relationships to the new
    version; the *adaptation tracker* shows what still needs a human.
 
-Run:  python examples/design_flow.py
+Run:  python examples/design_flow.py [IMAGE.json]
+
+With an argument, the final database is saved as a JSON image — the
+sample input for ``python -m repro metrics`` (see docs/observability.md).
 """
 
+import sys
+
 from repro.consistency import AdaptationTracker, change_impact, extension_impact
+from repro.engine import save
 from repro.versions import (
     DefaultSelection,
     GenericRelationship,
@@ -25,7 +31,7 @@ from repro.versions import (
 from repro.workloads import gate_database, make_implementation, make_interface
 
 
-def main() -> None:
+def main(image_path: str = None) -> None:
     db = gate_database("design-flow")
     guard = StateGuard(db)
     tracker = AdaptationTracker(db)
@@ -83,8 +89,11 @@ def main() -> None:
         tracker.acknowledge(slot)
     graph.release(nand_v2)  # now immutable for everyone
     print(f"acknowledged; pending: {len(tracker.all_pending())}; v2 released")
+    if image_path:
+        save(db, image_path)
+        print(f"saved image: {image_path}")
     print("done.")
 
 
 if __name__ == "__main__":
-    main()
+    main(sys.argv[1] if len(sys.argv) > 1 else None)

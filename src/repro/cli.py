@@ -5,21 +5,25 @@
     python -m repro schema FILE.ddl        # parse, report notes, pretty-print
     python -m repro check FILE.ddl [IMAGE] # schema + optional image: integrity
     python -m repro stats FILE.ddl IMAGE   # object/type statistics of an image
+    python -m repro metrics FILE.ddl IMAGE # observability workout + registry dump
     python -m repro docs FILE.ddl          # Markdown schema documentation
     python -m repro query FILE.ddl IMAGE "select * from X where ..."
     python -m repro paper [gate|steel]     # print the paper's schemas (normalised)
 
-Exit status is 0 on success, 1 on schema/image errors, 2 on integrity or
-constraint violations.
+``check`` and ``query`` accept ``--trace`` to run with tracing enabled and
+print the span tree to stderr.  Exit status is 0 on success, 1 on
+schema/image errors, 2 on integrity or constraint violations.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections import Counter
 from typing import List, Optional
 
+from . import __version__
 from .ddl import load_schema
 from .ddl.paper import GATE_SCHEMA, STEEL_SCHEMA
 from .ddl.unparse import unparse_catalog
@@ -46,8 +50,17 @@ def cmd_schema(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_trace(db: Database) -> None:
+    from .obs.tracing import format_span_tree
+
+    tree = format_span_tree(db.obs.tracer)
+    if tree:
+        print("trace:", file=sys.stderr)
+        print(tree, file=sys.stderr)
+
+
 def cmd_check(args: argparse.Namespace) -> int:
-    db = Database("cli")
+    db = Database("cli", observe=args.trace)
     notes = _load_catalog(db, args.schema)
     for note in notes:
         print(f"note: {note}", file=sys.stderr)
@@ -65,6 +78,8 @@ def cmd_check(args: argparse.Namespace) -> int:
             except ConstraintViolation as exc:
                 constraint_failures += 1
                 print(f"constraint: {exc}", file=sys.stderr)
+    if args.trace:
+        _print_trace(db)
     if violations or constraint_failures:
         print(
             f"FAILED: {len(violations)} integrity violation(s), "
@@ -90,7 +105,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 
 def cmd_query(args: argparse.Namespace) -> int:
-    db = Database("cli")
+    db = Database("cli", observe=args.trace)
     _load_catalog(db, args.schema)
     load(args.image, db)
     result = db.query(args.query)
@@ -98,6 +113,24 @@ def cmd_query(args: argparse.Namespace) -> int:
     for row in result.rows:
         print(" | ".join(repr(value) for value in row))
     print(f"({len(result)} row(s))")
+    if args.trace:
+        _print_trace(db)
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    from .obs.report import exercise, render_table, snapshot
+
+    db = Database("cli", observe=True)
+    _load_catalog(db, args.schema)
+    load(args.image, db)
+    if not args.no_exercise:
+        exercise(db)
+    snap = snapshot(db, include_events=not args.no_events)
+    if args.json:
+        print(json.dumps(snap, indent=2))
+    else:
+        print(render_table(snap))
     return 0
 
 
@@ -126,6 +159,9 @@ def build_parser() -> argparse.ArgumentParser:
         description="Complex and composite objects for CAD/CAM databases "
         "(Wilkes/Klahold/Schlageter, ICDE 1989).",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_schema = sub.add_parser("schema", help="parse a DDL file and pretty-print it")
@@ -135,6 +171,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_check = sub.add_parser("check", help="validate a schema and optional image")
     p_check.add_argument("schema", help="path to a .ddl schema file")
     p_check.add_argument("image", nargs="?", help="optional JSON image to load")
+    p_check.add_argument(
+        "--trace", action="store_true", help="print a span tree to stderr"
+    )
     p_check.set_defaults(func=cmd_check)
 
     p_stats = sub.add_parser("stats", help="statistics of a database image")
@@ -146,7 +185,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("schema", help="path to a .ddl schema file")
     p_query.add_argument("image", help="JSON image to query")
     p_query.add_argument("query", help="select … from … where …")
+    p_query.add_argument(
+        "--trace", action="store_true", help="print a span tree to stderr"
+    )
     p_query.set_defaults(func=cmd_query)
+
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="load an image with observability on, run the standard "
+        "workout, and dump the metrics registry",
+    )
+    p_metrics.add_argument("schema", help="path to a .ddl schema file")
+    p_metrics.add_argument("image", help="JSON image to measure")
+    p_metrics.add_argument(
+        "--json", action="store_true", help="emit the repro.metrics/1 JSON"
+    )
+    p_metrics.add_argument(
+        "--no-exercise",
+        action="store_true",
+        help="skip the workout; report only what loading produced",
+    )
+    p_metrics.add_argument(
+        "--no-events", action="store_true", help="omit the event ring buffer"
+    )
+    p_metrics.set_defaults(func=cmd_metrics)
 
     p_docs = sub.add_parser("docs", help="generate Markdown schema documentation")
     p_docs.add_argument("schema", help="path to a .ddl schema file")

@@ -16,8 +16,9 @@ inheritance graph.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Set, Tuple
+from typing import Any, Dict, Tuple
 
+from ..core.inheritance import iter_propagation
 from ..core.objects import DBObject
 from ..core.surrogate import Surrogate
 
@@ -58,12 +59,17 @@ class InheritedValueCache:
         """
         if not obj.is_member_inherited(member):
             return obj.get_member(member)
+        obs = getattr(self.database, "obs", None)
         key = (obj.surrogate, member)
         cached = self._entries.get(key, _SENTINEL)
         if cached is not _SENTINEL:
             self.hits += 1
+            if obs is not None:
+                obs.metrics.counter("cache.hits").inc()
             return cached
         self.misses += 1
+        if obs is not None:
+            obs.metrics.counter("cache.misses").inc()
         value = obj.get_member(member)
         self._entries[key] = value
         return value
@@ -74,22 +80,20 @@ class InheritedValueCache:
     # -- invalidation --------------------------------------------------------------
 
     def _invalidate_downward(self, obj: DBObject, member: str) -> None:
-        """Drop the entry for ``member`` on every transitive inheritor."""
-        stack = [(obj, member)]
-        seen: Set[Tuple[Surrogate, str]] = set()
-        while stack:
-            current, name = stack.pop()
-            for link in current.inheritor_links:
-                if not link.rel_type.is_permeable(name):
-                    continue
-                inheritor = link.inheritor
-                key = (inheritor.surrogate, name)
-                if key in seen:
-                    continue
-                seen.add(key)
-                if self._entries.pop(key, _SENTINEL) is not _SENTINEL:
-                    self.invalidations += 1
-                stack.append((inheritor, name))
+        """Drop the entry for ``member`` on every transitive inheritor.
+
+        Walks the same traversal the observability layer measures
+        (:func:`repro.core.inheritance.iter_propagation`).
+        """
+        dropped = 0
+        for _link, inheritor in iter_propagation(obj, member):
+            if self._entries.pop((inheritor.surrogate, member), _SENTINEL) is not _SENTINEL:
+                dropped += 1
+        if dropped:
+            self.invalidations += dropped
+            obs = getattr(self.database, "obs", None)
+            if obs is not None:
+                obs.metrics.counter("cache.invalidations").inc(dropped)
 
     def _on_member_changed(self, event) -> None:
         self._invalidate_downward(event.subject, event.attribute)

@@ -151,6 +151,7 @@ def expand(composite: DBObject, depth: Optional[int] = None) -> Expansion:
     Shared objects (a component used by several slots) are expanded once;
     later occurrences are reference nodes.
     """
+    obs = getattr(composite.database, "obs", None)
     seen: Dict[Any, bool] = {}
     objects: List[DBObject] = []
 
@@ -188,5 +189,14 @@ def expand(composite: DBObject, depth: Optional[int] = None) -> Expansion:
             "realisation": realisation_tree,
         }
 
-    tree = visit(composite, depth)
+    if obs is None:
+        tree = visit(composite, depth)
+    else:
+        with obs.tracer.span(
+            "composition.expand", root=str(composite.surrogate), depth=depth
+        ) as span:
+            tree = visit(composite, depth)
+            span.set(objects=len(objects))
+        obs.metrics.counter("composition.expansions").inc()
+        obs.metrics.histogram("composition.expansion_size").observe(len(objects))
     return Expansion(composite, tree, objects)

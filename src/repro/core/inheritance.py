@@ -21,13 +21,19 @@ can be used"), which :mod:`repro.consistency` builds on.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..errors import SchemaError
 from .objtype import ObjectType, TypeBase
 from .reltype import ParticipantSpec, RelationshipType
 
-__all__ = ["InheritanceRelationshipType", "TRANSMITTER_ROLE", "INHERITOR_ROLE"]
+__all__ = [
+    "InheritanceRelationshipType",
+    "TRANSMITTER_ROLE",
+    "INHERITOR_ROLE",
+    "iter_propagation",
+    "propagation_fanout",
+]
 
 TRANSMITTER_ROLE = "transmitter"
 INHERITOR_ROLE = "inheritor"
@@ -181,3 +187,39 @@ class InheritanceRelationshipType(RelationshipType):
             f"{self.transmitter_type.name} -> {restriction} "
             f"inheriting {list(self.inheriting)}>"
         )
+
+
+# -- update-propagation traversal ------------------------------------------------
+
+
+def iter_propagation(transmitter, member: str) -> Iterator[Tuple[object, object]]:
+    """Yield ``(link, inheritor)`` for every object an update of ``member``
+    on ``transmitter`` becomes visible in (§4.2's update fan-out).
+
+    The walk is transitive — an inheritor that transmits the member
+    onwards (interface hierarchies) contributes its own inheritors — and
+    visits each ``(inheritor, member)`` pair once, so diamonds do not
+    duplicate.  Only links whose ``inheriting`` clause makes the member
+    permeable are followed.  The traversal is the single source of truth
+    for "who sees this update": the materialising cache invalidates along
+    it and the observability layer measures fan-out with it.
+    """
+    stack = [transmitter]
+    seen: Set[object] = set()
+    while stack:
+        current = stack.pop()
+        for link in current._links_as_transmitter:
+            if not link.rel_type.is_permeable(member):
+                continue
+            inheritor = link.inheritor
+            key = inheritor.surrogate
+            if key in seen:
+                continue
+            seen.add(key)
+            yield link, inheritor
+            stack.append(inheritor)
+
+
+def propagation_fanout(transmitter, member: str) -> int:
+    """How many inheritors would see an update of ``member`` (transitively)."""
+    return sum(1 for _ in iter_propagation(transmitter, member))

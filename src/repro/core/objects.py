@@ -192,6 +192,11 @@ class DBObject:
             return self.surrogate
         link = self._binding_link_for_member(name)
         if link is not None:
+            obs = getattr(self.database, "obs", None)
+            if obs is not None:
+                # One count per delegation hop: a read through a k-level
+                # interface hierarchy contributes k.
+                obs.metrics.counter("reads.inherited").inc()
             return link.transmitter.get_member(name)
         if name in self._attrs:
             return self._attrs[name]
@@ -810,6 +815,23 @@ def bind(
         )
     _check_no_local_shadow(inheritor, rel_type)
     _check_no_object_cycle(inheritor, transmitter)
+    obs = getattr(inheritor.database or transmitter.database, "obs", None)
+    if obs is None:
+        return _make_link(inheritor, transmitter, rel_type, link_attrs)
+    with obs.tracer.span(
+        "inheritance.bind",
+        rel_type=rel_type.name,
+        transmitter=str(transmitter.surrogate),
+    ):
+        return _make_link(inheritor, transmitter, rel_type, link_attrs)
+
+
+def _make_link(
+    inheritor: DBObject,
+    transmitter: DBObject,
+    rel_type: InheritanceRelationshipType,
+    link_attrs: Dict[str, Any],
+) -> InheritanceLink:
     link = InheritanceLink(
         rel_type,
         transmitter,

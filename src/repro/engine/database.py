@@ -55,7 +55,12 @@ TypeRef = Union[str, TypeBase]
 class Database:
     """One object database: schema, extents, objects, events."""
 
-    def __init__(self, name: str = "db", record_events: bool = False):
+    def __init__(
+        self,
+        name: str = "db",
+        record_events: bool = False,
+        observe: bool = False,
+    ):
         self.name = name
         self.surrogates = SurrogateGenerator(name)
         self.catalog = Catalog()
@@ -66,6 +71,31 @@ class Database:
         self.transactions = None
         #: Set by repro.consistency when an adaptation tracker attaches.
         self.consistency = None
+        #: The observability bundle (tracer/metrics/event tap), or None.
+        #: The attribute always exists so hot paths pay one load + branch.
+        self.obs = None
+        if observe:
+            self.enable_observability()
+
+    # -- observability -----------------------------------------------------------
+
+    def enable_observability(self, **options):
+        """Attach (or return the existing) :class:`~repro.obs.Observability`.
+
+        Options are forwarded to the bundle: ``tracing`` (default True),
+        ``ring_size``, ``track_propagation``.
+        """
+        if self.obs is None:
+            from ..obs import Observability
+
+            self.obs = Observability(self, **options)
+        return self.obs
+
+    def disable_observability(self) -> None:
+        """Detach observability: the bus subscription is removed."""
+        if self.obs is not None:
+            self.obs.detach()
+            self.obs = None
 
     # -- registry hooks (called from the core layer) ------------------------------
 

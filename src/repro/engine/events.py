@@ -44,6 +44,12 @@ class Event:
     seq: int = 0
 
     def __getattr__(self, name: str) -> Any:
+        # Dunder lookups (``__deepcopy__``, ``__getstate__``, …) come from
+        # copy/pickle/inspect machinery probing for optional protocols;
+        # answering them out of ``data`` would corrupt those protocols, so
+        # refuse immediately without touching the payload.
+        if name.startswith("__") and name.endswith("__"):
+            raise AttributeError(name)
         try:
             return self.data[name]
         except KeyError:

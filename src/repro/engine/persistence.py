@@ -112,6 +112,17 @@ def _dump_object(obj: DBObject) -> Dict[str, Any]:
 
 def dump_image(db: Database) -> Dict[str, Any]:
     """Build the JSON-ready image dictionary of a database's instances."""
+    obs = getattr(db, "obs", None)
+    if obs is None:
+        return _dump_image(db)
+    with obs.tracer.span("persistence.dump", objects=db.count()):
+        image = _dump_image(db)
+    obs.metrics.counter("persistence.dumps").inc()
+    obs.metrics.counter("persistence.objects_dumped").inc(len(image["objects"]))
+    return image
+
+
+def _dump_image(db: Database) -> Dict[str, Any]:
     objects = sorted(db.objects(), key=lambda o: o.surrogate)
     return {
         "format": _FORMAT_VERSION,
@@ -156,6 +167,17 @@ def _restore_container(obj: DBObject, ref, by_surrogate) -> None:
 
 def load_image(image: Dict[str, Any], db: Database) -> Database:
     """Materialise an image into ``db`` (schema must already be loaded)."""
+    obs = getattr(db, "obs", None)
+    if obs is None:
+        return _load_image(image, db)
+    with obs.tracer.span("persistence.load", objects=len(image.get("objects", ()))):
+        result = _load_image(image, db)
+    obs.metrics.counter("persistence.loads").inc()
+    obs.metrics.counter("persistence.objects_loaded").inc(db.count())
+    return result
+
+
+def _load_image(image: Dict[str, Any], db: Database) -> Database:
     if image.get("format") != _FORMAT_VERSION:
         raise PersistenceError(f"unsupported image format {image.get('format')!r}")
     if db.count():

@@ -1,0 +1,57 @@
+"""Observability: tracing spans, metrics and event-bus telemetry.
+
+The engine's central mechanism — value inheritance with live update
+propagation — makes cost *emergent*: one ``attribute_updated`` can fan out
+through interface hierarchies, composites and lock inheritance.  This
+package measures that, with a disabled path cheap enough to leave the
+instrumentation in the hot code:
+
+* :class:`~repro.obs.tracing.Tracer` — nestable spans
+  (``with tracer.span("expand"):``), a shared no-op when disabled;
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges and
+  fixed-bucket histograms, exported as plain dicts / the stable
+  ``repro.metrics/1`` JSON schema;
+* :class:`~repro.obs.tap.EventTap` — one wildcard subscription on the
+  event bus turning every event kind into counters (plus per-relationship-
+  type propagation/binding counters and a post-mortem ring buffer);
+* :class:`~repro.obs.instruments.Observability` — the per-database bundle,
+  attached via ``Database(observe=True)`` and reachable as ``db.obs``.
+
+See ``docs/observability.md`` for usage and the JSON schema, and the
+``repro metrics`` / ``--trace`` CLI surfaces in :mod:`repro.cli`.
+"""
+
+from .instruments import Observability, maybe_span, observability_of
+from .metrics import (
+    DEFAULT_BUCKETS,
+    FANOUT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .report import SCHEMA_VERSION, derived_stats, exercise, render_table, snapshot
+from .tap import EventTap
+from .tracing import NULL_SPAN, Span, Tracer, format_span_tree
+
+__all__ = [
+    "Observability",
+    "observability_of",
+    "maybe_span",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "FANOUT_BUCKETS",
+    "EventTap",
+    "Tracer",
+    "Span",
+    "NULL_SPAN",
+    "format_span_tree",
+    "SCHEMA_VERSION",
+    "snapshot",
+    "render_table",
+    "exercise",
+    "derived_stats",
+]

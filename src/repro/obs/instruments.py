@@ -1,0 +1,85 @@
+"""The per-database observability bundle and hot-path helpers.
+
+:class:`Observability` bundles one tracer, one metrics registry and one
+event tap for a database.  Engine modules reach it through the database's
+``obs`` attribute (``None`` by default — the whole layer costs one
+attribute load and a branch when disabled)::
+
+    obs = getattr(db, "obs", None)
+    if obs is not None:
+        obs.metrics.counter("reads.inherited").inc()
+
+:func:`maybe_span` is the same pattern for spans: it returns the shared
+no-op span when observability (or tracing) is off, so call sites can use
+``with maybe_span(obs, "query.execute"):`` unconditionally.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .metrics import MetricsRegistry
+from .tap import EventTap
+from .tracing import NULL_SPAN, Tracer
+
+__all__ = ["Observability", "observability_of", "maybe_span"]
+
+
+class Observability:
+    """Tracer + metrics + event tap for one database."""
+
+    def __init__(
+        self,
+        database,
+        tracing: bool = True,
+        ring_size: int = 256,
+        track_propagation: bool = True,
+    ):
+        self.database = database
+        self.tracer = Tracer(enabled=tracing)
+        self.metrics = MetricsRegistry()
+        self.tap = EventTap(
+            database.events,
+            self.metrics,
+            ring_size=ring_size,
+            track_propagation=track_propagation,
+        )
+
+    # -- convenience passthroughs -------------------------------------------------
+
+    def span(self, name: str, **attributes: Any):
+        return self.tracer.span(name, **attributes)
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.metrics.counter(name).inc(n)
+
+    def observe(self, name: str, value: float, bounds=None) -> None:
+        if bounds is not None:
+            self.metrics.histogram(name, bounds).observe(value)
+        else:
+            self.metrics.histogram(name).observe(value)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def detach(self) -> None:
+        """Stop observing: drop the bus subscription, disable the tracer."""
+        self.tap.detach()
+        self.tracer.enabled = False
+
+    def __repr__(self) -> str:
+        return (
+            f"<Observability db={self.database.name!r} "
+            f"metrics={len(self.metrics)} spans={len(self.tracer)}>"
+        )
+
+
+def observability_of(owner) -> Optional[Observability]:
+    """The :class:`Observability` of a database (or anything carrying one)."""
+    return getattr(owner, "obs", None)
+
+
+def maybe_span(obs: Optional[Observability], name: str, **attributes: Any):
+    """A span when observability is attached and tracing on, else a no-op."""
+    if obs is None:
+        return NULL_SPAN
+    return obs.tracer.span(name, **attributes)

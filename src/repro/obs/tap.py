@@ -1,0 +1,101 @@
+"""Event-bus telemetry: counters per event kind plus a post-mortem ring.
+
+The :class:`EventTap` makes exactly **one** wildcard subscription on the
+database's :class:`~repro.engine.events.EventBus` (so ``observe=False``
+databases have zero observability subscriptions, and enabling it adds one).
+Every event increments ``events.<kind>``; the kinds that drive the paper's
+update-propagation story get richer treatment:
+
+* ``attribute_updated`` — measures the transitive fan-out of the update
+  through permeable inheritance links (``propagation.fanout`` histogram,
+  ``propagation.fanout_total``, per-relationship-type counters
+  ``propagation.by_rel_type.<name>``);
+* ``inheritor_bound`` / ``inheritor_unbound`` — per-relationship-type
+  binding churn (``inheritance.bound.<name>`` / ``inheritance.unbound.<name>``).
+
+The last ``ring_size`` events are kept in a ring buffer for post-mortem
+inspection (:meth:`EventTap.recent`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from ..core.inheritance import iter_propagation
+from ..engine.events import Event, EventBus
+from .metrics import FANOUT_BUCKETS, MetricsRegistry
+
+__all__ = ["EventTap"]
+
+
+class EventTap:
+    """One subscription turning bus traffic into metrics and a ring buffer."""
+
+    def __init__(
+        self,
+        bus: EventBus,
+        metrics: MetricsRegistry,
+        ring_size: int = 256,
+        track_propagation: bool = True,
+    ):
+        self.bus = bus
+        self.metrics = metrics
+        self.track_propagation = track_propagation
+        self.ring: Deque[Event] = deque(maxlen=ring_size)
+        self._subscription = bus.subscribe(EventBus.WILDCARD, self._on_event)
+
+    # -- handler -----------------------------------------------------------------
+
+    def _on_event(self, event: Event) -> None:
+        metrics = self.metrics
+        metrics.counter(f"events.{event.kind}").inc()
+        self.ring.append(event)
+        kind = event.kind
+        if kind == "attribute_updated":
+            metrics.counter("propagation.updates").inc()
+            if self.track_propagation:
+                self._measure_propagation(event)
+        elif kind == "inheritor_bound":
+            metrics.counter(
+                f"inheritance.bound.{event.data['rel_type'].name}"
+            ).inc()
+        elif kind == "inheritor_unbound":
+            metrics.counter(
+                f"inheritance.unbound.{event.data['rel_type'].name}"
+            ).inc()
+
+    def _measure_propagation(self, event: Event) -> None:
+        metrics = self.metrics
+        fanout = 0
+        for link, _inheritor in iter_propagation(
+            event.subject, event.data["attribute"]
+        ):
+            fanout += 1
+            metrics.counter(
+                f"propagation.by_rel_type.{link.rel_type.name}"
+            ).inc()
+        metrics.histogram("propagation.fanout", FANOUT_BUCKETS).observe(fanout)
+        metrics.counter("propagation.fanout_total").inc(fanout)
+        if fanout:
+            metrics.counter("propagation.updates_with_inheritors").inc()
+
+    # -- inspection --------------------------------------------------------------
+
+    def recent(self, kind: Optional[str] = None) -> List[Event]:
+        """The buffered events, oldest first, optionally filtered by kind."""
+        if kind is None:
+            return list(self.ring)
+        return [event for event in self.ring if event.kind == kind]
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def detach(self) -> None:
+        """Unsubscribe from the bus; the tap stops counting."""
+        if self._subscription is not None:
+            self.bus.unsubscribe(self._subscription)
+            self._subscription = None
+
+    def __repr__(self) -> str:
+        attached = "attached" if self._subscription is not None else "detached"
+        return f"<EventTap {attached} buffered={len(self.ring)}>"

@@ -1,0 +1,188 @@
+"""Nestable tracing spans with a cheap disabled path.
+
+A :class:`Tracer` hands out :class:`Span` context managers::
+
+    with tracer.span("propagate", object=str(obj.surrogate)):
+        ...
+        with tracer.span("invalidate"):
+            ...
+
+When the tracer is disabled, :meth:`Tracer.span` returns a shared no-op
+singleton — no allocation, no clock read — so instrumented code can leave
+the calls in place unconditionally.  When enabled, spans record name,
+parent, wall-clock duration (``time.perf_counter``) and free-form
+attributes, forming a forest that :func:`format_span_tree` renders for the
+CLI's ``--trace`` flag.
+
+The span store is bounded (``max_spans``); once full, further spans still
+time correctly for their parents' sake but are counted in
+:attr:`Tracer.dropped` instead of being retained.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["Span", "Tracer", "NULL_SPAN", "format_span_tree"]
+
+
+class _NullSpan:
+    """Shared do-nothing span for disabled tracers."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attributes: Any) -> "_NullSpan":
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<NullSpan>"
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One timed, attributed section of work."""
+
+    __slots__ = ("tracer", "name", "attributes", "parent", "children",
+                 "start", "duration", "_retained")
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: Dict[str, Any]):
+        self.tracer = tracer
+        self.name = name
+        self.attributes = attributes
+        self.parent: Optional[Span] = None
+        self.children: List[Span] = []
+        self.start = 0.0
+        #: Seconds; None while the span is still open.
+        self.duration: Optional[float] = None
+        self._retained = False
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach or update attributes on an open (or closed) span."""
+        self.attributes.update(attributes)
+        return self
+
+    def __enter__(self) -> "Span":
+        tracer = self.tracer
+        stack = tracer._stack
+        self.parent = stack[-1] if stack else None
+        if tracer._count < tracer.max_spans:
+            tracer._count += 1
+            self._retained = True
+            if self.parent is not None:
+                self.parent.children.append(self)
+            else:
+                tracer.roots.append(self)
+        else:
+            tracer.dropped += 1
+        stack.append(self)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration = time.perf_counter() - self.start
+        stack = self.tracer._stack
+        if stack and stack[-1] is self:
+            stack.pop()
+        else:  # pragma: no cover - unbalanced exit, be forgiving
+            try:
+                stack.remove(self)
+            except ValueError:
+                pass
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        return False
+
+    def __repr__(self) -> str:
+        timing = f"{self.duration * 1e6:.1f}us" if self.duration is not None else "open"
+        return f"<Span {self.name} {timing} children={len(self.children)}>"
+
+
+class Tracer:
+    """Factory and store for spans; a no-op when ``enabled`` is false."""
+
+    def __init__(self, enabled: bool = True, max_spans: int = 100_000):
+        self.enabled = enabled
+        self.max_spans = max_spans
+        self.roots: List[Span] = []
+        self.dropped = 0
+        self._stack: List[Span] = []
+        self._count = 0
+
+    def span(self, name: str, **attributes: Any):
+        """A context manager timing one section (no-op when disabled)."""
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(self, name, attributes)
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def all_spans(self) -> Iterator[Span]:
+        """Every retained span, depth-first in start order."""
+        stack = list(reversed(self.roots))
+        while stack:
+            span = stack.pop()
+            yield span
+            stack.extend(reversed(span.children))
+
+    def find(self, name: str) -> List[Span]:
+        """All retained spans with the given name."""
+        return [span for span in self.all_spans() if span.name == name]
+
+    def clear(self) -> None:
+        self.roots.clear()
+        self._stack.clear()
+        self._count = 0
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"<Tracer {state} spans={self._count} dropped={self.dropped}>"
+
+
+def _format_duration(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "open"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds:.3f}s"
+
+
+def format_span_tree(tracer: Tracer, max_attr_len: int = 60) -> str:
+    """Render the tracer's span forest as an indented text tree."""
+    lines: List[str] = []
+
+    def visit(span: Span, depth: int) -> None:
+        attrs = ""
+        if span.attributes:
+            joined = " ".join(f"{k}={v!r}" for k, v in span.attributes.items())
+            if len(joined) > max_attr_len:
+                joined = joined[: max_attr_len - 1] + "…"
+            attrs = f"  [{joined}]"
+        lines.append(
+            f"{'  ' * depth}{span.name}  {_format_duration(span.duration)}{attrs}"
+        )
+        for child in span.children:
+            visit(child, depth + 1)
+
+    for root in tracer.roots:
+        visit(root, 0)
+    if tracer.dropped:
+        lines.append(f"... {tracer.dropped} span(s) dropped (max_spans reached)")
+    return "\n".join(lines)

@@ -70,14 +70,33 @@ def _sort_key(value: Any):
 
 def execute_query(db: Database, spec: QuerySpec) -> QueryResult:
     """Run a parsed query against a database."""
+    obs = getattr(db, "obs", None)
+    if obs is None:
+        return _execute(db, spec, None)
+    with obs.tracer.span(
+        "query.execute", source=spec.source_name, text=spec.text
+    ) as span:
+        result = _execute(db, spec, obs)
+        span.set(rows=len(result.rows))
+    return result
+
+
+def _execute(db: Database, spec: QuerySpec, obs) -> QueryResult:
     matches: List[DBObject] = []
+    scanned = 0
     for obj in _candidates(db, spec.source_name):
         if obj.deleted:
             continue
+        scanned += 1
         if spec.where is not None:
             if not truthy(spec.where.evaluate(EvalContext(obj))):
                 continue
         matches.append(obj)
+
+    if obs is not None:
+        obs.metrics.counter("query.executed").inc()
+        obs.metrics.counter("query.rows_scanned").inc(scanned)
+        obs.metrics.counter("query.rows_matched").inc(len(matches))
 
     if spec.order_by is not None:
         matches.sort(

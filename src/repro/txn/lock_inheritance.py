@@ -39,6 +39,10 @@ def inherited_lock_plan(
     """
     plan: List[LockPlanItem] = []
     _collect(obj, members, plan, set())
+    obs = getattr(obj.database, "obs", None)
+    if obs is not None:
+        obs.metrics.counter("locks.inherited_plans").inc()
+        obs.metrics.histogram("locks.inherited_plan_size").observe(len(plan))
     return plan
 
 
@@ -77,6 +81,7 @@ def expansion_lock_plan(
     """
     from ..composition.composite import expand
 
+    obs = getattr(composite.database, "obs", None)
     plan: List[Tuple[DBObject, Optional[FrozenSet[str]], str]] = []
     listed: Set[Surrogate] = set()
 
@@ -110,4 +115,7 @@ def expansion_lock_plan(
                     visible |= set(link.rel_type.inheriting)
             scope = frozenset(visible) if visible else None
             plan.append((obj, scope, LockMode.S))
+    if obs is not None:
+        obs.metrics.counter("locks.expansion_plans").inc()
+        obs.metrics.histogram("locks.expansion_plan_size").observe(len(plan))
     return plan

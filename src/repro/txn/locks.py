@@ -73,15 +73,21 @@ class LockEntry:
 
 
 class LockTable:
-    """All granted locks, indexed by object surrogate."""
+    """All granted locks, indexed by object surrogate.
 
-    def __init__(self) -> None:
+    ``obs`` optionally attaches a :class:`repro.obs.Observability` bundle;
+    when present, grants, conflicts and scope sizes are recorded in its
+    metrics registry (``locks.*``).
+    """
+
+    def __init__(self, obs=None) -> None:
         self._locks: Dict[Surrogate, List[LockEntry]] = {}
         self._by_txn: Dict[int, List[Tuple[Surrogate, LockEntry]]] = {}
         #: Cooperative groups: transactions in the same group never
         #: conflict with each other (design teams sharing a checkout,
         #: the "advanced transaction mechanisms" of §6's references).
         self._groups: Dict[int, int] = {}
+        self.obs = obs
 
     def set_group(self, txn_id: int, group_id: Optional[int]) -> None:
         """Place a transaction in a cooperative group (None removes it)."""
@@ -128,6 +134,12 @@ class LockTable:
             if not self._same_owner(entry.txn_id, txn_id) and entry.conflicts_with(
                 requested_mode, requested_scope
             ):
+                if self.obs is not None:
+                    # The non-blocking manager's equivalent of a lock wait.
+                    self.obs.metrics.counter("locks.conflicts").inc()
+                    self.obs.metrics.counter(
+                        f"locks.conflicts.{requested_mode}"
+                    ).inc()
                 raise LockConflictError(
                     f"lock {requested_mode} on {surrogate} (scope "
                     f"{sorted(requested_scope) if requested_scope else 'ALL'}) "
@@ -135,6 +147,15 @@ class LockTable:
                     f"{entry.txn_id}",
                     holder=entry.txn_id,
                     surrogate=surrogate,
+                )
+        if self.obs is not None:
+            self.obs.metrics.counter("locks.acquired").inc()
+            self.obs.metrics.counter(f"locks.acquired.{requested_mode}").inc()
+            if requested_scope is None:
+                self.obs.metrics.counter("locks.whole_object").inc()
+            else:
+                self.obs.metrics.histogram("locks.scope_size").observe(
+                    len(requested_scope)
                 )
         if own is not None:
             own.mode = requested_mode
@@ -148,6 +169,8 @@ class LockTable:
     def release_all(self, txn_id: int) -> int:
         """Drop every lock of a transaction; returns how many were held."""
         held = self._by_txn.pop(txn_id, [])
+        if self.obs is not None and held:
+            self.obs.metrics.counter("locks.released").inc(len(held))
         for surrogate, entry in held:
             entries = self._locks.get(surrogate)
             if entries is not None:

@@ -123,6 +123,15 @@ class Transaction:
         Returns the number of objects locked.
         """
         self._ensure_active()
+        obs = getattr(self.manager.database, "obs", None)
+        if obs is None:
+            return self._lock_expansion(composite, mode)
+        with obs.tracer.span(
+            "txn.lock_expansion", txn=self.id, root=str(composite.surrogate)
+        ):
+            return self._lock_expansion(composite, mode)
+
+    def _lock_expansion(self, composite: DBObject, mode: str) -> int:
         plan = expansion_lock_plan(composite, mode)
         access = self.manager.access
         count = 0
@@ -148,6 +157,7 @@ class Transaction:
         if not self.persistent:
             self.lock_table.release_all(self.id)
         self.manager._finished(self)
+        self.manager._record_finish("committed")
 
     def abort(self) -> None:
         """Undo every logged update and release all locks."""
@@ -161,6 +171,7 @@ class Transaction:
         self.status = self.ABORTED
         self.lock_table.release_all(self.id)
         self.manager._finished(self)
+        self.manager._record_finish("aborted")
 
     def checkin(self) -> None:
         """Release the locks of a committed persistent transaction."""
@@ -200,7 +211,7 @@ class TransactionManager:
 
     def __init__(self, database, access: Optional[AccessControlManager] = None):
         self.database = database
-        self.lock_table = LockTable()
+        self.lock_table = LockTable(obs=getattr(database, "obs", None))
         self.access = access
         self._ids = itertools.count(1)
         self._active: Dict[int, Transaction] = {}
@@ -209,7 +220,15 @@ class TransactionManager:
     def begin(self, user: Optional[str] = None, persistent: bool = False) -> Transaction:
         txn = Transaction(self, next(self._ids), user=user, persistent=persistent)
         self._active[txn.id] = txn
+        obs = getattr(self.database, "obs", None)
+        if obs is not None:
+            obs.metrics.counter("txn.begun").inc()
         return txn
+
+    def _record_finish(self, status: str) -> None:
+        obs = getattr(self.database, "obs", None)
+        if obs is not None:
+            obs.metrics.counter(f"txn.{status}").inc()
 
     def _finished(self, txn: Transaction) -> None:
         self._active.pop(txn.id, None)
