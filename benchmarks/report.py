@@ -132,6 +132,20 @@ EXPERIMENTS = {
         "propagation fan-out — linear in the inheritor count — and an "
         "inherited read pays one counter increment per delegation hop.",
     ),
+    "bench_e14_resolution": (
+        "E14 — resolution engine: compiled plans vs. interpretive walk",
+        "§4.1 (member resolution)",
+        "Steady-state inherited reads are O(1) in chain depth: the "
+        "memoised holder is revalidated by two integer compares (schema "
+        "epoch + the inheritor's propagated binding epoch), so the "
+        "plan_read rows are flat across depths 4/8/16 and beat the "
+        "interpretive walk by well over the 3× acceptance target at "
+        "depth ≥ 8.  The cold compiled walk (plan_walk_cold) is linear "
+        "with a cheaper per-hop constant than the interpretive re-scan.  "
+        "Epoch-cache warm reads are O(1); an update revalidates lazily "
+        "at the next read.  Plan compilation is a one-off per type and "
+        "schema epoch; visible_member_names amortises to a tuple load.",
+    ),
 }
 
 HEADER = """# EXPERIMENTS — paper vs. measured
@@ -163,6 +177,8 @@ reproduction targets, and all of them hold on this run.
 | E10 | §4.1 consistency | adaptation/trigger overhead | measured (bounded per-update cost) |
 | E11 | engine substrate | persistence scale | measured (linear, inheritance live after reload) |
 | E12 | §6 selection queries | query execution | measured (linear filters, O(1)-ish parse) |
+| E13 | instrumentation layer | observability overhead | measured (near-zero off, bounded on) |
+| E14 | §4.1 member resolution | compiled plans + epoch memo | measured (O(1) steady-state reads, ≥3× vs. interpretive) |
 """
 
 

@@ -20,11 +20,12 @@ paper's mechanism subsumes it.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List
 
+from ..core import resolution as _resolution
 from ..core.inheritance import InheritanceRelationshipType
 from ..core.objects import DBObject, new_object
-from ..core.objtype import ObjectType, TypeBase
+from ..core.objtype import TypeBase
 from ..errors import SchemaError
 
 __all__ = [
@@ -54,7 +55,7 @@ def clone_object(source: DBObject, database=None) -> DBObject:
 def _copy_into(source: DBObject, target: DBObject, mapping: Dict[Any, DBObject]) -> None:
     mapping[source.surrogate] = target
     # Materialise every visible attribute (local or inherited) locally.
-    for name in source.object_type.effective_attributes():
+    for name in _resolution.plan_for(source.object_type).attribute_names:
         value = source.get_member(name)
         if value is not None:
             target._attrs[name] = value
@@ -104,7 +105,7 @@ def copy_component(
     # Materialise every visible attribute of the component as a local value
     # of the subobject (stored directly: the copy baseline deliberately
     # bypasses the schema of the slot type, as a raw data copy would).
-    for name in component.object_type.effective_attributes():
+    for name in _resolution.plan_for(component.object_type).attribute_names:
         value = component.get_member(name)
         if value is not None:
             subobject._attrs[name] = value
@@ -128,7 +129,7 @@ def stale_members(copy: DBObject, component: DBObject) -> List[str]:
     composite holds outdated values until someone re-copies.
     """
     stale = []
-    for name in component.object_type.effective_attributes():
+    for name in _resolution.plan_for(component.object_type).attribute_names:
         if name not in copy._attrs:
             continue
         if copy._attrs[name] != component.get_member(name):

@@ -2,51 +2,82 @@
 
 The library resolves inherited members by *live delegation* to the
 transmitter: updates are O(1), reads pay one hop per hierarchy level.  The
-obvious alternative is to materialise inherited values at the inheritor and
-invalidate on transmitter updates — O(1) amortised reads, update cost
-proportional to the number of (transitive) inheritors touched.
+obvious alternative is to materialise inherited values at the inheritor —
+O(1) amortised reads, at the price of detecting when a materialised value
+went stale.
 
-:class:`InheritedValueCache` implements that alternative on top of the
-event bus, so benchmark E7 can measure the trade-off instead of asserting
-it.  The cache is *correct by invalidation*: every event that can change an
-inherited member's value (attribute updates, subclass content changes,
-binding changes) drops exactly the affected entries, transitively down the
-inheritance graph.
+Earlier revisions detected staleness through eight broad event-bus
+subscriptions that eagerly chased every update down the inheritance graph.
+:class:`InheritedValueCache` now validates entries with the **epoch
+counters** introduced by :mod:`repro.core.resolution`: every entry stores
+the global schema epoch, the inheritor's binding epoch (which moves on any
+binding change *anywhere upstream* — bumps propagate down the inheritor
+subtree at bind/unbind time) and the mutation epoch of the chain's holder.
+A cached value is fresh exactly when those three integers still match —
+an O(1) comparison with no event traffic, and invalidation happens
+*lazily* at the next read that finds the entry stale.
+
+Two narrow subscriptions remain for memory hygiene only (they evict keys
+that can never be read again — the values' correctness does not depend on
+them): ``object_deleted`` and ``inheritor_unbound``.
+
+Invalidation granularity is per *holder object*, not per member: a write to
+any attribute of the holder bumps its mutation epoch and stales every
+member cached through it.  That is coarser than the old event-driven
+precision but always safe, and re-materialising costs one delegation walk.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, Tuple
 
-from ..core.inheritance import iter_propagation
+from ..core import resolution as _resolution
 from ..core.objects import DBObject
 from ..core.surrogate import Surrogate
+from ..obs.metrics import MetricsRegistry
 
 __all__ = ["InheritedValueCache"]
 
-_SENTINEL = object()
-
 
 class InheritedValueCache:
-    """Per-database cache of resolved inherited member values."""
+    """Per-database cache of resolved inherited member values.
+
+    ``hits`` / ``misses`` / ``invalidations`` are served by a
+    :class:`~repro.obs.metrics.MetricsRegistry` — the database's own when
+    it is observed (so ``repro metrics`` reports them alongside
+    ``reads.inherited``), else a private one.
+    """
 
     def __init__(self, database):
         self.database = database
-        self._entries: Dict[Tuple[Surrogate, str], Any] = {}
-        self.hits = 0
-        self.misses = 0
-        self.invalidations = 0
+        #: (surrogate, member) -> (value, schema_epoch, obj, obj_binding_epoch,
+        #:                         holder, holder_mutation_epoch)
+        self._entries: Dict[
+            Tuple[Surrogate, str], Tuple[Any, int, DBObject, int, DBObject, int]
+        ] = {}
+        obs = getattr(database, "obs", None)
+        self._metrics: MetricsRegistry = (
+            obs.metrics if obs is not None else MetricsRegistry()
+        )
         bus = database.events
         self._subscriptions = [
-            bus.subscribe("attribute_updated", self._on_member_changed),
-            bus.subscribe("subobject_added", self._on_subclass_changed),
-            bus.subscribe("subobject_removed", self._on_subclass_changed),
-            bus.subscribe("relationship_created", self._on_subclass_changed),
-            bus.subscribe("relationship_removed", self._on_subclass_changed),
-            bus.subscribe("inheritor_bound", self._on_binding_changed),
-            bus.subscribe("inheritor_unbound", self._on_binding_changed),
-            bus.subscribe("object_deleted", self._on_deleted),
+            bus.subscribe("object_deleted", self._on_evict),
+            bus.subscribe("inheritor_unbound", self._on_evict),
         ]
+
+    # -- counters ----------------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return self._metrics.counter("cache.hits").value
+
+    @property
+    def misses(self) -> int:
+        return self._metrics.counter("cache.misses").value
+
+    @property
+    def invalidations(self) -> int:
+        return self._metrics.counter("cache.invalidations").value
 
     # -- reads ------------------------------------------------------------------
 
@@ -59,66 +90,58 @@ class InheritedValueCache:
         """
         if not obj.is_member_inherited(member):
             return obj.get_member(member)
-        obs = getattr(self.database, "obs", None)
         key = (obj.surrogate, member)
-        cached = self._entries.get(key, _SENTINEL)
-        if cached is not _SENTINEL:
-            self.hits += 1
-            if obs is not None:
-                obs.metrics.counter("cache.hits").inc()
-            return cached
-        self.misses += 1
-        if obs is not None:
-            obs.metrics.counter("cache.misses").inc()
+        entry = self._entries.get(key)
+        if entry is not None:
+            # O(1) freshness: schema epoch + the inheritor's binding epoch
+            # (propagated bumps cover the whole upstream chain) + the
+            # holder's mutation epoch (covers the value itself).
+            if (
+                entry[1] == _resolution._SCHEMA_EPOCH
+                and entry[2]._binding_epoch == entry[3]
+                and entry[4]._mutation_epoch == entry[5]
+            ):
+                self._metrics.counter("cache.hits").inc()
+                return entry[0]
+            # Lazy invalidation: staleness is counted when detected, not
+            # when the underlying write happened.
+            del self._entries[key]
+            self._metrics.counter("cache.invalidations").inc()
+        self._metrics.counter("cache.misses").inc()
         value = obj.get_member(member)
-        self._entries[key] = value
+        # get_member memoises the resolved holder unless the resolution is
+        # not epoch-trackable (a relationship participant shadows `member`
+        # somewhere on the chain) — in that case, pass the value through
+        # uncached.
+        memo = obj._member_memo.get(member)
+        if (
+            memo is not None
+            and memo[0] == _resolution._SCHEMA_EPOCH
+            and memo[1] == obj._binding_epoch
+        ):
+            holder = memo[2]
+            self._entries[key] = (
+                value,
+                memo[0],
+                obj,
+                memo[1],
+                holder,
+                holder._mutation_epoch,
+            )
         return value
 
     def __len__(self) -> int:
         return len(self._entries)
 
-    # -- invalidation --------------------------------------------------------------
+    # -- eviction (memory hygiene only) -----------------------------------------
 
-    def _invalidate_downward(self, obj: DBObject, member: str) -> None:
-        """Drop the entry for ``member`` on every transitive inheritor.
-
-        Walks the same traversal the observability layer measures
-        (:func:`repro.core.inheritance.iter_propagation`).
-        """
-        dropped = 0
-        for _link, inheritor in iter_propagation(obj, member):
-            if self._entries.pop((inheritor.surrogate, member), _SENTINEL) is not _SENTINEL:
-                dropped += 1
-        if dropped:
-            self.invalidations += dropped
-            obs = getattr(self.database, "obs", None)
-            if obs is not None:
-                obs.metrics.counter("cache.invalidations").inc(dropped)
-
-    def _on_member_changed(self, event) -> None:
-        self._invalidate_downward(event.subject, event.attribute)
-
-    def _on_subclass_changed(self, event) -> None:
-        member = event.data.get("subclass") or event.data.get("subrel")
-        if member:
-            self._invalidate_downward(event.subject, member)
-
-    def _on_binding_changed(self, event) -> None:
-        inheritor = event.subject
-        dropped = [
-            key for key in self._entries if key[0] == inheritor.surrogate
-        ]
-        for key in dropped:
-            del self._entries[key]
-            self.invalidations += 1
-        # Downstream inheritors of the re-bound object see new values too.
-        for member in event.rel_type.inheriting:
-            self._invalidate_downward(inheritor, member)
-
-    def _on_deleted(self, event) -> None:
+    def _on_evict(self, event) -> None:
         surrogate = event.subject.surrogate
-        for key in [key for key in self._entries if key[0] == surrogate]:
+        stale = [key for key in self._entries if key[0] == surrogate]
+        for key in stale:
             del self._entries[key]
+        if stale:
+            self._metrics.counter("cache.invalidations").inc(len(stale))
 
     # -- lifecycle -------------------------------------------------------------------
 
@@ -126,6 +149,13 @@ class InheritedValueCache:
         self._entries.clear()
 
     def detach(self) -> None:
+        """Drop the eviction subscriptions.
+
+        Unlike the event-driven design this does **not** freeze the cache:
+        epoch validation is intrinsic to every read, so a detached cache
+        still never serves stale values — it merely stops evicting entries
+        for deleted/unbound objects.
+        """
         for subscription in self._subscriptions:
             self.database.events.unsubscribe(subscription)
         self._subscriptions = []

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..core import resolution as _resolution
 from ..core.inheritance import InheritanceRelationshipType
 from ..core.objects import DBObject
 from ..errors import InheritanceError, UnknownAttributeError
@@ -162,7 +163,7 @@ def expand(composite: DBObject, depth: Optional[int] = None) -> Expansion:
         objects.append(obj)
         attributes = {
             name: obj.get_member(name)
-            for name in obj.object_type.effective_attributes()
+            for name in _resolution.plan_for(obj.object_type).attribute_names
         }
         subobjects: Dict[str, List[Dict[str, Any]]] = {}
         for name in obj.subclass_names():

@@ -16,7 +16,7 @@ subobjects, i.e. the design-level uses-hierarchy.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Any, Dict, List, Optional, Set
+from typing import List, Optional, Set
 
 from ..core.objects import DBObject
 from ..core.surrogate import Surrogate

@@ -17,8 +17,8 @@ top with :mod:`repro.consistency.triggers`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
 
 from ..core.objects import DBObject, InheritanceLink
 from ..core.surrogate import Surrogate

@@ -11,8 +11,8 @@ action, plus a ready-made factory for the adaptation workflow
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
 
 from ..engine.events import Event
 from ..errors import ReproError

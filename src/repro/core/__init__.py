@@ -20,6 +20,13 @@ from .inheritance import (
     TRANSMITTER_ROLE,
     InheritanceRelationshipType,
 )
+from .resolution import (
+    MemberEntry,
+    ResolutionPlan,
+    plan_for,
+    resolution_stats,
+    schema_epoch,
+)
 from .objects import (
     DBObject,
     InheritanceLink,
@@ -80,6 +87,11 @@ __all__ = [
     "bind",
     "new_object",
     "new_relationship",
+    "MemberEntry",
+    "ResolutionPlan",
+    "plan_for",
+    "resolution_stats",
+    "schema_epoch",
     "ANY",
     "BOOLEAN",
     "CHAR",

@@ -40,6 +40,7 @@ from ..errors import (
     UnknownAttributeError,
 )
 from ..expr import EvalContext, truthy
+from . import resolution as _resolution
 from .constraints import check_all
 from .inheritance import INHERITOR_ROLE, TRANSMITTER_ROLE, InheritanceRelationshipType
 from .objtype import ObjectType, SubclassSpec, SubrelSpec, TypeBase
@@ -103,6 +104,20 @@ class DBObject:
         #: The container this object lives in, when it is a subobject.
         self._container: Optional[LocalSubclass] = None
         self._deleted = False
+        #: Epoch counters (see repro.core.resolution): consumers snapshot
+        #: these to validate cached resolutions in O(1) instead of
+        #: subscribing to events.  The binding epoch moves when this
+        #: object's *resolution topology* changes — its own bind/unbind or
+        #: any upstream binding change (bumps propagate down the inheritor
+        #: subtree, so one integer compare covers the whole chain).  The
+        #: mutation epoch moves on attribute writes and container content
+        #: changes of this object only.
+        self._binding_epoch = 0
+        self._mutation_epoch = 0
+        #: member name -> (schema_epoch, binding_epoch, holder, entry, hops):
+        #: the memoised end of the delegation chain for that member,
+        #: valid while both epochs match (values are always read live).
+        self._member_memo: Dict[str, Any] = {}
         if database is not None and hasattr(database, "_adopt"):
             database._adopt(self)
         for name, spec in object_type.effective_subclasses().items():
@@ -159,22 +174,58 @@ class DBObject:
         """The inheritance link for ``rel_type``, if bound."""
         return self._links_as_inheritor.get(rel_type.name)
 
+    def _plan(self) -> "_resolution.ResolutionPlan":
+        """The valid resolution plan of this object's type (compile lazily)."""
+        object_type = self.object_type
+        plan = object_type._plan
+        if plan is not None and plan.schema_epoch == _resolution._SCHEMA_EPOCH:
+            return plan
+        return _resolution.compile_plan(
+            object_type, getattr(self.database, "obs", None)
+        )
+
     def _binding_link_for_member(self, name: str) -> Optional["InheritanceLink"]:
         """The first bound link through which ``name`` is inherited.
 
         Resolution follows the declaration order of ``inheritor-in`` on the
-        object's type, which disambiguates diamond situations.
+        object's type (baked into the plan entry), which disambiguates
+        diamond situations.
         """
-        for rel_type in self.object_type.inheritor_in:
-            if rel_type.is_permeable(name):
-                link = self._links_as_inheritor.get(rel_type.name)
-                if link is not None:
-                    return link
+        entry = self._plan().entries.get(name)
+        if entry is None or not entry.rels:
+            return None
+        links = self._links_as_inheritor
+        for rel_name in entry.rels:
+            link = links.get(rel_name)
+            if link is not None:
+                return link
         return None
 
     def is_member_inherited(self, name: str) -> bool:
         """True when ``name`` currently resolves through a bound transmitter."""
         return self._binding_link_for_member(name) is not None
+
+    def _bump_binding_epoch(self) -> None:
+        """Move the resolution-topology epoch of this object *and* every
+        transitive inheritor below it.
+
+        Binding changes are rare and reads are hot, so the cost of a
+        topology change is paid here, walking the downstream subtree once —
+        in exchange, any consumer holding a memoised resolution validates
+        it with a single integer compare against the inheritor's own epoch
+        (no per-hop chain walk, no event subscription).
+        """
+        stack: List["DBObject"] = [self]
+        seen: set = set()
+        while stack:
+            node = stack.pop()
+            node_id = id(node)
+            if node_id in seen:
+                continue
+            seen.add(node_id)
+            node._binding_epoch += 1
+            for link in node._links_as_transmitter:
+                stack.append(link.inheritor)
 
     # -- member resolution ------------------------------------------------------
 
@@ -186,35 +237,133 @@ class DBObject:
         local subclass / subrel containers (as lists); declared attributes
         without a value (their default, else ``None``).  Unknown names raise
         :class:`~repro.errors.UnknownAttributeError`.
+
+        Dispatch goes through the type's compiled
+        :class:`~repro.core.resolution.ResolutionPlan`: plan validity is one
+        integer compare against the schema epoch, and bound delegation
+        chains are walked iteratively instead of rescanning ``inheritor-in``
+        per level.  The end of the chain — the *holder* that actually
+        supplies the value — is memoised per member and revalidated with two
+        integer compares (schema epoch + this object's binding epoch, which
+        moves on any upstream topology change), so a steady-state inherited
+        read costs O(1) regardless of chain depth.  Values are always read
+        live off the holder; only the topology is memoised.
         """
-        self._ensure_alive()
-        if name == "surrogate":
-            return self.surrogate
-        link = self._binding_link_for_member(name)
-        if link is not None:
-            obs = getattr(self.database, "obs", None)
-            if obs is not None:
-                # One count per delegation hop: a read through a k-level
-                # interface hierarchy contributes k.
-                obs.metrics.counter("reads.inherited").inc()
-            return link.transmitter.get_member(name)
-        if name in self._attrs:
-            return self._attrs[name]
-        container = self._subclasses.get(name)
-        if container is not None:
-            return container.members()
-        rel_container = self._subrels.get(name)
-        if rel_container is not None:
-            return rel_container.members()
-        spec = self.object_type.effective_attribute(name)
-        if spec is not None:
-            return spec.default if spec.has_default else None
-        if getattr(self.object_type, "allow_dynamic", False):
+        if self._deleted:
+            raise ObjectDeletedError(f"{self!r} was deleted")
+        schema_epoch = _resolution._SCHEMA_EPOCH
+        memo = self._member_memo.get(name)
+        if (
+            memo is not None
+            and memo[0] == schema_epoch
+            and memo[1] == self._binding_epoch
+        ):
+            holder = memo[2]
+            hops = memo[4]
+            if hops:
+                if holder._deleted:
+                    raise ObjectDeletedError(f"{holder!r} was deleted")
+                obs = getattr(self.database, "obs", None)
+                if obs is not None:
+                    # One count per delegation hop: a read through a
+                    # k-level interface hierarchy contributes k.
+                    obs.metrics.counter("reads.inherited").inc(hops)
+                    obs.metrics.counter("resolution.fast_hits").inc()
+            attrs = holder._attrs
+            if name in attrs:
+                return attrs[name]
+            return self._member_from_holder(holder, memo[3], name)
+        object_type = self.object_type
+        plan = object_type._plan
+        if plan is None or plan.schema_epoch != schema_epoch:
+            plan = _resolution.compile_plan(
+                object_type, getattr(self.database, "obs", None)
+            )
+        entry = plan.entries.get(name)
+        current = self
+        hops = 0
+        if entry is not None:
+            if entry.kind == "surrogate":
+                return self.surrogate
+            rels = entry.rels
+            if rels:
+                links = current._links_as_inheritor
+                link = None
+                for rel_name in rels:
+                    link = links.get(rel_name)
+                    if link is not None:
+                        break
+                if link is not None:
+                    # Walk the bound chain iteratively; each hop costs a
+                    # plan lookup (validated by epoch) and a dict probe
+                    # instead of a full interpretive re-scan.
+                    while link is not None:
+                        current = link.transmitter
+                        hops += 1
+                        if type(current).get_member is not DBObject.get_member:
+                            # Subclasses with their own protocol (relationship
+                            # participants) take over from here; their answer
+                            # is not epoch-tracked, so don't memoise it.
+                            obs = getattr(self.database, "obs", None)
+                            if obs is not None:
+                                obs.metrics.counter("reads.inherited").inc(hops)
+                                obs.metrics.counter("resolution.fast_hits").inc()
+                            return current.get_member(name)
+                        if current._deleted:
+                            raise ObjectDeletedError(f"{current!r} was deleted")
+                        current_type = current.object_type
+                        cplan = current_type._plan
+                        if cplan is None or cplan.schema_epoch != schema_epoch:
+                            cplan = _resolution.compile_plan(
+                                current_type, getattr(current.database, "obs", None)
+                            )
+                        entry = cplan.entries.get(name)
+                        link = None
+                        if entry is not None and entry.rels:
+                            links = current._links_as_inheritor
+                            for rel_name in entry.rels:
+                                link = links.get(rel_name)
+                                if link is not None:
+                                    break
+                    obs = getattr(self.database, "obs", None)
+                    if obs is not None:
+                        obs.metrics.counter("reads.inherited").inc(hops)
+                        obs.metrics.counter("resolution.fast_hits").inc()
+            # The resolution (not the value) is memoised: a chain of plain
+            # objects ending at `current` stays valid until the schema or
+            # this object's binding topology moves.
+            self._member_memo[name] = (
+                schema_epoch, self._binding_epoch, current, entry, hops,
+            )
+        attrs = current._attrs
+        if name in attrs:
+            return attrs[name]
+        return self._member_from_holder(current, entry, name)
+
+    @staticmethod
+    def _member_from_holder(
+        holder: "DBObject",
+        entry: Optional["_resolution.MemberEntry"],
+        name: str,
+    ) -> Any:
+        """Local resolution on the chain's holder, after its ``_attrs`` miss:
+        containers as lists, declared defaults, then the seed's errors."""
+        if entry is not None:
+            container = holder._subclasses.get(name)
+            if container is not None:
+                return container.members()
+            rel_container = holder._subrels.get(name)
+            if rel_container is not None:
+                return rel_container.members()
+            if entry.spec is not None:
+                return entry.default
+        holder_type = holder.object_type
+        if getattr(holder_type, "allow_dynamic", False):
             raise UnknownAttributeError(
-                f"{self!r} has no value for dynamic attribute {name!r}"
+                f"{holder!r} has no value for dynamic attribute {name!r}"
             )
         raise UnknownAttributeError(
-            f"type {self.object_type.name!r} has no member {name!r}"
+            f"type {holder_type.name!r} has no member {name!r}"
         )
 
     def __getitem__(self, name: str) -> Any:
@@ -244,14 +393,19 @@ class DBObject:
             When the value does not fit the attribute's domain.
         """
         self._ensure_alive()
-        link = self._binding_link_for_member(name)
-        if link is not None:
-            raise InheritanceError(
-                f"{name!r} of {self!r} is inherited from {link.transmitter!r} "
-                f"via {link.rel_type.name!r} and must not be updated in the "
-                f"inheritor; update the transmitter instead"
-            )
-        spec = self.object_type.effective_attribute(name)
+        entry = self._plan().entries.get(name)
+        if entry is not None and entry.rels:
+            links = self._links_as_inheritor
+            for rel_name in entry.rels:
+                link = links.get(rel_name)
+                if link is not None:
+                    raise InheritanceError(
+                        f"{name!r} of {self!r} is inherited from "
+                        f"{link.transmitter!r} via {link.rel_type.name!r} and "
+                        f"must not be updated in the inheritor; update the "
+                        f"transmitter instead"
+                    )
+        spec = entry.spec if entry is not None else None
         if spec is None:
             if self.object_type.member_kind(name) is not None:
                 raise SchemaError(
@@ -267,6 +421,7 @@ class DBObject:
             normalised = spec.validate(value)
         old = self._attrs.get(name)
         self._attrs[name] = normalised
+        self._mutation_epoch += 1
         self._emit("attribute_updated", attribute=name, old=old, new=normalised)
         return normalised
 
@@ -373,6 +528,12 @@ class DBObject:
             self._container._discard(self)
             self._container = None
         self._deleted = True
+        # Defensive: any cached resolution whose chain includes this object
+        # must fail epoch validation, whatever path led here.  (All links
+        # were just unbound, so the propagating bump normally covers only
+        # this object.)
+        self._bump_binding_epoch()
+        self._mutation_epoch += 1
         self._emit("object_deleted")
         database = self.database
         if database is not None and hasattr(database, "_forget_object"):
@@ -382,17 +543,7 @@ class DBObject:
 
     def visible_member_names(self) -> Tuple[str, ...]:
         """Every member name resolvable on this object (type level)."""
-        names = ["surrogate"]
-        names.extend(self.object_type.effective_attributes())
-        names.extend(self.object_type.effective_subclasses())
-        names.extend(self.object_type.effective_subrels())
-        seen: Set[str] = set()
-        unique = []
-        for name in names:
-            if name not in seen:
-                seen.add(name)
-                unique.append(name)
-        return tuple(unique)
+        return self._plan().member_names
 
 
 class LocalSubclass:
@@ -437,6 +588,7 @@ class LocalSubclass:
         )
         member._container = self
         self._members[member.surrogate] = member
+        self.owner._mutation_epoch += 1
         self.owner._emit("subobject_added", subclass=self.name, member=member)
         return member
 
@@ -454,6 +606,7 @@ class LocalSubclass:
         member.parent = self.owner
         member._container = self
         self._members[member.surrogate] = member
+        self.owner._mutation_epoch += 1
         self.owner._emit("subobject_added", subclass=self.name, member=member)
         return member
 
@@ -466,6 +619,7 @@ class LocalSubclass:
 
     def _discard(self, member: DBObject) -> None:
         self._members.pop(member.surrogate, None)
+        self.owner._mutation_epoch += 1
         self.owner._emit("subobject_removed", subclass=self.name, member=member)
 
     def members(self) -> List[DBObject]:
@@ -536,6 +690,7 @@ class LocalRelClass:
             raise
         rel._container_rel = self
         self._members[rel.surrogate] = rel
+        self.owner._mutation_epoch += 1
         self.owner._emit("relationship_created", subrel=self.name, relationship=rel)
         return rel
 
@@ -561,6 +716,7 @@ class LocalRelClass:
 
     def _discard(self, rel: "RelationshipObject") -> None:
         self._members.pop(rel.surrogate, None)
+        self.owner._mutation_epoch += 1
         self.owner._emit("relationship_removed", subrel=self.name, relationship=rel)
 
     def members(self) -> List["RelationshipObject"]:
@@ -691,6 +847,12 @@ class InheritanceLink(RelationshipObject):
         if self in transmitter._links_as_transmitter:
             transmitter._links_as_transmitter.remove(self)
         inheritor._links_as_inheritor.pop(self.rel_type.name, None)
+        # The inheritor's resolution topology changed: bump it and its
+        # whole downstream subtree.  The transmitter only *lost* an
+        # inheritor — its own resolution is untouched, so a local bump
+        # (conservative memo refresh) suffices.
+        inheritor._bump_binding_epoch()
+        transmitter._binding_epoch += 1
         self.delete()
         inheritor._emit(
             "inheritor_unbound", rel_type=self.rel_type, transmitter=transmitter
@@ -707,6 +869,8 @@ class InheritanceLink(RelationshipObject):
             transmitter._links_as_transmitter.remove(self)
         if inheritor._links_as_inheritor.get(self.rel_type.name) is self:
             inheritor._links_as_inheritor.pop(self.rel_type.name)
+        inheritor._bump_binding_epoch()
+        transmitter._binding_epoch += 1
         super().delete(unbind_inheritors=unbind_inheritors)
 
 
@@ -843,6 +1007,8 @@ def _make_link(
         link.set_attribute(name, value)
     inheritor._links_as_inheritor[rel_type.name] = link
     transmitter._links_as_transmitter.append(link)
+    inheritor._bump_binding_epoch()
+    transmitter._binding_epoch += 1
     inheritor._emit(
         "inheritor_bound", rel_type=rel_type, transmitter=transmitter, link=link
     )

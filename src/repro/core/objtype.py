@@ -19,6 +19,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Set, Tuple, Uni
 from ..errors import SchemaError
 from ..expr import parse_expression
 from ..expr.ast import Node
+from . import resolution
 from .attributes import RESERVED_MEMBER_NAMES, AttributeSpec
 from .constraints import Constraint, as_constraints
 from .domains import Domain
@@ -194,7 +195,11 @@ class TypeBase:
         #: (registered by InheritanceRelationshipType; used by impact
         #: analysis and schema documentation).
         self._transmitting_rel_types: List[Any] = []
+        #: Lazily compiled member-resolution plan (see repro.core.resolution);
+        #: valid only while its schema epoch matches the global one.
+        self._plan: Any = None
         self._check_local_name_clashes()
+        resolution.bump_schema_epoch()
 
     # -- schema construction -------------------------------------------------
 
@@ -231,6 +236,9 @@ class TypeBase:
                 )
         self.inheritor_in.append(inheritance_rel_type)
         inheritance_rel_type._register_inheritor_type(self)
+        # A new inheritor-in clause changes visible members here and on every
+        # type that inherits through this one: invalidate all plans at once.
+        resolution.bump_schema_epoch()
 
     def _reaches(self, other: "TypeBase") -> bool:
         """True when ``self`` appears in ``other``'s transmitter ancestry."""

@@ -32,7 +32,6 @@ from .ast import (
     EnumLiteral,
     InherRelTypeDecl,
     ObjTypeDecl,
-    ParticipantDecl,
     RecordLiteral,
     RelTypeDecl,
     Schema,

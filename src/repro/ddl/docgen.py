@@ -9,11 +9,9 @@ relationship) — the schema-level picture of the paper's Figures 2–4.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import List, Set
 
-from ..core.inheritance import InheritanceRelationshipType
-from ..core.objtype import ObjectType, TypeBase
-from ..core.reltype import RelationshipType
+from ..core.objtype import TypeBase
 from ..engine.catalog import Catalog, _BUILTIN_DOMAINS
 from .unparse import unparse_domain
 

@@ -24,7 +24,7 @@ from ..core.domains import (
     SetOf,
 )
 from ..core.inheritance import InheritanceRelationshipType
-from ..core.objtype import ObjectType, TypeBase
+from ..core.objtype import TypeBase
 from ..core.reltype import RelationshipType
 from ..engine.catalog import Catalog, _BUILTIN_DOMAINS
 

@@ -8,7 +8,7 @@ syntax; programmatic schemas register through the ``define_*`` helpers.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List
 
 from ..core.domains import (
     ANY,
@@ -21,6 +21,7 @@ from ..core.domains import (
     STRING,
     Domain,
 )
+from ..core import resolution
 from ..core.inheritance import InheritanceRelationshipType
 from ..core.objtype import ObjectType, TypeBase
 from ..core.reltype import RelationshipType
@@ -77,6 +78,16 @@ class Catalog:
         return dict(self._domains)
 
     # -- types -------------------------------------------------------------------
+
+    @property
+    def schema_epoch(self) -> int:
+        """The schema epoch compiled resolution plans validate against.
+
+        Bumped by every type definition and ``inheritor-in:`` declaration
+        (see :mod:`repro.core.resolution`); the counter is process-global
+        because types can exist outside any catalog.
+        """
+        return resolution.schema_epoch()
 
     def register(self, type_: TypeBase) -> TypeBase:
         """Register any kind of type under its name."""

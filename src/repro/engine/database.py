@@ -39,10 +39,10 @@ from ..core.objects import (
     new_object,
     new_relationship,
 )
-from ..core.objtype import ObjectType, TypeBase
+from ..core.objtype import TypeBase
 from ..core.reltype import RelationshipType
 from ..core.surrogate import Surrogate, SurrogateGenerator
-from ..errors import QueryError, SchemaError, UnknownTypeError
+from ..errors import SchemaError, UnknownTypeError
 from .catalog import Catalog
 from .events import EventBus
 from .storage import Extent
@@ -187,6 +187,7 @@ class Database:
     def add_to_class(self, obj: DBObject, class_name: str) -> None:
         """File an existing object in a (further) class."""
         self.class_(class_name).add(obj)
+        self.events.emit("class_member_added", subject=obj, class_name=class_name)
 
     # -- lookup & queries ---------------------------------------------------------
 

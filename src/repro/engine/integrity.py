@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, List, Set
 
-from ..core.objects import DBObject, InheritanceLink, RelationshipObject
+from ..core.objects import DBObject, RelationshipObject
 from ..core.surrogate import Surrogate
 from .database import Database
 

@@ -16,7 +16,7 @@ attribute values are re-validated against their domains on load.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List
+from typing import Any, Dict
 
 from ..core.domains import RecordValue
 from ..core.objects import DBObject, InheritanceLink, RelationshipObject
@@ -222,6 +222,8 @@ def _load_image(image: Dict[str, Any], db: Database) -> Database:
             )
             inheritor._links_as_inheritor[rel_type.name] = link
             transmitter._links_as_transmitter.append(link)
+            inheritor._bump_binding_epoch()
+            transmitter._binding_epoch += 1
             _restore_attrs(link, record["attrs"])
             by_surrogate[record["surrogate"]] = link
         else:

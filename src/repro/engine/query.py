@@ -15,7 +15,7 @@ bill of materials) build on these and live in
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator, List, Union
+from typing import Callable, Iterator, List, Union
 
 from ..core.objects import DBObject, InheritanceLink, RelationshipObject
 from ..errors import QueryError

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Any, List, Optional, Sequence, Tuple
 
 from ..errors import ExprEvaluationError
-from .context import MISSING, EvalContext, as_collection, is_collection
+from .context import MISSING, EvalContext, as_collection
 
 __all__ = [
     "Node",

@@ -109,7 +109,8 @@ class EvalContext:
         similar symbols unquoted (``Pins.InOut = IN``).
     """
 
-    __slots__ = ("root", "bindings", "unresolved_as_literal", "parent")
+    __slots__ = ("root", "bindings", "unresolved_as_literal", "parent",
+                 "_root_getter")
 
     def __init__(
         self,
@@ -122,6 +123,10 @@ class EvalContext:
         self.bindings = dict(bindings or {})
         self.unresolved_as_literal = unresolved_as_literal
         self.parent = parent
+        # Bind the root's member protocol once per context, not per lookup
+        # — expression evaluation resolves many names against one root.
+        getter = getattr(root, "get_member", None)
+        self._root_getter = getter if callable(getter) else None
 
     def child(self, bindings: Dict[str, Any]) -> "EvalContext":
         """A nested context with extra binder bindings (quantifier scope)."""
@@ -142,6 +147,12 @@ class EvalContext:
             if name in context.bindings:
                 return context.bindings[name]
             context = context.parent
+        getter = self._root_getter
+        if getter is not None:
+            try:
+                return getter(name)
+            except (KeyError, UnknownAttributeError):
+                return MISSING
         return resolve_member(self.root, name)
 
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List
 
+from ..core.resolution import resolution_stats
 from ..errors import ReproError
 
 __all__ = ["SCHEMA_VERSION", "snapshot", "render_table", "exercise", "derived_stats"]
@@ -42,12 +43,17 @@ def snapshot(db, include_events: bool = True) -> Dict[str, Any]:
             f"(create it with observe=True or call enable_observability())"
         )
     data = obs.metrics.as_dict()
+    gauges = dict(data["gauges"])
+    # Fold in the process-global resolution-plan statistics (plans are
+    # compiled per type, not per database, so they live outside the
+    # registry; see repro.core.resolution).
+    gauges.update(resolution_stats())
     result: Dict[str, Any] = {
         "schema": SCHEMA_VERSION,
         "database": db.name,
         "objects": db.count(),
         "counters": data["counters"],
-        "gauges": data["gauges"],
+        "gauges": gauges,
         "histograms": data["histograms"],
     }
     if include_events:

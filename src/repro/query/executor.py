@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List, Optional, Tuple, Union
+from typing import Any, List, Optional, Tuple
 
+from ..core import resolution as _resolution
 from ..core.objects import DBObject
 from ..engine.database import Database
 from ..errors import QueryError, UnknownTypeError
@@ -84,9 +85,16 @@ def execute_query(db: Database, spec: QuerySpec) -> QueryResult:
 def _execute(db: Database, spec: QuerySpec, obs) -> QueryResult:
     matches: List[DBObject] = []
     scanned = 0
+    # Resolve each candidate type's plan once up front (not per object):
+    # the where/order/projection evaluation then always hits valid plans.
+    warmed: set = set()
     for obj in _candidates(db, spec.source_name):
         if obj.deleted:
             continue
+        object_type = obj.object_type
+        if id(object_type) not in warmed:
+            warmed.add(id(object_type))
+            _resolution.plan_for(object_type, obs)
         scanned += 1
         if spec.where is not None:
             if not truthy(spec.where.evaluate(EvalContext(obj))):

@@ -24,7 +24,7 @@ live objects of the type, subtypes included).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from ..errors import QueryError

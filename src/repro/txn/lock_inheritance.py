@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import FrozenSet, List, Optional, Set, Tuple
 
+from ..core import resolution as _resolution
 from ..core.objects import DBObject
 from ..core.surrogate import Surrogate
 from .locks import LockMode
@@ -52,8 +53,13 @@ def _collect(
     plan: List[LockPlanItem],
     seen: Set[Surrogate],
 ) -> None:
+    permeable_sets = _resolution.plan_for(obj.object_type).permeable_sets
     for link in obj.inheritance_links:
-        permeable = frozenset(link.rel_type.inheriting)
+        # The plan interned one frozenset per inheritance relationship, so
+        # no per-plan frozenset rebuilds here.
+        permeable = permeable_sets.get(link.rel_type.name)
+        if permeable is None:
+            permeable = frozenset(link.rel_type.inheriting)
         relevant = permeable if members is None else permeable & members
         if not relevant:
             continue
@@ -109,10 +115,16 @@ def expansion_lock_plan(
             # locked, and never exclusively through mere expansion.
             visible: Set[str] = set()
             for link in obj.inheritor_links:
-                if link.inheritor.surrogate in listed or (
-                    link.inheritor.surrogate in own_tree
+                inheritor = link.inheritor
+                if inheritor.surrogate in listed or (
+                    inheritor.surrogate in own_tree
                 ):
-                    visible |= set(link.rel_type.inheriting)
+                    permeable = _resolution.plan_for(
+                        inheritor.object_type
+                    ).permeable_sets.get(link.rel_type.name)
+                    if permeable is None:
+                        permeable = frozenset(link.rel_type.inheriting)
+                    visible |= permeable
             scope = frozenset(visible) if visible else None
             plan.append((obj, scope, LockMode.S))
     if obs is not None:

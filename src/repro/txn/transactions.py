@@ -26,7 +26,7 @@ import itertools
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.objects import DBObject
-from ..errors import AccessDeniedError, TransactionError
+from ..errors import TransactionError
 from .access import AccessControlManager, Right
 from .lock_inheritance import expansion_lock_plan, inherited_lock_plan
 from .locks import LockMode, LockTable
@@ -167,6 +167,7 @@ class Transaction:
                 obj._attrs[attribute] = old
             else:
                 obj._attrs.pop(attribute, None)
+            obj._mutation_epoch += 1
         self._undo.clear()
         self.status = self.ABORTED
         self.lock_table.release_all(self.id)

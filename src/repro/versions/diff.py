@@ -17,7 +17,7 @@ changes" needs to see what actually changed between two versions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List, Optional
+from typing import Any, List
 
 from ..composition.baselines import clone_object
 from ..core.objects import DBObject

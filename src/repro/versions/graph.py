@@ -19,7 +19,7 @@ see :meth:`VersionGraph.subgraph_of`.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Set
+from typing import Dict, Iterator, List, Optional
 
 from ..core.objects import DBObject
 from ..core.surrogate import Surrogate

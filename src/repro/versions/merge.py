@@ -145,6 +145,7 @@ def merge_versions(
             )
             continue
         owner._attrs[attribute] = entry.new
+        owner._mutation_epoch += 1
         applied.append(entry)
 
     graph.derive(left, merged, state=state)

@@ -134,6 +134,7 @@ class StateGuard:
             subject._attrs.pop(event.attribute, None)
         else:
             subject._attrs[event.attribute] = event.old
+        subject._mutation_epoch += 1
         raise VersionError(
             f"{guarded!r} is {state} and must not be updated; derive a new "
             f"version instead"

@@ -19,7 +19,7 @@ Workspaces are per-user bookkeeping; several may exist per database.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..composition.baselines import clone_object
 from ..core.objects import DBObject

@@ -10,7 +10,7 @@ components, wires obeying the Figure 1 restriction.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from ..composition import add_component
 from ..ddl.paper import load_gate_schema

@@ -46,14 +46,16 @@ class TestCacheCorrectness:
         iface.set_attribute("Length", 42)
         assert cache.get(impl, "Length") == 42
 
-    def test_invalidation_is_member_precise(self, db, cache):
+    def test_invalidation_counted_lazily_on_stale_read(self, db, cache):
         iface, impl = make_pair(db)
         cache.get(impl, "Length")
-        cache.get(impl, "Width")
         before = cache.invalidations
         iface.set_attribute("Length", 99)
-        assert cache.invalidations == before + 1  # only Length dropped
-        assert cache.get(impl, "Width") == iface["Width"]
+        # Epoch validation is lazy: nothing is counted until a read finds
+        # the entry stale.
+        assert cache.invalidations == before
+        assert cache.get(impl, "Length") == 99
+        assert cache.invalidations == before + 1
 
     def test_invalidation_on_subclass_change(self, db, cache):
         iface, impl = make_pair(db)
@@ -101,14 +103,18 @@ class TestCacheCorrectness:
         component_if.set_attribute("Length", 6)
         assert cache.get(slot, "Length") == 6
 
-    def test_detach_freezes_cache(self, db, cache):
+    def test_detach_keeps_epoch_validation(self, db, cache):
         iface, impl = make_pair(db)
         cache.get(impl, "Length")
         cache.detach()
         iface.set_attribute("Length", 1000)
-        # Stale by design after detach — demonstrates why invalidation
-        # subscriptions are load-bearing.
-        assert cache.get(impl, "Length") == 10
+        # Staleness detection is intrinsic (epoch compares on every read),
+        # not event-driven: even a detached cache never serves stale data.
+        # The subscriptions only evict keys of dead objects.
+        assert cache.get(impl, "Length") == 1000
+
+    def test_at_most_two_subscriptions(self, db, cache):
+        assert len(cache._subscriptions) <= 2
 
     def test_clear(self, db, cache):
         iface, impl = make_pair(db)

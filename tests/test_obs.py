@@ -319,6 +319,9 @@ class TestInstrumentedPaths:
         assert metrics.value("cache.misses") == 1
         assert metrics.value("cache.hits") == 1
         iface.set_attribute("Length", 55)
+        # Epoch-based invalidation is lazy: counted at the read that finds
+        # the entry stale.
+        assert cache.get(impl, "Length") == 55
         assert metrics.value("cache.invalidations") == 1
         cache.detach()
 
