@@ -146,6 +146,18 @@ EXPERIMENTS = {
         "at the next read.  Plan compilation is a one-off per type and "
         "schema epoch; visible_member_names amortises to a tuple load.",
     ),
+    "bench_e15_indexes": (
+        "E15 — indexed query engine: value indexes vs. full scans",
+        "§6 (selection queries over large extents)",
+        "Selective equality is answered from the hash index in time "
+        "proportional to the matching bucket — flat across 10k/50k and "
+        "two orders of magnitude under the full scan at 50k (≥10× is the "
+        "acceptance floor).  Range + top-k bisects the sorted index and "
+        "heap-selects the tail: it grows with the span, not the extent, "
+        "and beats the scan well past the 5× floor.  The write-path tax "
+        "(update_with_indexes) is a few microseconds per touched index — "
+        "event-driven maintenance, no rebuilds.",
+    ),
 }
 
 HEADER = """# EXPERIMENTS — paper vs. measured
@@ -179,6 +191,7 @@ reproduction targets, and all of them hold on this run.
 | E12 | §6 selection queries | query execution | measured (linear filters, O(1)-ish parse) |
 | E13 | instrumentation layer | observability overhead | measured (near-zero off, bounded on) |
 | E14 | §4.1 member resolution | compiled plans + epoch memo | measured (O(1) steady-state reads, ≥3× vs. interpretive) |
+| E15 | §6 selection queries | attribute/type indexes + planner | measured (≥10× selective equality, ≥5× range+top-k at 50k) |
 """
 
 

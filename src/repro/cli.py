@@ -105,10 +105,15 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 
 def cmd_query(args: argparse.Namespace) -> int:
+    from .query import run_query
+
     db = Database("cli", observe=args.trace)
     _load_catalog(db, args.schema)
     load(args.image, db)
-    result = db.query(args.query)
+    result = run_query(db, args.query, explain=args.explain)
+    if args.explain:
+        print(result.explain())
+        print()
     print(" | ".join(result.columns))
     for row in result.rows:
         print(" | ".join(repr(value) for value in row))
@@ -187,6 +192,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("query", help="select … from … where …")
     p_query.add_argument(
         "--trace", action="store_true", help="print a span tree to stderr"
+    )
+    p_query.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the chosen access plan (index vs scan, estimated vs "
+        "actual rows) before the rows",
     )
     p_query.set_defaults(func=cmd_query)
 

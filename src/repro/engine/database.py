@@ -61,12 +61,18 @@ class Database:
         record_events: bool = False,
         observe: bool = False,
     ):
+        # Imported here, not at module level: repro.query imports this
+        # module for the executor, so the package edges meet at runtime.
+        from ..query.indexes import IndexManager
+
         self.name = name
         self.surrogates = SurrogateGenerator(name)
         self.catalog = Catalog()
         self.events = EventBus(record=record_events)
         self._classes: Dict[str, Extent] = {}
         self._objects: Dict[Surrogate, DBObject] = {}
+        #: Extent/value indexes + sargable-query planner state (repro.query).
+        self.indexes = IndexManager(self)
         #: Set by repro.txn when a transaction manager attaches.
         self.transactions = None
         #: Set by repro.consistency when an adaptation tracker attaches.
@@ -102,11 +108,13 @@ class Database:
     def _adopt(self, obj: DBObject) -> None:
         """Track every object constructed against this database."""
         self._objects[obj.surrogate] = obj
+        self.indexes.object_adopted(obj)
 
     def _forget_object(self, obj: DBObject) -> None:
         self._objects.pop(obj.surrogate, None)
         for extent in self._classes.values():
             extent.discard(obj)
+        self.indexes.object_forgotten(obj)
 
     # -- schema ------------------------------------------------------------------
 
@@ -120,7 +128,7 @@ class Database:
         if name in self._classes:
             raise SchemaError(f"class {name!r} already exists")
         resolved = self._resolve_object_type(object_type)
-        extent = Extent(name, resolved)
+        extent = Extent(name, resolved, database=self)
         self._classes[name] = extent
         return extent
 
@@ -202,7 +210,19 @@ class Database:
     def objects_of_type(
         self, object_type: TypeRef, include_subtypes: bool = True
     ) -> List[DBObject]:
-        """All live objects of a type (by default including subtypes)."""
+        """All live objects of a type (by default including subtypes).
+
+        Served from the per-type extent index in O(result); the answer —
+        content and order — matches :meth:`naive_objects_of_type`, the
+        original full-registry scan kept as the test oracle.
+        """
+        resolved = self._resolve_object_type(object_type)
+        return self.indexes.objects_of_type(resolved, include_subtypes)
+
+    def naive_objects_of_type(
+        self, object_type: TypeRef, include_subtypes: bool = True
+    ) -> List[DBObject]:
+        """Full-registry scan oracle for :meth:`objects_of_type` (O(db))."""
         resolved = self._resolve_object_type(object_type)
         if include_subtypes:
             return [
@@ -222,12 +242,29 @@ class Database:
         """Select objects from a class (by name) or any iterable.
 
         ``where`` is either a constraint-language expression evaluated
-        against each object, or a Python predicate.
+        against each object, or a Python predicate.  Class-name sources
+        with expression conditions are planned (sargable conjuncts may be
+        answered from a value index); the full condition is still applied
+        to every candidate.
         """
         from .query import evaluate_predicate
 
         if isinstance(source, str):
-            candidates: Iterable[DBObject] = self.class_(source)
+            extent = self.class_(source)
+            if where is not None and isinstance(where, str):
+                from ..expr import EvalContext, parse_expression, truthy
+                from ..query.planner import class_source, plan_source
+
+                node = parse_expression(where)
+                _, candidates = plan_source(
+                    self, class_source(self, extent), node, text=where
+                )
+                return [
+                    obj
+                    for obj in candidates
+                    if truthy(node.evaluate(EvalContext(obj)))
+                ]
+            candidates: Iterable[DBObject] = extent
         else:
             candidates = source
         if where is None:

@@ -12,6 +12,8 @@ Event kinds emitted by the core layer:
 kind                      data
 ========================  =====================================================
 ``attribute_updated``     ``attribute``, ``old``, ``new``
+``attribute_restored``    ``attribute`` (direct ``_attrs`` restore: txn
+                          abort, version revert-and-reject, merge apply)
 ``object_deleted``        —
 ``subobject_added``       ``subclass``, ``member``
 ``subobject_removed``     ``subclass``, ``member``

@@ -5,10 +5,19 @@ several classes may have objects of the same type."*  An :class:`Extent` is
 one such class: a named set of objects of (a subtype of) one object type.
 An object may be a member of several extents; subobjects of complex objects
 live in their local subclasses, not in extents.
+
+Extents created through :meth:`~repro.engine.database.Database.create_class`
+notify the database's :class:`~repro.query.indexes.IndexManager` on
+membership changes, and keep two cheap sidecars for the query planner: a
+per-member insertion ordinal (index lookups are re-emitted in scan order)
+and a live count per concrete member type (used to prove bare identifiers
+constant-foldable).
 """
 
 from __future__ import annotations
 
+import itertools
+from collections import Counter
 from typing import Dict, Iterator, List, Optional
 
 from ..core.objects import DBObject
@@ -22,12 +31,18 @@ __all__ = ["Extent"]
 class Extent:
     """A database class: a named set of same-typed objects."""
 
-    def __init__(self, name: str, object_type: TypeBase):
+    def __init__(self, name: str, object_type: TypeBase, database=None):
         if not name.isidentifier():
             raise SchemaError(f"class name {name!r} is not a valid identifier")
         self.name = name
         self.object_type = object_type
         self._members: Dict[Surrogate, DBObject] = {}
+        #: surrogate -> insertion ordinal; the scan order of members().
+        self._order: Dict[Surrogate, int] = {}
+        self._seq = itertools.count(1)
+        #: Live count per concrete member type.
+        self._type_counts: Counter = Counter()
+        self._indexes = getattr(database, "indexes", None)
 
     def add(self, obj: DBObject) -> DBObject:
         """Add an object; its type must conform to the extent's type."""
@@ -36,12 +51,26 @@ class Extent:
                 f"class {self.name!r} holds {self.object_type.name!r} objects; "
                 f"got {obj.object_type.name!r}"
             )
+        if obj.surrogate in self._members:
+            self._members[obj.surrogate] = obj
+            return obj
         self._members[obj.surrogate] = obj
+        self._order[obj.surrogate] = next(self._seq)
+        self._type_counts[obj.object_type] += 1
+        if self._indexes is not None:
+            self._indexes.extent_member_added(self, obj)
         return obj
 
     def discard(self, obj: DBObject) -> None:
         """Remove an object from the class (the object itself survives)."""
-        self._members.pop(obj.surrogate, None)
+        if self._members.pop(obj.surrogate, None) is None:
+            return
+        self._order.pop(obj.surrogate, None)
+        self._type_counts[obj.object_type] -= 1
+        if self._type_counts[obj.object_type] <= 0:
+            del self._type_counts[obj.object_type]
+        if self._indexes is not None:
+            self._indexes.extent_member_removed(self, obj)
 
     def members(self) -> List[DBObject]:
         """Snapshot list of the current members."""

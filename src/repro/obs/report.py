@@ -48,6 +48,13 @@ def snapshot(db, include_events: bool = True) -> Dict[str, Any]:
     # compiled per type, not per database, so they live outside the
     # registry; see repro.core.resolution).
     gauges.update(resolution_stats())
+    # And the database's index-manager statistics: index maintenance runs
+    # whether or not observability is attached, so the authoritative
+    # counts live on the manager and are surfaced here as gauges
+    # (index.hits / index.misses / index.maintenance / …).
+    indexes = getattr(db, "indexes", None)
+    if indexes is not None:
+        gauges.update(indexes.stats_snapshot())
     result: Dict[str, Any] = {
         "schema": SCHEMA_VERSION,
         "database": db.name,

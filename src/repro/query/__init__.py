@@ -4,9 +4,30 @@
 >>> result = run_query(db, "select Length from Interfaces where Width > 5")
 >>> result.scalars()
 [...]
+
+Execution is planned: sargable ``where`` conjuncts are answered from
+incrementally-maintained value indexes when that beats a full scan (see
+:mod:`repro.query.planner` and :mod:`repro.query.indexes`); pass
+``explain=True`` (or use ``repro query --explain``) to inspect the chosen
+plan via ``result.plan``.
 """
 
 from .executor import QueryResult, execute_query, run_query
+from .indexes import IndexManager, ValueIndex
 from .parser import QuerySpec, parse_query
+from .planner import QueryPlan, Sarg, extract_sargs, plan_source, resolve_source
 
-__all__ = ["QueryResult", "QuerySpec", "execute_query", "parse_query", "run_query"]
+__all__ = [
+    "IndexManager",
+    "QueryPlan",
+    "QueryResult",
+    "QuerySpec",
+    "Sarg",
+    "ValueIndex",
+    "execute_query",
+    "extract_sargs",
+    "parse_query",
+    "plan_source",
+    "resolve_source",
+    "run_query",
+]

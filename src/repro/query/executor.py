@@ -1,16 +1,32 @@
-"""Query execution over a database."""
+"""Query execution over a database.
+
+Execution is planner-driven since the indexed-query-engine change: the
+``from`` source and ``where`` AST go to :mod:`repro.query.planner`, which
+picks an access path (full scan, equality index, range index) and hands
+back candidate objects in scan order.  The full ``where`` is always
+re-applied here, so the planner can only reduce the number of objects
+touched, never change results.  The chosen :class:`~repro.query.planner.QueryPlan`
+— with estimated vs actual row counts — rides on the result as
+``QueryResult.plan`` (``run_query(..., explain=True)``; CLI
+``repro query --explain``).
+
+``order by … limit k`` uses a bounded heap (``heapq.nsmallest`` /
+``nlargest``, documented as equivalent to sorting then slicing, including
+stability) instead of sorting all matches.
+"""
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Any, List, Optional, Tuple
 
 from ..core import resolution as _resolution
 from ..core.objects import DBObject
 from ..engine.database import Database
-from ..errors import QueryError, UnknownTypeError
 from ..expr import MISSING, EvalContext, truthy
 from .parser import QuerySpec, parse_query
+from .planner import QueryPlan, plan_source, resolve_source
 
 __all__ = ["QueryResult", "execute_query", "run_query"]
 
@@ -22,13 +38,15 @@ class QueryResult:
     ``columns`` are the projection source texts (``["*"]`` for object
     queries); ``rows`` are value tuples aligned with the columns; for
     ``select *`` queries ``objects`` carries the matching objects and each
-    row is the one-element tuple of the object.
+    row is the one-element tuple of the object.  ``plan`` records the
+    access path the planner chose.
     """
 
     spec: QuerySpec
     columns: List[str]
     rows: List[Tuple[Any, ...]]
     objects: Optional[List[DBObject]] = None
+    plan: Optional[QueryPlan] = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -40,22 +58,12 @@ class QueryResult:
         """First-column values — convenient for single-column queries."""
         return [row[0] for row in self.rows]
 
+    def explain(self) -> str:
+        """The plan's EXPLAIN rendering."""
+        return self.plan.describe() if self.plan is not None else "plan: (none)"
+
     def __repr__(self) -> str:
         return f"<QueryResult {self.spec.text!r} rows={len(self.rows)}>"
-
-
-def _candidates(db: Database, name: str) -> List[DBObject]:
-    try:
-        return db.class_(name).members()
-    except UnknownTypeError:
-        pass
-    try:
-        type_ = db.catalog.type(name)
-    except UnknownTypeError:
-        raise QueryError(
-            f"{name!r} names neither a class nor a type in this database"
-        ) from None
-    return db.objects_of_type(type_)
 
 
 def _sort_key(value: Any):
@@ -79,16 +87,47 @@ def execute_query(db: Database, spec: QuerySpec) -> QueryResult:
     ) as span:
         result = _execute(db, spec, obs)
         span.set(rows=len(result.rows))
+        if result.plan is not None:
+            span.set(access=result.plan.access_path)
     return result
 
 
+def _distinct_rows(rows: List[Tuple[Any, ...]]) -> List[Tuple[Any, ...]]:
+    """Order-preserving dedupe: set-based for hashable rows, linear only
+    for (and against) the unhashable ones.
+
+    A hashable row can equal an unhashable one (``frozenset() == set()``),
+    so hashable rows are also checked against the kept unhashable pool,
+    and unhashable rows against everything kept so far.
+    """
+    seen: set = set()
+    unhashable: List[Tuple[Any, ...]] = []
+    unique: List[Tuple[Any, ...]] = []
+    for row in rows:
+        try:
+            duplicate = row in seen
+            if not duplicate and unhashable:
+                duplicate = any(row == other for other in unhashable)
+            if not duplicate:
+                seen.add(row)
+                unique.append(row)
+        except TypeError:  # unhashable projection value
+            if row not in unique:
+                unique.append(row)
+                unhashable.append(row)
+    return unique
+
+
 def _execute(db: Database, spec: QuerySpec, obs) -> QueryResult:
+    source = resolve_source(db, spec.source_name)
+    plan, candidates = plan_source(db, source, spec.where, text=spec.text)
+
     matches: List[DBObject] = []
     scanned = 0
     # Resolve each candidate type's plan once up front (not per object):
     # the where/order/projection evaluation then always hits valid plans.
     warmed: set = set()
-    for obj in _candidates(db, spec.source_name):
+    for obj in candidates:
         if obj.deleted:
             continue
         object_type = obj.object_type
@@ -100,23 +139,39 @@ def _execute(db: Database, spec: QuerySpec, obs) -> QueryResult:
             if not truthy(spec.where.evaluate(EvalContext(obj))):
                 continue
         matches.append(obj)
+    plan.candidates = scanned
 
     if obs is not None:
         obs.metrics.counter("query.executed").inc()
         obs.metrics.counter("query.rows_scanned").inc(scanned)
         obs.metrics.counter("query.rows_matched").inc(len(matches))
+        if plan.access_path == "full-scan":
+            obs.metrics.counter("query.plan.full_scan").inc()
+        else:
+            obs.metrics.counter("query.plan.index_scan").inc()
 
     if spec.order_by is not None:
-        matches.sort(
-            key=lambda obj: _sort_key(spec.order_by.evaluate(EvalContext(obj))),
-            reverse=spec.descending,
-        )
+        def order_key(obj: DBObject):
+            return _sort_key(spec.order_by.evaluate(EvalContext(obj)))
+
+        if spec.limit is not None and spec.limit < len(matches):
+            # Bounded-heap top-k: nsmallest/nlargest are documented as
+            # equivalent to sorted(...)[:k] (asc) / sorted(..., reverse=True)[:k]
+            # (desc), stability included.
+            pick = heapq.nlargest if spec.descending else heapq.nsmallest
+            matches = pick(spec.limit, matches, key=order_key)
+            plan.order = f"top-{spec.limit} heap"
+        else:
+            matches.sort(key=order_key, reverse=spec.descending)
+            plan.order = "sort"
+        if spec.descending:
+            plan.order += " desc"
 
     if spec.limit is not None:
         matches = matches[: spec.limit]
 
     if spec.projection is None:
-        rows = [(obj,) for obj in matches]
+        plan.rows = len(matches)
         if spec.distinct:
             seen = set()
             unique_rows = []
@@ -126,8 +181,10 @@ def _execute(db: Database, spec: QuerySpec, obs) -> QueryResult:
                     seen.add(obj.surrogate)
                     unique_rows.append((obj,))
                     unique_objects.append(obj)
-            return QueryResult(spec, ["*"], unique_rows, unique_objects)
-        return QueryResult(spec, ["*"], rows, matches)
+            plan.rows = len(unique_rows)
+            return QueryResult(spec, ["*"], unique_rows, unique_objects, plan)
+        rows = [(obj,) for obj in matches]
+        return QueryResult(spec, ["*"], rows, matches, plan)
 
     rows = []
     for obj in matches:
@@ -138,21 +195,25 @@ def _execute(db: Database, spec: QuerySpec, obs) -> QueryResult:
         )
         rows.append(row)
     if spec.distinct:
-        seen_rows = set()
-        unique = []
-        for row in rows:
-            try:
-                key = row
-                if key not in seen_rows:
-                    seen_rows.add(key)
-                    unique.append(row)
-            except TypeError:  # unhashable projection value
-                if row not in unique:
-                    unique.append(row)
-        rows = unique
-    return QueryResult(spec, spec.column_names, rows)
+        rows = _distinct_rows(rows)
+    plan.rows = len(rows)
+    return QueryResult(spec, spec.column_names, rows, plan=plan)
 
 
-def run_query(db: Database, text: str) -> QueryResult:
-    """Parse and execute query text in one step."""
-    return execute_query(db, parse_query(text))
+def run_query(db: Database, text: str, explain: bool = False) -> QueryResult:
+    """Parse and execute query text in one step.
+
+    The plan is always attached as ``result.plan``; ``explain=True`` is
+    the spelled-out request for it (the CLI's ``--explain`` uses this) —
+    execution still happens, so the plan carries actual row counts next
+    to the estimates.
+    """
+    result = execute_query(db, parse_query(text))
+    if explain and result.plan is None:  # pragma: no cover - defensive
+        result.plan = QueryPlan(
+            source_name=result.spec.source_name,
+            source_kind="class",
+            source_size=len(result.rows),
+            text=text,
+        )
+    return result

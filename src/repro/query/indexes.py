@@ -1,0 +1,561 @@
+"""Incrementally-maintained extent and attribute-value indexes.
+
+Every query used to be a full scan: the executor walked the whole class
+extent (or, worse, ``Database.objects_of_type`` walked *every live object
+in the database*) and evaluated the ``where`` expression per object.  The
+paper's workloads — interface lookups, component selection over gate and
+steel libraries (§4.2, §6) — are selective-read heavy, so this module
+gives the read path sub-linear access paths:
+
+* **Per-type extent index** — the :class:`IndexManager` mirrors the
+  database's object registry into per-concrete-type buckets (adoption
+  order preserved), so ``objects_of_type`` is O(result), not O(database).
+  Subtype closures (``conforms_to`` is reachability over ``inheritor-in``
+  declarations) are cached and validated against the schema epoch plus a
+  type-population version.
+
+* **Secondary value indexes** (:class:`ValueIndex`) — built lazily by the
+  planner over one *source* (a class extent or a type) and one attribute:
+  a hash index (value → objects) for equality and a sorted key array for
+  range predicates.  Values are extracted through ``get_member``, i.e.
+  with full value-inheritance semantics, so **inherited** members are
+  indexable; the paper's ``select … from Implementations where Length …``
+  resolves through transmitter chains and still hits the index.
+
+Maintenance is incremental and event-driven:
+
+* extent membership — synchronous hooks from :class:`~repro.engine.storage.Extent`;
+* object lifecycle — synchronous hooks from ``Database._adopt`` /
+  ``Database._forget_object``;
+* value changes — bus subscriptions to ``attribute_updated`` and
+  ``attribute_restored`` (the latter emitted by transaction abort,
+  version revert-and-reject and merge apply, which write ``_attrs``
+  directly), re-extracting the subject *and its transitive inheritors*
+  (a transmitter update changes the indexed value of everything bound
+  below it);
+* topology changes — ``inheritor_bound`` / ``inheritor_unbound`` refresh
+  the subject's whole downstream subtree in every value index.
+
+On top of the event-driven updates, every index entry records the epoch
+triple of PR 2's resolution engine — the owner's *binding epoch*, the
+resolved *holder* and the holder's *mutation epoch* — and candidates are
+revalidated with integer compares at lookup time (``index.stale_repairs``
+counts the self-heals).  Indexes record the *schema epoch* they were
+built under and are dropped and rebuilt lazily after any type definition
+or ``declare_inheritor_in`` (the drop-on-schema-change lifecycle).
+
+The planner (:mod:`repro.query.planner`) only ever treats index lookups
+as *candidate* sets: the executor re-applies the full ``where`` to every
+candidate, so an index can only cause false positives (filtered out
+again), never wrong rows — the correctness obligation on this module is
+**no false negatives**, which the hypothesis suite in
+``tests/test_indexes.py`` checks against the full-scan oracle.
+"""
+
+from __future__ import annotations
+
+import itertools
+from bisect import bisect_left, bisect_right, insort
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core import resolution as _resolution
+from ..errors import UnknownAttributeError
+
+__all__ = ["IndexManager", "ValueIndex"]
+
+#: Value-kind tags used to guard range sargability (mixed-kind comparisons
+#: raise in the expression language, so a range scan is only offered when
+#: the whole index is comparable with the literal).
+KIND_NUM = 0
+KIND_STR = 1
+KIND_OTHER = 2
+
+
+def kind_of(value: Any) -> int:
+    """Classify a value for range-comparability purposes."""
+    if isinstance(value, bool):
+        return KIND_NUM
+    if isinstance(value, (int, float)):
+        return KIND_OTHER if value != value else KIND_NUM  # NaN is OTHER
+    if isinstance(value, str):
+        return KIND_STR
+    return KIND_OTHER
+
+
+def extract_value(obj, attr: str) -> Any:
+    """The value the expression evaluator would see for a bare ``attr``.
+
+    Mirrors :meth:`repro.expr.context.EvalContext.lookup` +
+    :meth:`repro.expr.ast.Name.evaluate` with the default
+    ``unresolved_as_literal=True``: unresolved names evaluate to their own
+    spelling (the paper's unquoted enum-label convention).
+    """
+    try:
+        return obj.get_member(attr)
+    except (KeyError, UnknownAttributeError):
+        return attr
+
+
+class _Entry:
+    """One indexed object: its extracted value plus the epoch snapshot
+    (owner binding epoch, resolved holder, holder mutation epoch) that
+    lets lookups revalidate with integer compares."""
+
+    __slots__ = ("obj", "value", "hashable", "rank", "binding_epoch",
+                 "holder", "holder_mutation")
+
+    def __init__(self, obj, value, hashable, rank, binding_epoch, holder,
+                 holder_mutation):
+        self.obj = obj
+        self.value = value
+        self.hashable = hashable
+        self.rank = rank
+        self.binding_epoch = binding_epoch
+        self.holder = holder
+        self.holder_mutation = holder_mutation
+
+
+class ValueIndex:
+    """A secondary index over one attribute of one source.
+
+    ``source_kind`` is ``"class"`` (a named extent) or ``"type"`` (all
+    live conforming objects).  Hash buckets serve equality; a sorted
+    ``(rank, surrogate)`` array serves ranges.  Unhashable values (lists
+    from subclass containers, etc.) live in an always-included pool, so
+    they can never be missed — the residual filter decides.
+    """
+
+    __slots__ = ("manager", "source_kind", "source_name", "source_type",
+                 "attr", "schema_epoch", "_entries", "_buckets",
+                 "_unhashable", "_sorted", "_kind_counts")
+
+    def __init__(self, manager: "IndexManager", source_kind: str,
+                 source_name: str, source_type, attr: str):
+        self.manager = manager
+        self.source_kind = source_kind
+        self.source_name = source_name
+        self.source_type = source_type
+        self.attr = attr
+        self.schema_epoch = _resolution.schema_epoch()
+        self._entries: Dict[Any, _Entry] = {}
+        self._buckets: Dict[Any, Dict[Any, Any]] = {}
+        self._unhashable: Dict[Any, Any] = {}
+        #: Sorted (rank, surrogate) pairs for comparable values.  rank is
+        #: (KIND, value); surrogate breaks ties, keeping every element
+        #: totally ordered so bisect insert/remove are exact.
+        self._sorted: List[Tuple[Tuple[int, Any], Any]] = []
+        self._kind_counts = [0, 0, 0]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (f"<ValueIndex {self.source_kind}:{self.source_name}"
+                f".{self.attr} n={len(self._entries)}>")
+
+    # -- membership maintenance ------------------------------------------------
+
+    def build(self, members) -> None:
+        for obj in members:
+            if not obj._deleted:
+                self.insert(obj)
+
+    def insert(self, obj) -> None:
+        surrogate = obj.surrogate
+        if surrogate in self._entries:
+            self._remove_entry(surrogate)
+        value = extract_value(obj, self.attr)
+        kind = kind_of(value)
+        rank = None
+        hashable = True
+        try:
+            bucket = self._buckets.get(value)
+            if bucket is None:
+                bucket = self._buckets[value] = {}
+            bucket[surrogate] = obj
+        except TypeError:
+            hashable = False
+            self._unhashable[surrogate] = obj
+            kind = KIND_OTHER
+        if kind != KIND_OTHER:
+            rank = (kind, value)
+            insort(self._sorted, (rank, surrogate))
+        self._kind_counts[kind] += 1
+        # Epoch snapshot: get_member memoised the holder if the name is a
+        # plan entry and the chain consists of plain objects; otherwise
+        # the object itself is the authority.
+        memo = obj._member_memo.get(self.attr)
+        if (memo is not None and memo[0] == _resolution.schema_epoch()
+                and memo[1] == obj._binding_epoch):
+            holder = memo[2]
+        else:
+            holder = obj
+        self._entries[surrogate] = _Entry(
+            obj, value, hashable, rank, obj._binding_epoch, holder,
+            holder._mutation_epoch,
+        )
+
+    def remove(self, obj) -> None:
+        self._remove_entry(obj.surrogate)
+
+    def _remove_entry(self, surrogate) -> None:
+        entry = self._entries.pop(surrogate, None)
+        if entry is None:
+            return
+        if entry.hashable:
+            bucket = self._buckets.get(entry.value)
+            if bucket is not None:
+                bucket.pop(surrogate, None)
+                if not bucket:
+                    del self._buckets[entry.value]
+            kind = kind_of(entry.value)
+        else:
+            self._unhashable.pop(surrogate, None)
+            kind = KIND_OTHER
+        if entry.rank is not None:
+            position = bisect_left(self._sorted, (entry.rank, surrogate))
+            if (position < len(self._sorted)
+                    and self._sorted[position] == (entry.rank, surrogate)):
+                del self._sorted[position]
+        self._kind_counts[kind] -= 1
+
+    def refresh_if_tracked(self, obj) -> bool:
+        """Re-extract one object's value if this index tracks it."""
+        if obj.surrogate not in self._entries:
+            return False
+        if obj._deleted:
+            self._remove_entry(obj.surrogate)
+        else:
+            self.insert(obj)
+        return True
+
+    # -- lookups ---------------------------------------------------------------
+
+    def estimate_eq(self, key) -> int:
+        try:
+            bucket = self._buckets.get(key)
+        except TypeError:
+            bucket = None
+        return (len(bucket) if bucket else 0) + len(self._unhashable)
+
+    def lookup_eq(self, key) -> List[Any]:
+        try:
+            bucket = self._buckets.get(key)
+        except TypeError:
+            bucket = None
+        candidates = list(bucket.values()) if bucket else []
+        if self._unhashable:
+            candidates.extend(self._unhashable.values())
+        return candidates
+
+    def range_supported(self, key) -> bool:
+        """A range scan is only exact when every indexed value compares
+        with the literal — otherwise the full scan's comparison error must
+        be allowed to happen, so the planner falls back."""
+        kind = kind_of(key)
+        counts = self._kind_counts
+        if counts[KIND_OTHER]:
+            return False
+        if kind == KIND_NUM:
+            return counts[KIND_STR] == 0
+        if kind == KIND_STR:
+            return counts[KIND_NUM] == 0
+        return False
+
+    def _range_bounds(self, op: str, key) -> Tuple[int, int]:
+        rank = (kind_of(key), key)
+        ranks = self._sorted
+        first = lambda element: element[0]  # noqa: E731 - bisect key
+        if op == ">":
+            return bisect_right(ranks, rank, key=first), len(ranks)
+        if op == ">=":
+            return bisect_left(ranks, rank, key=first), len(ranks)
+        if op == "<":
+            return 0, bisect_left(ranks, rank, key=first)
+        return 0, bisect_right(ranks, rank, key=first)  # "<="
+
+    def estimate_range(self, op: str, key) -> int:
+        low, high = self._range_bounds(op, key)
+        return high - low
+
+    def lookup_range(self, op: str, key) -> List[Any]:
+        low, high = self._range_bounds(op, key)
+        entries = self._entries
+        return [entries[surrogate].obj
+                for _, surrogate in self._sorted[low:high]]
+
+    def validate(self, candidates: List[Any]) -> None:
+        """Self-heal: re-extract any candidate whose epoch snapshot is
+        stale (two integer compares per candidate on the happy path)."""
+        entries = self._entries
+        repaired = 0
+        for obj in candidates:
+            entry = entries.get(obj.surrogate)
+            if entry is None:
+                continue
+            if (entry.binding_epoch != obj._binding_epoch
+                    or entry.holder_mutation != entry.holder._mutation_epoch):
+                self.refresh_if_tracked(obj)
+                repaired += 1
+        if repaired:
+            self.manager._bump("index.stale_repairs", repaired)
+
+
+class IndexManager:
+    """Per-database index registry, maintenance hub and statistics.
+
+    Attached as ``Database.indexes``.  The per-type extent index is always
+    on (it mirrors ``_adopt``/``_forget_object`` at O(1) each); value
+    indexes are built on first use by the planner once a source is at
+    least ``min_index_source`` objects (set it to 0 to force indexing in
+    tests), and ``auto = False`` disables planner index selection entirely
+    (benchmark baseline + oracle mode).
+    """
+
+    def __init__(self, database):
+        self.database = database
+        self.auto = True
+        self.min_index_source = 16
+        self.stats: Dict[str, int] = {
+            "index.hits": 0,
+            "index.misses": 0,
+            "index.maintenance": 0,
+            "index.built": 0,
+            "index.dropped": 0,
+            "index.stale_repairs": 0,
+            "index.type_lookups": 0,
+        }
+        self._adoption_seq = itertools.count(1)
+        self._adopt_order: Dict[Any, int] = {}
+        self._by_type: Dict[Any, Dict[Any, Any]] = {}
+        self._types_version = 0
+        self._closures: Dict[int, Tuple[Tuple[int, int], Tuple[Any, ...]]] = {}
+        self._value_indexes: Dict[Tuple[str, str, str], ValueIndex] = {}
+        self._by_attr: Dict[str, List[ValueIndex]] = {}
+        self._class_indexes: Dict[str, List[ValueIndex]] = {}
+        self._type_indexes: List[ValueIndex] = []
+        self._subscribed = False
+
+    # -- statistics ------------------------------------------------------------
+
+    def _bump(self, key: str, amount: int = 1) -> None:
+        self.stats[key] = self.stats.get(key, 0) + amount
+        obs = self.database.obs
+        if obs is not None:
+            obs.metrics.counter(key).inc(amount)
+
+    def stats_snapshot(self) -> Dict[str, int]:
+        snapshot = dict(self.stats)
+        snapshot["index.value_indexes"] = len(self._value_indexes)
+        snapshot["index.indexed_entries"] = sum(
+            len(index) for index in self._value_indexes.values()
+        )
+        return snapshot
+
+    # -- object-registry hooks (synchronous, always on) ------------------------
+
+    def object_adopted(self, obj) -> None:
+        self._adopt_order[obj.surrogate] = next(self._adoption_seq)
+        bucket = self._by_type.get(obj.object_type)
+        if bucket is None:
+            bucket = self._by_type[obj.object_type] = {}
+            self._types_version += 1
+        bucket[obj.surrogate] = obj
+        if self._type_indexes:
+            for index in self._type_indexes:
+                if obj.object_type.conforms_to(index.source_type):
+                    index.insert(obj)
+                    self._bump("index.maintenance")
+
+    def object_forgotten(self, obj) -> None:
+        self._adopt_order.pop(obj.surrogate, None)
+        bucket = self._by_type.get(obj.object_type)
+        if bucket is not None:
+            bucket.pop(obj.surrogate, None)
+        if self._value_indexes:
+            for index in self._value_indexes.values():
+                if obj.surrogate in index._entries:
+                    index.remove(obj)
+                    self._bump("index.maintenance")
+
+    # -- extent hooks (synchronous, from Extent.add/discard) --------------------
+
+    def extent_member_added(self, extent, obj) -> None:
+        for index in self._class_indexes.get(extent.name, ()):
+            index.insert(obj)
+            self._bump("index.maintenance")
+
+    def extent_member_removed(self, extent, obj) -> None:
+        for index in self._class_indexes.get(extent.name, ()):
+            index.remove(obj)
+            self._bump("index.maintenance")
+
+    # -- the per-type extent index ----------------------------------------------
+
+    def order_token(self, obj) -> int:
+        """Global adoption ordinal — the scan order of ``objects()``."""
+        return self._adopt_order.get(obj.surrogate, 0)
+
+    def _closure(self, resolved) -> Tuple[Any, ...]:
+        """Concrete types with buckets that conform to ``resolved``."""
+        version = (_resolution.schema_epoch(), self._types_version)
+        cached = self._closures.get(id(resolved))
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        types = tuple(
+            concrete for concrete in self._by_type
+            if concrete.conforms_to(resolved)
+        )
+        self._closures[id(resolved)] = (version, types)
+        return types
+
+    def objects_of_type(self, resolved, include_subtypes: bool = True) -> List[Any]:
+        """All live objects of a type, in the registry's adoption order —
+        O(result), serving what used to be a full-database scan."""
+        self._bump("index.type_lookups")
+        if not include_subtypes:
+            bucket = self._by_type.get(resolved)
+            return list(bucket.values()) if bucket else []
+        buckets = [
+            self._by_type[concrete]
+            for concrete in self._closure(resolved)
+            if self._by_type[concrete]
+        ]
+        if not buckets:
+            return []
+        if len(buckets) == 1:
+            return list(buckets[0].values())
+        merged = [obj for bucket in buckets for obj in bucket.values()]
+        order = self._adopt_order
+        merged.sort(key=lambda obj: order[obj.surrogate])
+        return merged
+
+    def type_population(self, resolved, include_subtypes: bool = True) -> int:
+        """Size of :meth:`objects_of_type` without materialising it."""
+        if not include_subtypes:
+            bucket = self._by_type.get(resolved)
+            return len(bucket) if bucket else 0
+        return sum(
+            len(self._by_type[concrete]) for concrete in self._closure(resolved)
+        )
+
+    def concrete_types_of(self, resolved) -> List[Any]:
+        """Concrete types with live instances conforming to ``resolved``."""
+        return [
+            concrete for concrete in self._closure(resolved)
+            if self._by_type[concrete]
+        ]
+
+    # -- value indexes ----------------------------------------------------------
+
+    def value_index(self, source_kind: str, source_name: str,
+                    attr: str) -> Optional[ValueIndex]:
+        """The valid value index for (source, attr), or None."""
+        index = self._value_indexes.get((source_kind, source_name, attr))
+        if index is not None and index.schema_epoch != _resolution.schema_epoch():
+            # Drop-on-schema-change: permeability, inheritor-in and type
+            # definitions can all change what get_member resolves.
+            self._drop(index)
+            return None
+        return index
+
+    def ensure_value_index(self, source_kind: str, source_name: str,
+                           source_type, attr: str) -> ValueIndex:
+        index = self.value_index(source_kind, source_name, attr)
+        if index is not None:
+            return index
+        index = ValueIndex(self, source_kind, source_name, source_type, attr)
+        if source_kind == "class":
+            extent = self.database._classes.get(source_name)
+            members = extent.members() if extent is not None else []
+            self._class_indexes.setdefault(source_name, []).append(index)
+        else:
+            members = self.objects_of_type(source_type)
+            self._type_indexes.append(index)
+        index.build(members)
+        self._value_indexes[(source_kind, source_name, attr)] = index
+        self._by_attr.setdefault(attr, []).append(index)
+        self._bump("index.built")
+        self._ensure_subscribed()
+        return index
+
+    def usable_value_index(self, source_kind: str, source_name: str,
+                           source_type, attr: str,
+                           source_size: int) -> Optional[ValueIndex]:
+        """The value index the planner may use, building lazily.
+
+        Below ``min_index_source`` objects a scan is cheap enough that no
+        new index is built — but one that already exists is still used.
+        """
+        if source_size < self.min_index_source:
+            return self.value_index(source_kind, source_name, attr)
+        return self.ensure_value_index(source_kind, source_name, source_type, attr)
+
+    def _drop(self, index: ValueIndex) -> None:
+        self._value_indexes.pop(
+            (index.source_kind, index.source_name, index.attr), None
+        )
+        attr_list = self._by_attr.get(index.attr)
+        if attr_list and index in attr_list:
+            attr_list.remove(index)
+        if index.source_kind == "class":
+            class_list = self._class_indexes.get(index.source_name)
+            if class_list and index in class_list:
+                class_list.remove(index)
+        elif index in self._type_indexes:
+            self._type_indexes.remove(index)
+        self._bump("index.dropped")
+
+    def drop_value_indexes(self) -> None:
+        """Drop every value index (they rebuild lazily on next use)."""
+        for index in list(self._value_indexes.values()):
+            self._drop(index)
+
+    # -- event-driven value maintenance -----------------------------------------
+
+    def _ensure_subscribed(self) -> None:
+        if self._subscribed:
+            return
+        bus = self.database.events
+        bus.subscribe("attribute_updated", self._on_attribute_event)
+        bus.subscribe("attribute_restored", self._on_attribute_event)
+        bus.subscribe("inheritor_bound", self._on_binding_event)
+        bus.subscribe("inheritor_unbound", self._on_binding_event)
+        self._subscribed = True
+
+    @staticmethod
+    def _with_inheritors(obj) -> List[Any]:
+        """``obj`` plus its transitive inheritors (they read through it)."""
+        if not obj._links_as_transmitter:
+            return [obj]
+        targets: List[Any] = []
+        seen = set()
+        stack = [obj]
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            targets.append(node)
+            for link in node._links_as_transmitter:
+                stack.append(link.inheritor)
+        return targets
+
+    def _on_attribute_event(self, event) -> None:
+        indexes = self._by_attr.get(event.data.get("attribute"))
+        if not indexes:
+            return
+        for target in self._with_inheritors(event.subject):
+            for index in indexes:
+                if index.refresh_if_tracked(target):
+                    self._bump("index.maintenance")
+
+    def _on_binding_event(self, event) -> None:
+        if not self._value_indexes:
+            return
+        # A topology change can re-route any inherited member below the
+        # subject; refresh the subtree in every index.  Binds are rare.
+        for target in self._with_inheritors(event.subject):
+            for index in self._value_indexes.values():
+                if index.refresh_if_tracked(target):
+                    self._bump("index.maintenance")

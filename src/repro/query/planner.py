@@ -1,0 +1,349 @@
+"""Sargable-predicate planner: index-scan vs full-scan selection.
+
+The executor used to walk every candidate of the ``from`` source and
+evaluate the whole ``where`` per object.  The planner sits in front of
+that loop:
+
+1. **Source resolution** — ``from`` names a class (extent) first, falling
+   back to a type (all live conforming objects, served by the
+   :class:`~repro.query.indexes.IndexManager`'s per-type extent index).
+
+2. **Sarg extraction** — the parsed ``where`` AST is flattened over
+   top-level ``and`` conjuncts; every ``Name <cmp> <constant>`` conjunct
+   (either side, operators ``= < <= > >=``) is a *search argument*.
+   Constants are literals, negated numeric literals, and — matching the
+   paper's unquoted enum-label convention (``Function = NAND``) — bare
+   identifiers that provably resolve on **no** live candidate type, so
+   they evaluate to their own spelling everywhere.
+
+3. **Costing** — each sarg asks the index manager for a value index
+   (built lazily on first use once the source holds at least
+   ``min_index_source`` objects) and gets a cardinality estimate: exact
+   bucket size for equality, bisect-bounded span for ranges.  The
+   cheapest access path wins if it beats the full scan.
+
+4. **Candidates** — an index lookup returns a *superset* of the matching
+   objects in the source's scan order (unhashable values ride along in an
+   always-included pool; per-candidate epoch validation self-heals stale
+   entries).  The executor re-applies the full ``where`` to every
+   candidate, so planner choices can never change query results — only
+   how many objects are touched.
+
+The chosen plan is recorded as a :class:`QueryPlan` on the result
+(``run_query(..., explain=True)``, CLI ``repro query --explain``) with
+estimated vs actual row counts.
+
+Known (documented) divergence: a conjunct that *raises* for objects the
+index skips — e.g. ``Weight = 5 and -'x' > 0`` over a source where
+``Weight = 5`` matches nothing — raises under a full scan but not under
+an index scan, because the residual filter only runs on candidates.
+Predicates that evaluate without error are always byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from ..core import resolution as _resolution
+from ..errors import QueryError, UnknownTypeError
+from ..expr.ast import Binary, Literal, Name, Node, Unary
+
+__all__ = ["QueryPlan", "Sarg", "extract_sargs", "plan_source", "resolve_source"]
+
+_COMPARISONS = frozenset(["=", "<", "<=", ">", ">="])
+_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "="}
+
+
+# ---------------------------------------------------------------------------
+# sources
+# ---------------------------------------------------------------------------
+
+
+class _ClassSource:
+    """A named extent as a query source."""
+
+    kind = "class"
+
+    def __init__(self, db, extent):
+        self.db = db
+        self.extent = extent
+        self.name = extent.name
+
+    def size(self) -> int:
+        return len(self.extent)
+
+    def fetch_all(self):
+        return self.extent.members()
+
+    def concrete_types(self):
+        return [
+            concrete
+            for concrete, count in self.extent._type_counts.items()
+            if count > 0
+        ]
+
+    def source_type(self):
+        return self.extent.object_type
+
+    def ordered(self, candidates):
+        order = self.extent._order
+        return sorted(candidates, key=lambda obj: order.get(obj.surrogate, 0))
+
+
+class _TypeSource:
+    """All live objects of a type (subtypes included) as a query source."""
+
+    kind = "type"
+
+    def __init__(self, db, type_):
+        self.db = db
+        self.type_ = type_
+        self.name = type_.name
+
+    def size(self) -> int:
+        return self.db.indexes.type_population(self.type_)
+
+    def fetch_all(self):
+        return self.db.indexes.objects_of_type(self.type_)
+
+    def concrete_types(self):
+        return self.db.indexes.concrete_types_of(self.type_)
+
+    def source_type(self):
+        return self.type_
+
+    def ordered(self, candidates):
+        order = self.db.indexes._adopt_order
+        return sorted(candidates, key=lambda obj: order.get(obj.surrogate, 0))
+
+
+def resolve_source(db, name: str):
+    """Resolve a ``from`` name: class extent first, then type."""
+    try:
+        return _ClassSource(db, db.class_(name))
+    except UnknownTypeError:
+        pass
+    try:
+        return _TypeSource(db, db.catalog.type(name))
+    except UnknownTypeError:
+        raise QueryError(
+            f"{name!r} names neither a class nor a type in this database"
+        ) from None
+
+
+def class_source(db, extent) -> _ClassSource:
+    """Wrap an already-resolved extent (``Database.select``'s path)."""
+    return _ClassSource(db, extent)
+
+
+# ---------------------------------------------------------------------------
+# sarg extraction
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Sarg:
+    """One sargable conjunct: ``attr <op> key`` with a constant key."""
+
+    attr: str
+    op: str
+    key: Any
+    text: str
+
+
+def _conjuncts(node: Node) -> List[Node]:
+    """Flatten a top-level ``and`` chain into its conjuncts."""
+    out: List[Node] = []
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, Binary) and current.op == "and":
+            stack.append(current.right)
+            stack.append(current.left)
+        else:
+            out.append(current)
+    return out
+
+
+_NOT_CONSTANT = object()
+
+
+def _fold_constant(node: Node, concrete_types) -> Any:
+    """The constant value ``node`` evaluates to for *every* candidate, or
+    :data:`_NOT_CONSTANT`.
+
+    Bare identifiers fold to their own spelling only when no live
+    candidate type can resolve them — no plan entry, no relationship
+    role, no dynamic attributes — mirroring ``Name.evaluate``'s
+    unresolved-as-literal fallback.
+    """
+    if isinstance(node, Literal):
+        return node.value
+    if isinstance(node, Unary) and node.op == "-":
+        inner = _fold_constant(node.operand, concrete_types)
+        if (inner is _NOT_CONSTANT or isinstance(inner, bool)
+                or not isinstance(inner, (int, float))):
+            return _NOT_CONSTANT
+        return -inner
+    if isinstance(node, Name):
+        identifier = node.identifier
+        for concrete in concrete_types:
+            if getattr(concrete, "allow_dynamic", False):
+                return _NOT_CONSTANT
+            if identifier in _resolution.plan_for(concrete).entries:
+                return _NOT_CONSTANT
+            participants = getattr(concrete, "participants", None)
+            if participants and identifier in participants:
+                return _NOT_CONSTANT
+        return identifier
+    return _NOT_CONSTANT
+
+
+def extract_sargs(where: Node, concrete_types) -> List[Sarg]:
+    """Sargable conjuncts of ``where`` against the given candidate types."""
+    sargs: List[Sarg] = []
+    for conjunct in _conjuncts(where):
+        if not isinstance(conjunct, Binary) or conjunct.op not in _COMPARISONS:
+            continue
+        left, right, op = conjunct.left, conjunct.right, conjunct.op
+        left_const = _fold_constant(left, concrete_types)
+        right_const = _fold_constant(right, concrete_types)
+        if left_const is not _NOT_CONSTANT and right_const is not _NOT_CONSTANT:
+            continue  # constant conjunct: nothing to index
+        if isinstance(left, Name) and right_const is not _NOT_CONSTANT:
+            sargs.append(Sarg(left.identifier, op, right_const, conjunct.unparse()))
+        elif isinstance(right, Name) and left_const is not _NOT_CONSTANT:
+            sargs.append(
+                Sarg(right.identifier, _FLIP[op], left_const, conjunct.unparse())
+            )
+    return sargs
+
+
+# ---------------------------------------------------------------------------
+# the plan
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class QueryPlan:
+    """An inspectable record of how one query was executed.
+
+    ``access_path`` is ``full-scan``, ``index-eq`` or ``index-range``;
+    ``estimated_candidates`` is the planner's pre-execution estimate while
+    ``candidates``/``rows`` are filled in by the executor (estimated vs
+    actual).  ``notes`` records why alternatives were rejected.
+    """
+
+    source_name: str
+    source_kind: str
+    source_size: int
+    access_path: str = "full-scan"
+    index_attr: Optional[str] = None
+    sarg: str = ""
+    estimated_candidates: int = 0
+    candidates: Optional[int] = None
+    rows: Optional[int] = None
+    order: str = "none"
+    text: str = ""
+    notes: List[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        """Multi-line EXPLAIN rendering (the CLI's ``--explain`` output)."""
+        lines = [f"plan: {self.text}" if self.text else "plan:"]
+        lines.append(
+            f"  source:  {self.source_kind} {self.source_name}"
+            f" ({self.source_size} objects)"
+        )
+        access = self.access_path
+        if self.index_attr is not None:
+            access += f" on {self.index_attr!r} [{self.sarg}]"
+        lines.append(f"  access:  {access}")
+        actual = ""
+        if self.candidates is not None:
+            actual += f"  candidates={self.candidates}"
+        if self.rows is not None:
+            actual += f"  matched={self.rows}"
+        lines.append(f"  rows:    estimated={self.estimated_candidates}{actual}")
+        if self.order != "none":
+            lines.append(f"  order:   {self.order}")
+        for note in self.notes:
+            lines.append(f"  note:    {note}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# planning
+# ---------------------------------------------------------------------------
+
+
+def plan_source(
+    db, source, where: Optional[Node], text: str = ""
+) -> Tuple[QueryPlan, List[Any]]:
+    """Choose an access path for ``source`` filtered by ``where``.
+
+    Returns the plan plus the candidate objects in source scan order.
+    Candidates are a superset of the matches; the caller must still apply
+    the full ``where``.
+    """
+    manager = db.indexes
+    size = source.size()
+    plan = QueryPlan(
+        source_name=source.name,
+        source_kind=source.kind,
+        source_size=size,
+        estimated_candidates=size,
+        text=text,
+    )
+    best = None
+    if where is not None and manager.auto and size > 0:
+        concrete_types = source.concrete_types()
+        for sarg in extract_sargs(where, concrete_types):
+            index = manager.usable_value_index(
+                source.kind, source.name, source.source_type(), sarg.attr, size
+            )
+            if index is None:
+                plan.notes.append(
+                    f"{sarg.attr}: source below index threshold "
+                    f"({size} < {manager.min_index_source})"
+                )
+                continue
+            if sarg.op == "=":
+                estimate = index.estimate_eq(sarg.key)
+                path = "index-eq"
+            else:
+                if not index.range_supported(sarg.key):
+                    plan.notes.append(
+                        f"{sarg.text}: values not uniformly comparable with "
+                        f"{sarg.key!r}; range scan unsafe"
+                    )
+                    continue
+                estimate = index.estimate_range(sarg.op, sarg.key)
+                path = "index-range"
+            if best is None or estimate < best[0]:
+                best = (estimate, path, sarg, index)
+
+    if best is not None and best[0] < size:
+        estimate, path, sarg, index = best
+        if sarg.op == "=":
+            candidates = index.lookup_eq(sarg.key)
+        else:
+            candidates = index.lookup_range(sarg.op, sarg.key)
+        index.validate(candidates)
+        candidates = source.ordered(candidates)
+        plan.access_path = path
+        plan.index_attr = sarg.attr
+        plan.sarg = sarg.text
+        plan.estimated_candidates = estimate
+        manager._bump("index.hits")
+    else:
+        if best is not None:
+            plan.notes.append(
+                f"cheapest index ({best[2].text}) estimated {best[0]} of "
+                f"{size}; full scan kept"
+            )
+        candidates = source.fetch_all()
+        if (where is not None and manager.auto
+                and size >= manager.min_index_source):
+            manager._bump("index.misses")
+    return plan, candidates

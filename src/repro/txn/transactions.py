@@ -168,6 +168,9 @@ class Transaction:
             else:
                 obj._attrs.pop(attribute, None)
             obj._mutation_epoch += 1
+            # The restore bypasses set_attribute; value indexes listen for
+            # this to re-extract the rolled-back value.
+            obj._emit("attribute_restored", attribute=attribute)
         self._undo.clear()
         self.status = self.ABORTED
         self.lock_table.release_all(self.id)

@@ -146,6 +146,9 @@ def merge_versions(
             continue
         owner._attrs[attribute] = entry.new
         owner._mutation_epoch += 1
+        # Direct _attrs write (the state guard would veto set_attribute on
+        # released versions); value indexes listen for the restore event.
+        owner._emit("attribute_restored", attribute=attribute)
         applied.append(entry)
 
     graph.derive(left, merged, state=state)

@@ -135,6 +135,9 @@ class StateGuard:
         else:
             subject._attrs[event.attribute] = event.old
         subject._mutation_epoch += 1
+        # Emit before raising: the exception skips any handler still
+        # queued for the original event, including index maintenance.
+        subject._emit("attribute_restored", attribute=event.attribute)
         raise VersionError(
             f"{guarded!r} is {state} and must not be updated; derive a new "
             f"version instead"
