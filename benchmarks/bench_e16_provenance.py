@@ -1,0 +1,105 @@
+"""E16 — ablation: causal-provenance overhead on the Figure-2 workload.
+
+The provenance contract: with observability off the audit call sites cost
+one attribute load and a branch (within noise of E13's dark rows); with
+observability on but ``audit=False`` the engine behaves exactly as PR 1
+shipped it; with the audit log attached every measured update additionally
+appends one batched ``propagation.fanout`` record (listing every reached
+inheritor) to the bounded ring — one list append per inheritor on the hot
+path, with per-member expansion deferred to cone/export time.
+
+Rows to compare, per fan-out N:
+
+* ``update_dark``        — observe off: the disabled-path floor;
+* ``update_audit_off``   — observe on, audit off: the PR-1 baseline;
+* ``update_audit_on``    — observe on, audit on: the provenance tax;
+* ``explain_value``      — the pure interpretive provenance walk itself.
+
+Targets (EXPERIMENTS.md): audit on ≤ 10% over the PR-1 baseline at every
+fan-out; dark ≤ 1% over E13's dark row (same code path, one extra branch).
+"""
+
+import pytest
+
+from repro.workloads import gate_database, make_implementation, make_interface
+
+from benchmarks import obs_hook
+
+FANOUTS = [1, 10, 100]
+
+
+def _setup(n_impls, observe, audit=True):
+    db = gate_database("e16-bench")
+    if observe:
+        db.enable_observability(tracing=False, audit=audit)
+    iface = make_interface(db)
+    for _ in range(n_impls):
+        make_implementation(db, iface)
+    return db, iface
+
+
+class TestUpdateOverhead:
+    @pytest.mark.parametrize("n_impls", FANOUTS)
+    def test_update_dark(self, benchmark, n_impls):
+        """Observe off: the audit guards must stay one load + branch."""
+        db, iface = _setup(n_impls, observe=False)
+        counter = iter(range(10**9))
+
+        def update():
+            iface.set_attribute("Length", 10 + next(counter) % 50)
+
+        benchmark(update)
+        assert db.obs is None
+
+    @pytest.mark.parametrize("n_impls", FANOUTS)
+    def test_update_audit_off(self, benchmark, n_impls):
+        """Observe on, audit off: the PR-1 measurement baseline."""
+        db, iface = _setup(n_impls, observe=True, audit=False)
+        counter = iter(range(10**9))
+
+        def update():
+            iface.set_attribute("Length", 10 + next(counter) % 50)
+
+        benchmark(update)
+        assert db.obs.audit is None
+        assert db.obs.metrics.value("propagation.updates") > 0
+
+    @pytest.mark.parametrize("n_impls", FANOUTS)
+    def test_update_audit_on(self, benchmark, n_impls):
+        """Audit on: one batched propagation.fanout record per update."""
+        db, iface = _setup(n_impls, observe=True, audit=True)
+        counter = iter(range(10**9))
+
+        def update():
+            iface.set_attribute("Length", 10 + next(counter) % 50)
+
+        benchmark(update)
+        audit = db.obs.audit
+        assert audit is not None and audit.appended > 0
+        fanouts = audit.records(kind="propagation.fanout")
+        assert fanouts
+        assert len(fanouts[-1].detail["reached"]) == n_impls
+        cones = audit.cones(kind="attribute_updated")
+        assert any(cone.breadth == n_impls for cone in cones)
+        obs_hook.collect(db, label=f"update_audit_on[{n_impls}]")
+
+
+class TestProvenanceQueries:
+    def test_explain_value(self, benchmark):
+        """The interpretive provenance walk for a one-hop inherited read."""
+        db, iface = _setup(1, observe=False)
+        impl = db.objects_of_type("GateImplementation")[0]
+        provenance = benchmark(db.explain_value, impl, "Length")
+        assert provenance.holder is iface
+        assert provenance.hops == 1
+
+    def test_cone_reconstruction(self, benchmark):
+        """Grouping a populated ring into cones (100 updates, fan-out 10)."""
+        db, iface = _setup(10, observe=True, audit=True)
+        for index in range(100):
+            iface.set_attribute("Length", 10 + index % 50)
+        audit = db.obs.audit
+
+        cones = benchmark(audit.cones, "attribute_updated")
+        assert cones and all(cone.breadth == 10 for cone in cones if cone.breadth)
+        obs_hook.collect(db, label="cone_reconstruction")

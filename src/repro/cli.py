@@ -6,13 +6,18 @@
     python -m repro check FILE.ddl [IMAGE] # schema + optional image: integrity
     python -m repro stats FILE.ddl IMAGE   # object/type statistics of an image
     python -m repro metrics FILE.ddl IMAGE # observability workout + registry dump
+    python -m repro audit FILE.ddl IMAGE   # causal audit log (repro.audit/1)
+    python -m repro explain-value FILE.ddl IMAGE OBJECT ATTR  # value provenance
     python -m repro docs FILE.ddl          # Markdown schema documentation
     python -m repro query FILE.ddl IMAGE "select * from X where ..."
     python -m repro paper [gate|steel]     # print the paper's schemas (normalised)
 
 ``check`` and ``query`` accept ``--trace`` to run with tracing enabled and
-print the span tree to stderr.  Exit status is 0 on success, 1 on
-schema/image errors, 2 on integrity or constraint violations.
+print the span tree — with propagation-cone membership under it — to
+stderr.  ``OBJECT`` selectors accept ``@space:N`` (a surrogate),
+``Name[i]`` (the i-th member of class or type ``Name``), or a bare class /
+type name when it holds exactly one object.  Exit status is 0 on success,
+1 on schema/image errors, 2 on integrity or constraint violations.
 """
 
 from __future__ import annotations
@@ -57,6 +62,66 @@ def _print_trace(db: Database) -> None:
     if tree:
         print("trace:", file=sys.stderr)
         print(tree, file=sys.stderr)
+    audit = db.obs.audit
+    if audit is None:
+        return
+    cones = [cone for cone in audit.cones() if cone.breadth]
+    if not cones:
+        return
+    print("propagation cones:", file=sys.stderr)
+    for cone in cones:
+        root = cone.root
+        print(
+            f"  trace #{cone.trace} {root.kind} {root.subject!r} "
+            f"breadth={cone.breadth} depth={cone.depth}",
+            file=sys.stderr,
+        )
+        for member in cone.members():
+            print(f"    reached {member!r}", file=sys.stderr)
+
+
+def _find_object(db: Database, selector: str):
+    """Resolve an OBJECT selector: ``@space:N``, ``Name[i]``, or a bare
+    class/type name holding exactly one object."""
+    from .errors import UnknownTypeError
+
+    selector = selector.strip()
+    if selector.startswith("@"):
+        for obj in db.objects():
+            if str(obj.surrogate) == selector:
+                return obj
+        raise ReproError(f"no object with surrogate {selector}")
+
+    name, index = selector, None
+    if selector.endswith("]") and "[" in selector:
+        name, _, rest = selector.partition("[")
+        digits = rest[:-1]
+        if not digits.isdigit():
+            raise ReproError(f"bad selector {selector!r}: expected Name[i]")
+        index = int(digits)
+
+    pool = None
+    try:
+        pool = db.class_(name).members()
+    except UnknownTypeError:
+        try:
+            pool = db.objects_of_type(name)
+        except UnknownTypeError:
+            raise ReproError(
+                f"{name!r} names neither a class nor a type"
+            ) from None
+    if index is None:
+        if len(pool) == 1:
+            return pool[0]
+        raise ReproError(
+            f"{name!r} holds {len(pool)} object(s); "
+            f"select one with {name}[i] or a @space:N surrogate"
+        )
+    if not 0 <= index < len(pool):
+        raise ReproError(
+            f"{selector!r} out of range: {name!r} holds {len(pool)} object(s)"
+        )
+    return pool[index]
 
 
 def cmd_check(args: argparse.Namespace) -> int:
@@ -136,6 +201,48 @@ def cmd_metrics(args: argparse.Namespace) -> int:
         print(json.dumps(snap, indent=2))
     else:
         print(render_table(snap))
+        if args.events:
+            ring = db.obs.tap.recent()
+            print()
+            print(f"event ring ({len(ring)} buffered):")
+            for event in ring:
+                cause = f" <-#{event.cause}" if event.cause is not None else ""
+                print(
+                    f"  #{event.seq} trace={event.trace} {event.kind} "
+                    f"{event.subject!r}{cause}"
+                )
+    return 0
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    from .obs.export import audit_snapshot, render_audit_table
+    from .obs.report import exercise
+
+    db = Database("cli", observe=True)
+    _load_catalog(db, args.schema)
+    load(args.image, db)
+    if not args.no_exercise:
+        exercise(db)
+    snap = audit_snapshot(
+        db, kind=args.kind, subject=args.object, trace=args.trace_id
+    )
+    if args.json:
+        print(json.dumps(snap, indent=2))
+    else:
+        print(render_audit_table(snap))
+    return 0
+
+
+def cmd_explain_value(args: argparse.Namespace) -> int:
+    db = Database("cli")
+    _load_catalog(db, args.schema)
+    load(args.image, db)
+    obj = _find_object(db, args.object)
+    provenance = db.explain_value(obj, args.attribute)
+    if args.json:
+        print(json.dumps(provenance.as_dict(), indent=2))
+    else:
+        print(provenance.render())
     return 0
 
 
@@ -219,7 +326,55 @@ def build_parser() -> argparse.ArgumentParser:
     p_metrics.add_argument(
         "--no-events", action="store_true", help="omit the event ring buffer"
     )
+    p_metrics.add_argument(
+        "--events",
+        action="store_true",
+        help="also dump the full event ring (seq, kind, subject, cause)",
+    )
     p_metrics.set_defaults(func=cmd_metrics)
+
+    p_audit = sub.add_parser(
+        "audit",
+        help="load an image with observability on, run the standard "
+        "workout, and dump the causal audit log (repro.audit/1)",
+    )
+    p_audit.add_argument("schema", help="path to a .ddl schema file")
+    p_audit.add_argument("image", help="JSON image to audit")
+    p_audit.add_argument(
+        "--json", action="store_true", help="emit the repro.audit/1 JSON"
+    )
+    p_audit.add_argument(
+        "--kind", help="only records of this kind (e.g. attribute_updated)"
+    )
+    p_audit.add_argument(
+        "--object",
+        help="only records whose subject's repr contains this substring",
+    )
+    p_audit.add_argument(
+        "--trace-id", type=int, help="only records of this causal trace"
+    )
+    p_audit.add_argument(
+        "--no-exercise",
+        action="store_true",
+        help="skip the workout; report only what loading produced",
+    )
+    p_audit.set_defaults(func=cmd_audit)
+
+    p_explain = sub.add_parser(
+        "explain-value",
+        help="show where an attribute's value comes from: holder object, "
+        "inheritance path, permeability decisions, epochs, indexes",
+    )
+    p_explain.add_argument("schema", help="path to a .ddl schema file")
+    p_explain.add_argument("image", help="JSON image to load")
+    p_explain.add_argument(
+        "object", help="object selector: @space:N, Name[i], or a unique name"
+    )
+    p_explain.add_argument("attribute", help="member name to explain")
+    p_explain.add_argument(
+        "--json", action="store_true", help="emit the provenance as JSON"
+    )
+    p_explain.set_defaults(func=cmd_explain_value)
 
     p_docs = sub.add_parser("docs", help="generate Markdown schema documentation")
     p_docs.add_argument("schema", help="path to a .ddl schema file")

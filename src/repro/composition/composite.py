@@ -196,7 +196,17 @@ def expand(composite: DBObject, depth: Optional[int] = None) -> Expansion:
         with obs.tracer.span(
             "composition.expand", root=str(composite.surrogate), depth=depth
         ) as span:
-            tree = visit(composite, depth)
+            audit = obs.audit
+            if audit is None:
+                tree = visit(composite, depth)
+            else:
+                # A causal frame: a re-expansion triggered from inside an
+                # event handler links to the mutation that caused it.
+                with audit.operation(
+                    "composition.expand", composite, depth=depth
+                ) as record:
+                    tree = visit(composite, depth)
+                    record.detail["objects"] = len(objects)
             span.set(objects=len(objects))
         obs.metrics.counter("composition.expansions").inc()
         obs.metrics.histogram("composition.expansion_size").observe(len(objects))

@@ -220,6 +220,34 @@ def iter_propagation(transmitter, member: str) -> Iterator[Tuple[object, object]
             stack.append(inheritor)
 
 
+def iter_propagation_depths(
+    transmitter, member: str
+) -> Iterator[Tuple[object, object, int]]:
+    """Like :func:`iter_propagation`, additionally yielding each inheritor's
+    **depth** — how many inheritance hops below the updated transmitter it
+    sits (direct inheritors are depth 1).
+
+    Membership and dedup semantics are identical to :func:`iter_propagation`
+    (the provenance layer's propagation cones are verified against it); in
+    a diamond, an inheritor is reported at the depth of whichever path the
+    walk reaches it through first.
+    """
+    stack = [(transmitter, 0)]
+    seen: Set[object] = set()
+    while stack:
+        current, depth = stack.pop()
+        for link in current._links_as_transmitter:
+            if not link.rel_type.is_permeable(member):
+                continue
+            inheritor = link.inheritor
+            key = inheritor.surrogate
+            if key in seen:
+                continue
+            seen.add(key)
+            yield link, inheritor, depth + 1
+            stack.append((inheritor, depth + 1))
+
+
 def propagation_fanout(transmitter, member: str) -> int:
     """How many inheritors would see an update of ``member`` (transitively)."""
     return sum(1 for _ in iter_propagation(transmitter, member))

@@ -62,6 +62,7 @@ __all__ = [
     "reset_stats",
     "naive_binding_link",
     "naive_get_member",
+    "naive_resolution_chain",
 ]
 
 # ---------------------------------------------------------------------------
@@ -374,3 +375,29 @@ def naive_get_member(obj, name: str) -> Any:
 def naive_is_member_inherited(obj, name: str) -> bool:
     """Interpretive counterpart of ``DBObject.is_member_inherited``."""
     return naive_binding_link(obj, name) is not None
+
+
+def naive_resolution_chain(obj, name: str) -> list:
+    """The delegation chain ``naive_get_member`` walks for ``name``, as a
+    list of objects: ``[obj, transmitter, …, holder]``.
+
+    The interpretive oracle for value provenance: the inheritance path
+    reported by :func:`repro.obs.provenance.explain_value` must equal this
+    chain link for link (the hypothesis tests enforce it).  Participant
+    shadowing and the automatic ``surrogate`` terminate the chain at the
+    object itself, exactly as the recursion in :func:`naive_get_member`
+    would.
+    """
+    chain = [obj]
+    current = obj
+    while True:
+        participants = getattr(current, "_participants", None)
+        if participants is not None and name in participants:
+            return chain
+        if name == "surrogate":
+            return chain
+        link = naive_binding_link(current, name)
+        if link is None:
+            return chain
+        current = link.transmitter
+        chain.append(current)

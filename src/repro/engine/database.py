@@ -89,13 +89,28 @@ class Database:
         """Attach (or return the existing) :class:`~repro.obs.Observability`.
 
         Options are forwarded to the bundle: ``tracing`` (default True),
-        ``ring_size``, ``track_propagation``.
+        ``ring_size``, ``track_propagation``, ``audit`` (default True:
+        keep the causal audit log), ``audit_ring``, ``audit_sink`` (a
+        JSONL path or sink object).
         """
         if self.obs is None:
             from ..obs import Observability
 
             self.obs = Observability(self, **options)
         return self.obs
+
+    def explain_value(self, obj: DBObject, attribute: str):
+        """Why would ``obj.get_member(attribute)`` return what it returns?
+
+        Returns a :class:`~repro.obs.provenance.ValueProvenance`: the
+        holder object, the inheritance path with every permeability
+        decision, the epochs a memoised resolution validates against, and
+        the value indexes tracking the reading.  Works whether or not
+        observability is attached (the walk is pure inspection).
+        """
+        from ..obs.provenance import explain_value
+
+        return explain_value(obj, attribute)
 
     def disable_observability(self) -> None:
         """Detach observability: the bus subscription is removed."""

@@ -25,15 +25,46 @@ kind                      data
 ========================  =====================================================
 
 Every event carries ``subject`` — the object it happened to.
+
+Causal stamping
+---------------
+
+Every event is stamped with a **process-global** monotonic sequence number
+(``seq``) so histories and ring buffers from different databases merge into
+one deterministic order, plus a causal context:
+
+* ``cause`` — the ``seq`` of the event (or audit operation) whose handler
+  emitted this one, ``None`` for root events;
+* ``trace`` — the ``seq`` of the root of the causal chain (a root event's
+  ``trace`` is its own ``seq``).
+
+The bus maintains a cause stack: while an event's handlers run, its
+``(seq, trace)`` is on top, so anything a handler emits — trigger
+consequences, consistency adaptations, index maintenance — is linked to
+its parent automatically.  The provenance layer (:mod:`repro.obs.provenance`)
+reconstructs per-mutation propagation cones from exactly this.
+
+``ts`` (``time.time()``) is stamped when anyone can observe the event —
+history recording on, or at least one handler subscribed.  A quiet bus
+skips the clock read so the unobserved emit path stays free of syscalls.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Tuple
+from time import time as _time
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
-__all__ = ["Event", "EventBus", "Subscription"]
+__all__ = ["Event", "EventBus", "Subscription", "next_seq"]
+
+#: Process-global event sequence.  Shared by every bus (and by the audit
+#: log's derived records) so any two stamped records are totally ordered.
+_GLOBAL_SEQ = itertools.count(1)
+
+#: Draw the next global sequence number (used by the provenance layer for
+#: derived audit records that are not bus events).
+next_seq = _GLOBAL_SEQ.__next__
 
 
 @dataclass(frozen=True)
@@ -44,6 +75,9 @@ class Event:
     subject: Any
     data: Dict[str, Any] = field(default_factory=dict)
     seq: int = 0
+    ts: float = 0.0
+    cause: Optional[int] = None
+    trace: int = 0
 
     def __getattr__(self, name: str) -> Any:
         # Dunder lookups (``__deepcopy__``, ``__getstate__``, …) come from
@@ -83,7 +117,9 @@ class EventBus:
     def __init__(self, record: bool = False, history_limit: int = 10_000):
         self._handlers: Dict[str, Dict[int, Handler]] = {}
         self._tokens = itertools.count(1)
-        self._seq = itertools.count(1)
+        #: The causal-context stack: ``(seq, trace)`` of the event (or audit
+        #: operation) whose handlers are currently running, innermost last.
+        self._causes: List[Tuple[int, int]] = []
         self.record = record
         self.history_limit = history_limit
         self.history: List[Event] = []
@@ -100,17 +136,52 @@ class EventBus:
         if handlers is not None:
             handlers.pop(subscription.token, None)
 
+    # -- causal context (used by repro.obs.provenance) ------------------------
+
+    def cause_context(self) -> Optional[Tuple[int, int]]:
+        """The ``(seq, trace)`` on top of the cause stack, if any."""
+        causes = self._causes
+        return causes[-1] if causes else None
+
+    def push_cause(self, seq: int, trace: int) -> None:
+        """Open a synthetic causal frame (an audit *operation*): events
+        emitted until the matching :meth:`pop_cause` are its children."""
+        self._causes.append((seq, trace))
+
+    def pop_cause(self) -> None:
+        self._causes.pop()
+
+    # -- emission --------------------------------------------------------------
+
     def emit(self, kind: str, subject: Any = None, **data: Any) -> Event:
         """Publish an event and run its handlers synchronously."""
-        event = Event(kind, subject, data, next(self._seq))
+        seq = next(_GLOBAL_SEQ)
+        causes = self._causes
+        if causes:
+            cause, trace = causes[-1]
+        else:
+            cause, trace = None, seq
+        handlers = self._handlers.get(kind)
+        wildcards = self._handlers.get(self.WILDCARD)
+        observed = handlers or wildcards or self.record
+        event = Event(
+            kind, subject, data, seq, _time() if observed else 0.0, cause, trace
+        )
         if self.record:
             self.history.append(event)
             if len(self.history) > self.history_limit:
                 del self.history[: len(self.history) - self.history_limit]
-        for handler in list(self._handlers.get(kind, {}).values()):
-            handler(event)
-        for handler in list(self._handlers.get(self.WILDCARD, {}).values()):
-            handler(event)
+        if handlers or wildcards:
+            causes.append((seq, trace))
+            try:
+                if handlers:
+                    for handler in list(handlers.values()):
+                        handler(event)
+                if wildcards:
+                    for handler in list(wildcards.values()):
+                        handler(event)
+            finally:
+                causes.pop()
         return event
 
     def events_of(self, kind: str) -> Tuple[Event, ...]:

@@ -14,13 +14,20 @@ instrumentation in the hot code:
 * :class:`~repro.obs.tap.EventTap` — one wildcard subscription on the
   event bus turning every event kind into counters (plus per-relationship-
   type propagation/binding counters and a post-mortem ring buffer);
+* :class:`~repro.obs.provenance.AuditLog` — append-only causal audit log
+  (bounded ring + optional JSONL sink) with per-mutation
+  :class:`~repro.obs.provenance.PropagationCone` reconstruction and
+  :func:`~repro.obs.provenance.explain_value` value provenance;
 * :class:`~repro.obs.instruments.Observability` — the per-database bundle,
   attached via ``Database(observe=True)`` and reachable as ``db.obs``.
 
-See ``docs/observability.md`` for usage and the JSON schema, and the
-``repro metrics`` / ``--trace`` CLI surfaces in :mod:`repro.cli`.
+See ``docs/observability.md`` for usage and the JSON schemas
+(``repro.metrics/1``, ``repro.audit/1``), and the ``repro metrics`` /
+``repro audit`` / ``repro explain-value`` / ``--trace`` CLI surfaces in
+:mod:`repro.cli`.
 """
 
+from .export import AUDIT_SCHEMA_VERSION, JsonlSink, audit_snapshot, render_audit_table
 from .instruments import Observability, maybe_span, observability_of
 from .metrics import (
     DEFAULT_BUCKETS,
@@ -29,6 +36,13 @@ from .metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+)
+from .provenance import (
+    AuditLog,
+    AuditRecord,
+    PropagationCone,
+    ValueProvenance,
+    explain_value,
 )
 from .report import SCHEMA_VERSION, derived_stats, exercise, render_table, snapshot
 from .tap import EventTap
@@ -54,4 +68,13 @@ __all__ = [
     "render_table",
     "exercise",
     "derived_stats",
+    "AuditLog",
+    "AuditRecord",
+    "PropagationCone",
+    "ValueProvenance",
+    "explain_value",
+    "AUDIT_SCHEMA_VERSION",
+    "JsonlSink",
+    "audit_snapshot",
+    "render_audit_table",
 ]

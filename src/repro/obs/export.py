@@ -1,0 +1,165 @@
+"""Audit-log export: the ``repro.audit/1`` schema, table rendering, JSONL.
+
+Mirrors the shape of :mod:`repro.obs.report` for the audit side:
+:func:`audit_snapshot` freezes an observed database's
+:class:`~repro.obs.provenance.AuditLog` (with optional filters) into a
+stable JSON document, :func:`render_audit_table` prints the same data as
+aligned text, and :class:`JsonlSink` streams records to a file as they are
+appended (the ``audit_sink=`` option of
+:meth:`~repro.engine.database.Database.enable_observability`).
+
+The ``repro.audit/1`` document::
+
+    {
+      "schema": "repro.audit/1",
+      "database": "design",
+      "appended": 124,
+      "records": [
+        {"seq": 17, "ts": 1722950000.1, "kind": "attribute_updated",
+         "subject": "<GateInterface @db:3>", "cause": null, "trace": 17,
+         "detail": {"attribute": "Length", "old": "10", "new": "8"}},
+        ...
+      ],
+      "cones": [
+        {"trace": 17, "root": {...}, "records": 4, "breadth": 3,
+         "depth": 1, "by_rel_type": {"AllOf_GateInterface": 3},
+         "members": ["<GateImplementation @db:4>", ...],
+         "wall_time": 0.00012},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from ..errors import ReproError
+
+__all__ = [
+    "AUDIT_SCHEMA_VERSION",
+    "audit_snapshot",
+    "render_audit_table",
+    "JsonlSink",
+]
+
+AUDIT_SCHEMA_VERSION = "repro.audit/1"
+
+
+def _audit_of(db):
+    obs = getattr(db, "obs", None)
+    audit = obs.audit if obs is not None else None
+    if audit is None:
+        raise ReproError(
+            f"database {db.name!r} has no audit log attached (create it "
+            f"with observe=True or enable_observability(audit=True))"
+        )
+    return audit
+
+
+def audit_snapshot(
+    db,
+    kind: Optional[str] = None,
+    subject: Optional[str] = None,
+    trace: Optional[int] = None,
+    include_cones: bool = True,
+) -> Dict[str, Any]:
+    """The ``repro.audit/1`` dictionary for an observed database.
+
+    ``kind``/``subject``/``trace`` filter the exported records (subject is
+    a substring match on the object's repr); cones are reconstructed from
+    the *filtered* trace set so the export stays self-consistent.
+    """
+    audit = _audit_of(db)
+    records = audit.records(kind=kind, subject=subject, trace=trace)
+    result: Dict[str, Any] = {
+        "schema": AUDIT_SCHEMA_VERSION,
+        "database": db.name,
+        "appended": audit.appended,
+        "records": [record.as_dict() for record in records],
+    }
+    if include_cones:
+        traces: Dict[int, None] = {}
+        for record in records:
+            traces.setdefault(record.trace, None)
+        cones = []
+        for trace_id in traces:
+            cone = audit.cone(trace_id)
+            if cone is not None:
+                cones.append(cone.as_dict())
+        result["cones"] = cones
+    return result
+
+
+def render_audit_table(snap: Dict[str, Any]) -> str:
+    """Aligned text rendering of an audit snapshot for terminal output."""
+    records = snap.get("records", [])
+    lines: List[str] = [
+        f"audit log of {snap['database']}: {len(records)} record(s) "
+        f"shown, {snap.get('appended', '?')} appended",
+        "",
+    ]
+    if not records:
+        lines.append("(no records match)")
+    for record in records:
+        cause = f" <-#{record['cause']}" if record["cause"] is not None else ""
+        subject = record["subject"] or "-"
+        lines.append(
+            f"#{record['seq']:<6} trace={record['trace']:<6} "
+            f"{record['kind']:<24} {subject}{cause}"
+        )
+        detail = dict(record.get("detail") or {})
+        if record["kind"] == "propagation.fanout" and "reached" in detail:
+            # The member list is rendered once, in the cones section.
+            detail["reached"] = f"{len(detail['reached'])} inheritor(s)"
+        if detail:
+            summary = ", ".join(f"{k}={v!r}" for k, v in detail.items())
+            lines.append(f"        {summary}")
+    cones = snap.get("cones")
+    if cones:
+        lines += ["", f"propagation cones ({len(cones)}):"]
+        for cone in cones:
+            root = cone["root"]
+            lines.append(
+                f"  trace {cone['trace']}: {root['kind']} on "
+                f"{root['subject'] or '-'} -> breadth={cone['breadth']} "
+                f"depth={cone['depth']} records={cone['records']} "
+                f"wall={cone['wall_time']:.6f}s"
+            )
+            for rel, count in sorted(cone["by_rel_type"].items()):
+                lines.append(f"    via {rel}: {count}")
+            for member in cone["members"]:
+                lines.append(f"    reached {member}")
+    return "\n".join(lines)
+
+
+class JsonlSink:
+    """Append audit records to a file as JSON lines (one record each).
+
+    Accepts a path (opened in append mode) or any object with ``write``.
+    Attached through ``enable_observability(audit_sink="audit.jsonl")``;
+    every record is written as it is appended, so the file is a faithful
+    superset of the bounded in-memory ring.
+    """
+
+    def __init__(self, target):
+        if isinstance(target, str):
+            self._file = open(target, "a", encoding="utf-8")
+            self._owns = True
+        else:
+            self._file = target
+            self._owns = False
+        self.written = 0
+
+    def write_record(self, record: Dict[str, Any]) -> None:
+        self._file.write(json.dumps(record) + "\n")
+        self.written += 1
+
+    def close(self) -> None:
+        if self._owns and self._file is not None:
+            self._file.close()
+        self._file = None
+
+    def __repr__(self) -> str:
+        return f"<JsonlSink written={self.written}>"

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Any, Optional
 
 from .metrics import MetricsRegistry
+from .provenance import AuditLog
 from .tap import EventTap
 from .tracing import NULL_SPAN, Tracer
 
@@ -26,7 +27,7 @@ __all__ = ["Observability", "observability_of", "maybe_span"]
 
 
 class Observability:
-    """Tracer + metrics + event tap for one database."""
+    """Tracer + metrics + event tap + audit log for one database."""
 
     def __init__(
         self,
@@ -34,15 +35,30 @@ class Observability:
         tracing: bool = True,
         ring_size: int = 256,
         track_propagation: bool = True,
+        audit: bool = True,
+        audit_ring: int = 1024,
+        audit_sink=None,
     ):
         self.database = database
         self.tracer = Tracer(enabled=tracing)
         self.metrics = MetricsRegistry()
+        self.audit = None
+        if audit:
+            if isinstance(audit_sink, str):
+                from .export import JsonlSink
+
+                audit_sink = JsonlSink(audit_sink)
+            self.audit = AuditLog(
+                database.events, ring_size=audit_ring, sink=audit_sink
+            )
+        # The audit log rides the tap's single wildcard subscription —
+        # enabling provenance adds no further bus handlers.
         self.tap = EventTap(
             database.events,
             self.metrics,
             ring_size=ring_size,
             track_propagation=track_propagation,
+            audit=self.audit,
         )
 
     # -- convenience passthroughs -------------------------------------------------
@@ -62,9 +78,12 @@ class Observability:
     # -- lifecycle ---------------------------------------------------------------
 
     def detach(self) -> None:
-        """Stop observing: drop the bus subscription, disable the tracer."""
+        """Stop observing: drop the bus subscription, disable the tracer,
+        close the audit sink (the in-memory ring stays readable)."""
         self.tap.detach()
         self.tracer.enabled = False
+        if self.audit is not None:
+            self.audit.close()
 
     def __repr__(self) -> str:
         return (

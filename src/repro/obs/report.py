@@ -28,6 +28,9 @@ SCHEMA_VERSION = "repro.metrics/1"
 def _event_summary(event) -> Dict[str, Any]:
     return {
         "seq": event.seq,
+        "ts": event.ts,
+        "cause": event.cause,
+        "trace": event.trace,
         "kind": event.kind,
         "subject": repr(event.subject),
         "data": {key: repr(value) for key, value in event.data.items()},
@@ -141,7 +144,12 @@ def render_table(snap: Dict[str, Any]) -> str:
     if events is not None:
         lines += ["", f"recent events ({len(events['recent'])} buffered):"]
         for entry in events["recent"][-10:]:
-            lines.append(f"  #{entry['seq']} {entry['kind']} {entry['subject']}")
+            cause = (
+                f" <-#{entry['cause']}" if entry.get("cause") is not None else ""
+            )
+            lines.append(
+                f"  #{entry['seq']} {entry['kind']} {entry['subject']}{cause}"
+            )
     return "\n".join(lines)
 
 

@@ -15,6 +15,17 @@ update-propagation story get richer treatment:
 
 The last ``ring_size`` events are kept in a ring buffer for post-mortem
 inspection (:meth:`EventTap.recent`).
+
+When an :class:`~repro.obs.provenance.AuditLog` is wired in (``audit``),
+the tap also forwards every event to it — **through the same single
+subscription** — and, while measuring propagation, appends one batched
+``propagation.fanout`` record per measured update carrying every
+``(link, inheritor, depth)`` arrival, causally linked to the update.  The
+batch reuses the tuples the depth walk already yields (one list append
+per inheritor — no per-inheritor record allocation, which is what keeps
+the audit tax within the E16 budget), and is what lets a
+:class:`~repro.obs.provenance.PropagationCone` be reconstructed per root
+mutation.
 """
 
 from __future__ import annotations
@@ -22,7 +33,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, List, Optional
 
-from ..core.inheritance import iter_propagation
+from ..core.inheritance import iter_propagation, iter_propagation_depths
 from ..engine.events import Event, EventBus
 from .metrics import FANOUT_BUCKETS, MetricsRegistry
 
@@ -38,10 +49,12 @@ class EventTap:
         metrics: MetricsRegistry,
         ring_size: int = 256,
         track_propagation: bool = True,
+        audit=None,
     ):
         self.bus = bus
         self.metrics = metrics
         self.track_propagation = track_propagation
+        self.audit = audit
         self.ring: Deque[Event] = deque(maxlen=ring_size)
         self._subscription = bus.subscribe(EventBus.WILDCARD, self._on_event)
 
@@ -51,6 +64,9 @@ class EventTap:
         metrics = self.metrics
         metrics.counter(f"events.{event.kind}").inc()
         self.ring.append(event)
+        audit = self.audit
+        if audit is not None:
+            audit.on_event(event)
         kind = event.kind
         if kind == "attribute_updated":
             metrics.counter("propagation.updates").inc()
@@ -67,14 +83,37 @@ class EventTap:
 
     def _measure_propagation(self, event: Event) -> None:
         metrics = self.metrics
+        audit = self.audit
+        attribute = event.data["attribute"]
         fanout = 0
-        for link, _inheritor in iter_propagation(
-            event.subject, event.data["attribute"]
-        ):
-            fanout += 1
-            metrics.counter(
-                f"propagation.by_rel_type.{link.rel_type.name}"
-            ).inc()
+        if audit is not None:
+            # The depth-annotated walk has the same membership/dedup as
+            # iter_propagation (tested).  The arrivals are batched into
+            # one causally linked record per update, storing the yielded
+            # (link, inheritor, depth) tuples as-is: one list append per
+            # inheritor on top of the measurement walk.
+            reached = []
+            append = reached.append
+            for item in iter_propagation_depths(event.subject, attribute):
+                fanout += 1
+                metrics.counter(
+                    f"propagation.by_rel_type.{item[0].rel_type.name}"
+                ).inc()
+                append(item)
+            if reached:
+                audit.event_child(
+                    event,
+                    "propagation.fanout",
+                    subject=event.subject,
+                    attribute=attribute,
+                    reached=reached,
+                )
+        else:
+            for link, _inheritor in iter_propagation(event.subject, attribute):
+                fanout += 1
+                metrics.counter(
+                    f"propagation.by_rel_type.{link.rel_type.name}"
+                ).inc()
         metrics.histogram("propagation.fanout", FANOUT_BUCKETS).observe(fanout)
         metrics.counter("propagation.fanout_total").inc(fanout)
         if fanout:

@@ -297,6 +297,12 @@ class ValueIndex:
                     or entry.holder_mutation != entry.holder._mutation_epoch):
                 self.refresh_if_tracked(obj)
                 repaired += 1
+                self.manager._audit(
+                    "index.self_heal",
+                    obj,
+                    attribute=self.attr,
+                    index=f"{self.source_kind}:{self.source_name}.{self.attr}",
+                )
         if repaired:
             self.manager._bump("index.stale_repairs", repaired)
 
@@ -343,6 +349,15 @@ class IndexManager:
         obs = self.database.obs
         if obs is not None:
             obs.metrics.counter(key).inc(amount)
+
+    def _audit(self, kind: str, subject, **detail) -> None:
+        """Causal audit record for a maintenance action (no-op unless an
+        audit log is attached — one attribute load and a branch)."""
+        obs = self.database.obs
+        if obs is not None:
+            audit = obs.audit
+            if audit is not None:
+                audit.record(kind, subject, **detail)
 
     def stats_snapshot(self) -> Dict[str, int]:
         snapshot = dict(self.stats)
@@ -549,6 +564,14 @@ class IndexManager:
             for index in indexes:
                 if index.refresh_if_tracked(target):
                     self._bump("index.maintenance")
+                    self._audit(
+                        "index.maintenance",
+                        target,
+                        attribute=index.attr,
+                        index=f"{index.source_kind}:{index.source_name}"
+                        f".{index.attr}",
+                        reason=event.kind,
+                    )
 
     def _on_binding_event(self, event) -> None:
         if not self._value_indexes:
@@ -559,3 +582,11 @@ class IndexManager:
             for index in self._value_indexes.values():
                 if index.refresh_if_tracked(target):
                     self._bump("index.maintenance")
+                    self._audit(
+                        "index.maintenance",
+                        target,
+                        attribute=index.attr,
+                        index=f"{index.source_kind}:{index.source_name}"
+                        f".{index.attr}",
+                        reason=event.kind,
+                    )

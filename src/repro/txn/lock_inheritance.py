@@ -44,6 +44,9 @@ def inherited_lock_plan(
     if obs is not None:
         obs.metrics.counter("locks.inherited_plans").inc()
         obs.metrics.histogram("locks.inherited_plan_size").observe(len(plan))
+        audit = obs.audit
+        if audit is not None:
+            audit.record("lock.inherited_plan", obj, size=len(plan))
     return plan
 
 
@@ -130,4 +133,7 @@ def expansion_lock_plan(
     if obs is not None:
         obs.metrics.counter("locks.expansion_plans").inc()
         obs.metrics.histogram("locks.expansion_plan_size").observe(len(plan))
+        audit = obs.audit
+        if audit is not None:
+            audit.record("lock.expansion_plan", composite, size=len(plan))
     return plan

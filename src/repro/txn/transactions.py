@@ -66,6 +66,11 @@ class Transaction:
     def lock_table(self) -> LockTable:
         return self.manager.lock_table
 
+    def _audit_log(self):
+        """The attached audit log, or None (one load + branch when off)."""
+        obs = getattr(self.manager.database, "obs", None)
+        return obs.audit if obs is not None else None
+
     # -- reading -----------------------------------------------------------------
 
     def read(self, obj: DBObject, members: Optional[set] = None) -> DBObject:
@@ -75,13 +80,35 @@ class Transaction:
         self._ensure_active()
         self._check_access(obj, Right.READ)
         scope = frozenset(members) if members is not None else None
+        audit = self._audit_log()
+        if audit is None:
+            self._acquire_read_locks(obj, scope, None)
+        else:
+            # The locked read is a causal root: its lock-inheritance
+            # acquisitions become children of one txn.read record.
+            with audit.operation(
+                "txn.read",
+                obj,
+                txn=self.id,
+                scope=sorted(scope) if scope is not None else None,
+            ):
+                self._acquire_read_locks(obj, scope, audit)
+        return obj
+
+    def _acquire_read_locks(self, obj: DBObject, scope, audit) -> None:
         self.lock_table.acquire(self.id, obj.surrogate, LockMode.S, scope)
         for transmitter, visible in inherited_lock_plan(obj, scope):
             self._check_access(transmitter, Right.READ)
             self.lock_table.acquire(
                 self.id, transmitter.surrogate, LockMode.S, visible
             )
-        return obj
+            if audit is not None:
+                audit.record(
+                    "lock.inherited",
+                    transmitter,
+                    txn=self.id,
+                    scope=sorted(visible) if visible is not None else None,
+                )
 
     def get(self, obj: DBObject, member: str) -> Any:
         """Locked read of one member."""
@@ -162,6 +189,20 @@ class Transaction:
     def abort(self) -> None:
         """Undo every logged update and release all locks."""
         self._ensure_active()
+        audit = self._audit_log()
+        if audit is None:
+            self._undo_all()
+        else:
+            # One txn.abort record parents every attribute_restored the
+            # rollback emits, so the whole revert is one causal cone.
+            with audit.operation("txn.abort", txn=self.id, undo=len(self._undo)):
+                self._undo_all()
+        self.status = self.ABORTED
+        self.lock_table.release_all(self.id)
+        self.manager._finished(self)
+        self.manager._record_finish("aborted")
+
+    def _undo_all(self) -> None:
         for obj, attribute, old, had_value in reversed(self._undo):
             if had_value:
                 obj._attrs[attribute] = old
@@ -172,10 +213,6 @@ class Transaction:
             # this to re-extract the rolled-back value.
             obj._emit("attribute_restored", attribute=attribute)
         self._undo.clear()
-        self.status = self.ABORTED
-        self.lock_table.release_all(self.id)
-        self.manager._finished(self)
-        self.manager._record_finish("aborted")
 
     def checkin(self) -> None:
         """Release the locks of a committed persistent transaction."""
