@@ -11,7 +11,7 @@ import pytest
 
 from repro.composition import add_component
 from repro.errors import LockConflictError
-from repro.txn import LockMode, TransactionManager, inherited_lock_plan
+from repro.txn import TransactionManager, inherited_lock_plan
 from repro.workloads import (
     gate_database,
     generate_component_tree,

@@ -1,0 +1,162 @@
+"""Static schema analysis: a rule-engine lint pass over DDL/schema graphs.
+
+The analyzer predicts runtime failures *before* execution.  It accepts any
+of the engine's schema representations:
+
+* DDL source text (or a parsed :class:`~repro.ddl.ast.Schema`) — the rules
+  see the defects the builder would reject, with source line numbers;
+* a compiled :class:`~repro.engine.catalog.Catalog` — linting a schema the
+  engine already accepted (diamonds, lock-order cycles, advisories);
+* a live :class:`~repro.engine.database.Database` — adds the REP0xx
+  runtime-integrity diagnostics and, given workload queries, the REP5xx
+  index advisories.
+
+Entry points::
+
+    from repro.analysis import analyze, render_text, to_json, to_sarif
+    findings = analyze(open("schema.ddl").read(), source_path="schema.ddl")
+    print(render_text(findings))
+
+``repro lint`` is the CLI face; :func:`verify_against_runtime` is the
+differential harness that holds every *error* diagnostic to the standard
+of an actual engine failure.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from ..ddl import ast as ddl_ast
+from ..ddl.builder import SchemaBuilder
+from ..ddl.parser import parse_schema_source
+from ..engine.catalog import Catalog
+from ..engine.database import Database
+from ..errors import DDLSyntaxError, ExprSyntaxError
+from .diagnostics import (
+    ADVICE,
+    Diagnostic,
+    ERROR,
+    RULES,
+    RuleInfo,
+    SEVERITIES,
+    SourceLocation,
+    WARNING,
+    count_by_severity,
+    filter_diagnostics,
+    make,
+    rule_info,
+    severity_rank,
+    sort_diagnostics,
+)
+from .emit import render_text, summary_line, to_json, to_sarif
+from .model import SchemaModel, model_from_ast, model_from_catalog
+from .rules import (
+    diagnostics_from_violations,
+    run_database_rules,
+    run_model_rules,
+    run_query_rules,
+)
+from .verify import Disagreement, VerifyReport, verify_against_runtime
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "ADVICE",
+    "SEVERITIES",
+    "RULES",
+    "RuleInfo",
+    "Diagnostic",
+    "SourceLocation",
+    "SchemaModel",
+    "analyze",
+    "model_from_ast",
+    "model_from_catalog",
+    "run_model_rules",
+    "run_database_rules",
+    "run_query_rules",
+    "diagnostics_from_violations",
+    "filter_diagnostics",
+    "sort_diagnostics",
+    "count_by_severity",
+    "severity_rank",
+    "rule_info",
+    "make",
+    "render_text",
+    "summary_line",
+    "to_json",
+    "to_sarif",
+    "Disagreement",
+    "VerifyReport",
+    "verify_against_runtime",
+]
+
+Subject = Union[str, ddl_ast.Schema, Catalog, Database]
+
+
+def analyze(
+    subject: Subject,
+    *,
+    queries: Optional[Sequence[str]] = None,
+    source_path: Optional[str] = None,
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Diagnostic]:
+    """Run every applicable rule over ``subject``; sorted diagnostics.
+
+    For DDL/AST inputs the REP100 safety net also *builds* the schema once
+    — but only when the specific rules found no errors, so the net catches
+    exactly the failures no rule predicted.
+    """
+    findings: List[Diagnostic] = []
+
+    if isinstance(subject, str):
+        try:
+            subject = parse_schema_source(subject)
+        except (DDLSyntaxError, ExprSyntaxError) as exc:
+            line = getattr(exc, "line", -1)
+            findings.append(make(
+                "REP100",
+                f"schema does not parse: {exc}",
+                location=SourceLocation(
+                    source_path, line if line and line > 0 else None
+                ),
+            ))
+            return sort_diagnostics(filter_diagnostics(findings, select, ignore))
+
+    if isinstance(subject, ddl_ast.Schema):
+        model = model_from_ast(subject, source_path)
+        findings.extend(run_model_rules(model))
+        if not any(d.severity == ERROR for d in findings):
+            try:
+                SchemaBuilder(Catalog()).build(subject)
+            except Exception as exc:  # noqa: BLE001 — the net reports anything
+                findings.append(make(
+                    "REP100",
+                    f"schema fails to build: {type(exc).__name__}: {exc}",
+                    location=SourceLocation(source_path, None),
+                ))
+    elif isinstance(subject, Catalog):
+        findings.extend(run_model_rules(model_from_catalog(subject)))
+    elif isinstance(subject, Database):
+        findings.extend(run_model_rules(model_from_catalog(subject.catalog)))
+        findings.extend(run_database_rules(subject))
+        if queries:
+            findings.extend(run_query_rules(subject, queries))
+        obs = subject.obs
+        if obs is not None:
+            obs.metrics.counter("lint.runs").inc()
+            obs.metrics.counter("lint.findings").inc(len(findings))
+            if obs.audit is not None:
+                obs.audit.record(
+                    "lint.run",
+                    None,
+                    findings=len(findings),
+                    errors=sum(1 for d in findings if d.severity == ERROR),
+                )
+    else:
+        raise TypeError(
+            f"analyze() wants DDL text, a Schema, a Catalog or a Database; "
+            f"got {type(subject).__name__}"
+        )
+
+    return sort_diagnostics(filter_diagnostics(findings, select, ignore))

@@ -1,0 +1,131 @@
+"""Diagnostic emitters: plain text, ``repro.lint/1`` JSON, SARIF 2.1.0.
+
+All three render the same :class:`~repro.analysis.diagnostics.Diagnostic`
+list; ``repro check`` shares them with ``repro lint`` so runtime integrity
+violations and static findings print identically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from .. import __version__
+from .diagnostics import (
+    ADVICE,
+    Diagnostic,
+    ERROR,
+    RULES,
+    SEVERITIES,
+    WARNING,
+    count_by_severity,
+)
+
+__all__ = ["render_text", "to_json", "to_sarif", "summary_line"]
+
+JSON_SCHEMA_ID = "repro.lint/1"
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Diagnostic severity → SARIF result level.
+_SARIF_LEVELS = {ERROR: "error", WARNING: "warning", ADVICE: "note"}
+
+
+def summary_line(diagnostics: Sequence[Diagnostic]) -> str:
+    counts = count_by_severity(diagnostics)
+    parts = []
+    for severity in SEVERITIES:
+        count = counts.get(severity, 0)
+        # "advice" is a mass noun; the others pluralise normally.
+        label = severity if severity == ADVICE or count == 1 else severity + "s"
+        parts.append(f"{count} {label}")
+    return ", ".join(parts)
+
+
+def render_text(diagnostics: Sequence[Diagnostic], summary: bool = True) -> str:
+    """One line per finding (plus an indented hint line), and a summary."""
+    lines: List[str] = []
+    for diagnostic in diagnostics:
+        lines.append(diagnostic.render())
+        if diagnostic.hint:
+            lines.append(f"    hint: {diagnostic.hint}")
+    if summary:
+        lines.append(summary_line(diagnostics))
+    return "\n".join(lines)
+
+
+def to_json(diagnostics: Sequence[Diagnostic]) -> Dict[str, Any]:
+    """The ``repro.lint/1`` machine-readable report."""
+    return {
+        "schema": JSON_SCHEMA_ID,
+        "counts": count_by_severity(diagnostics),
+        "diagnostics": [
+            {
+                "code": d.code,
+                "slug": d.rule.slug if d.rule else "",
+                "severity": d.severity,
+                "message": d.message,
+                "subject": d.subject,
+                "path": d.location.path if d.location else None,
+                "line": d.location.line if d.location else None,
+                "hint": d.hint,
+            }
+            for d in diagnostics
+        ],
+    }
+
+
+def to_sarif(diagnostics: Sequence[Diagnostic]) -> Dict[str, Any]:
+    """A minimal, valid SARIF 2.1.0 log with the full rule catalog."""
+    codes = sorted(RULES)
+    rule_index = {code: position for position, code in enumerate(codes)}
+    rules = [
+        {
+            "id": code,
+            "name": RULES[code].slug,
+            "shortDescription": {"text": RULES[code].summary},
+            "defaultConfiguration": {
+                "level": _SARIF_LEVELS[RULES[code].severity],
+            },
+        }
+        for code in codes
+    ]
+    results = []
+    for diagnostic in diagnostics:
+        message = diagnostic.message
+        if diagnostic.hint:
+            message = f"{message} (hint: {diagnostic.hint})"
+        result: Dict[str, Any] = {
+            "ruleId": diagnostic.code,
+            "level": _SARIF_LEVELS.get(diagnostic.severity, "warning"),
+            "message": {"text": message},
+        }
+        if diagnostic.code in rule_index:
+            result["ruleIndex"] = rule_index[diagnostic.code]
+        location = diagnostic.location
+        if location is not None and location.path:
+            physical: Dict[str, Any] = {
+                "artifactLocation": {"uri": location.path},
+            }
+            if location.line is not None:
+                physical["region"] = {"startLine": location.line}
+            result["locations"] = [{"physicalLocation": physical}]
+        results.append(result)
+    return {
+        "version": SARIF_VERSION,
+        "$schema": SARIF_SCHEMA_URI,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "version": __version__,
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

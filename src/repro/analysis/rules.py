@@ -1,0 +1,954 @@
+"""The rule implementations.
+
+Model rules (:func:`run_model_rules`) need only a :class:`SchemaModel`;
+database rules (:func:`run_database_rules`, :func:`run_query_rules`) need a
+live :class:`~repro.engine.database.Database` — they check instance-level
+invariants and workload/index fit, which have no static representation.
+
+Severity follows the engine's *actual* behaviour, established rule by rule
+against the builder and runtime: ``error`` means the schema cannot build or
+an operation raises; ``warning`` means the engine accepts the schema but
+resolves the oddity by a tie-break the author may not have intended (the
+differential verifier in :mod:`repro.analysis.verify` enforces exactly this
+split).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..errors import ExprSyntaxError
+from ..expr import (
+    Aggregate,
+    Binary,
+    Name,
+    Node,
+    Path,
+    Quantified,
+    Unary,
+    parse_constraints,
+    parse_expression,
+)
+from .diagnostics import Diagnostic, SourceLocation, WARNING, make
+from .model import (
+    INHERITANCE,
+    OBJECT,
+    RELATIONSHIP,
+    MemberDecl,
+    Ref,
+    SchemaModel,
+    TypeInfo,
+)
+
+__all__ = [
+    "run_model_rules",
+    "run_database_rules",
+    "run_query_rules",
+    "diagnostics_from_violations",
+    "free_names",
+]
+
+#: Names every evaluation context can resolve on any object.
+_ALWAYS_VISIBLE = frozenset(["surrogate"])
+
+#: The implicit roles of every inheritance relationship type.
+_IMPLICIT_INHERITANCE_ROLES = ("transmitter", "inheritor")
+
+
+# ---------------------------------------------------------------------------
+# shared helpers
+# ---------------------------------------------------------------------------
+
+
+def _loc(model: SchemaModel, line: Optional[int]) -> SourceLocation:
+    return SourceLocation(model.source_path, line)
+
+
+def free_names(node: Node, bound: FrozenSet[str] = frozenset()) -> Set[str]:
+    """Identifiers ``node`` resolves against its evaluation context.
+
+    Mirrors the evaluator's scoping: aggregate ``where`` clauses see the
+    binder and the argument path's display names, quantifier bodies see the
+    binders declared so far.  Only the *base* of a dotted path counts — its
+    segments resolve against whatever the base yields, which static
+    analysis cannot see.
+    """
+    out: Set[str] = set()
+    _collect_free(node, bound, out)
+    return out
+
+
+def _collect_free(node: Node, bound: FrozenSet[str], out: Set[str]) -> None:
+    if isinstance(node, Name):
+        if node.identifier not in bound:
+            out.add(node.identifier)
+    elif isinstance(node, Path):
+        _collect_free(node.base, bound, out)
+    elif isinstance(node, Unary):
+        _collect_free(node.operand, bound, out)
+    elif isinstance(node, Binary):
+        _collect_free(node.left, bound, out)
+        _collect_free(node.right, bound, out)
+    elif isinstance(node, Aggregate):
+        _collect_free(node.arg, bound, out)
+        if node.where is not None:
+            _collect_free(node.where, bound | set(node._element_names()), out)
+    elif isinstance(node, Quantified):
+        inner = set(bound)
+        for name, source in node.binders:
+            _collect_free(source, frozenset(inner), out)
+            inner.add(name)
+        for constraint in node.body:
+            _collect_free(constraint, frozenset(inner), out)
+
+
+def _references(model: SchemaModel) -> Iterator[Tuple[TypeInfo, Ref, str]]:
+    """Every by-name type reference in the model: (referrer, ref, site).
+
+    Subclass entries whose target is a synthesized anonymous type are
+    skipped — the dotted name never appears in source.
+    """
+    for info in model.types.values():
+        for member in info.members.values():
+            if member.kind == "subclass" and member.target:
+                target = model.resolve(member.target)
+                if target is not None and target.anonymous:
+                    continue
+                yield info, Ref(
+                    member.target, member.line,
+                    f"subclass {member.name!r} of {info.name}",
+                ), "subclass"
+            elif member.kind == "subrel" and member.target:
+                yield info, Ref(
+                    member.target, member.line,
+                    f"subrel {member.name!r} of {info.name}",
+                ), "subrel"
+        for ref in info.inheritor_in:
+            yield info, ref, "inheritor-in"
+        if info.transmitter is not None:
+            yield info, info.transmitter, "transmitter"
+        if info.inheritor_restriction is not None:
+            yield info, info.inheritor_restriction, "inheritor-restriction"
+        for group in info.participants:
+            if group.type_name:
+                yield info, Ref(
+                    group.type_name, group.line,
+                    f"role {', '.join(group.roles)} of {info.name}",
+                ), "participant"
+
+
+def _sccs(nodes: Sequence[str], edges: Dict[str, List[str]]) -> List[List[str]]:
+    """Strongly connected components (iterative Tarjan), discovery order."""
+    index_of: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    components: List[List[str]] = []
+    counter = 0
+
+    for root in nodes:
+        if root in index_of:
+            continue
+        work = [(root, iter(edges.get(root, [])))]
+        index_of[root] = low[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            pushed = False
+            for succ in successors:
+                if succ not in index_of:
+                    index_of[succ] = low[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(edges.get(succ, []))))
+                    pushed = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], index_of[succ])
+            if pushed:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index_of[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+def _cycles(edges_list: List[Tuple[str, str]]) -> List[List[str]]:
+    """Cyclic SCCs (size > 1, or a self-loop) of an edge list."""
+    nodes: List[str] = []
+    seen: Set[str] = set()
+    adjacency: Dict[str, List[str]] = {}
+    self_loops: Set[str] = set()
+    for src, dst in edges_list:
+        for node in (src, dst):
+            if node not in seen:
+                seen.add(node)
+                nodes.append(node)
+        adjacency.setdefault(src, []).append(dst)
+        if src == dst:
+            self_loops.add(src)
+    return [
+        component
+        for component in _sccs(nodes, adjacency)
+        if len(component) > 1 or component[0] in self_loops
+    ]
+
+
+def _cycle_text(component: Sequence[str]) -> str:
+    ring = list(component) + [component[0]]
+    return " -> ".join(ring)
+
+
+def _ordered_inheritance_rels(
+    model: SchemaModel, info: TypeInfo
+) -> List[TypeInfo]:
+    """Declared ``inheritor-in`` rels plus restriction-implied ones.
+
+    ``inheritor: object-of-type X`` registers the relationship on X exactly
+    as if X had declared it, so diamond detection must see both; declared
+    entries keep their written order (the engine's tie-break).
+    """
+    declared = model.inheritance_rels_of(info)
+    names = {rel.name for rel in declared}
+    implied = []
+    for rel in model.types.values():
+        if (
+            rel.kind != INHERITANCE
+            or rel.inheritor_restriction is None
+            or rel.name in names
+        ):
+            continue
+        restricted = model.resolve(rel.inheritor_restriction.name)
+        if restricted is not None and restricted.name == info.name:
+            implied.append(rel)
+    implied.sort(key=lambda rel: rel.index)
+    return declared + implied
+
+
+def _visible_names(model: SchemaModel, info: TypeInfo) -> Set[str]:
+    """Names a constraint anchored at ``info`` can plausibly resolve."""
+    visible = set(model.effective_members(info))
+    for group in info.participants:
+        visible.update(group.roles)
+    if info.kind == INHERITANCE:
+        visible.update(_IMPLICIT_INHERITANCE_ROLES)
+    visible |= model.enum_labels
+    visible |= _ALWAYS_VISIBLE
+    return visible
+
+
+# ---------------------------------------------------------------------------
+# REP1xx — schema graph
+# ---------------------------------------------------------------------------
+
+
+def rule_unknown_reference(model: SchemaModel) -> Iterator[Diagnostic]:
+    """REP102: references to types/domains that are never declared."""
+    for info, ref, _site in _references(model):
+        if model.resolve(ref.name) is None:
+            yield make(
+                "REP102",
+                f"{ref.context} references undeclared type {ref.name!r}",
+                subject=info.name,
+                location=_loc(model, ref.line),
+                hint="declare the type or fix the spelling",
+            )
+    for owner, refs in model.domain_refs.items():
+        for ref in refs:
+            if not model.has_domain(ref.name):
+                yield make(
+                    "REP102",
+                    f"attribute of {owner} uses undeclared domain {ref.name!r}",
+                    subject=owner,
+                    location=_loc(model, ref.line),
+                    hint=f"add a `domain {ref.name} = ...;` declaration",
+                )
+
+
+def rule_forward_reference(model: SchemaModel) -> Iterator[Diagnostic]:
+    """REP108: references the single-pass builder cannot yet resolve.
+
+    Only ``inheritor: object-of-type T`` restrictions may point forward —
+    the builder resolves those in a dedicated second pass (the paper's §5
+    AllOf_GirderIf declares its inheritor before Girder exists).
+    """
+    for info, ref, site in _references(model):
+        if site == "inheritor-restriction":
+            continue
+        target = model.resolve(ref.name)
+        if target is None or target.anonymous:
+            continue
+        if target.index > info.index or target.name == info.name:
+            yield make(
+                "REP108",
+                f"{ref.context} references {target.name!r} before its "
+                f"declaration completes",
+                subject=info.name,
+                location=_loc(model, ref.line),
+                hint=f"declare {target.name!r} above {info.name!r} "
+                     "(only inheritor restrictions may be forward)",
+            )
+
+
+def rule_kind_mismatch(model: SchemaModel) -> Iterator[Diagnostic]:
+    """REP107: a reference resolves, but to the wrong kind of declaration.
+
+    The builder enforces kinds for subclass/subrel/inheritor-in targets
+    (build failure → error); transmitter, inheritor-restriction and
+    participant types are accepted as any ``TypeBase`` (legal but almost
+    certainly unintended → warning).
+    """
+    for info, ref, site in _references(model):
+        target = model.resolve(ref.name)
+        if target is None:
+            continue
+        if site == "subclass" and target.kind != OBJECT:
+            yield make(
+                "REP107",
+                f"{ref.context} needs an object type but {target.name!r} "
+                f"is a {target.kind} type",
+                subject=info.name,
+                location=_loc(model, ref.line),
+            )
+        elif site == "subrel" and target.kind == OBJECT:
+            yield make(
+                "REP107",
+                f"{ref.context} needs a relationship type but "
+                f"{target.name!r} is an object type",
+                subject=info.name,
+                location=_loc(model, ref.line),
+            )
+        elif site == "inheritor-in" and target.kind != INHERITANCE:
+            yield make(
+                "REP107",
+                f"{ref.context} needs an inheritance relationship type but "
+                f"{target.name!r} is a {target.kind} type",
+                subject=info.name,
+                location=_loc(model, ref.line),
+            )
+        elif (
+            site in ("transmitter", "inheritor-restriction", "participant")
+            and target.kind != OBJECT
+        ):
+            yield make(
+                "REP107",
+                f"{ref.context} names {target.name!r}, a {target.kind} type; "
+                f"the engine accepts it but an object type is almost "
+                f"certainly meant",
+                subject=info.name,
+                location=_loc(model, ref.line),
+                severity=WARNING,
+            )
+
+
+def rule_inheritance_cycle(model: SchemaModel) -> Iterator[Diagnostic]:
+    """REP101: type-level inheritance cycles (the builder rejects them)."""
+    edges = [
+        (inheritor, transmitter)
+        for inheritor, transmitter, _rel in model.inheritance_edges()
+    ]
+    for component in _cycles(edges):
+        anchor = model.types.get(component[0])
+        yield make(
+            "REP101",
+            f"inheritance cycle: {_cycle_text(component)}",
+            subject=component[0],
+            location=_loc(model, anchor.line if anchor else None),
+            hint="break the cycle by removing one inheritor-in declaration",
+        )
+
+
+def rule_relationship_arity(model: SchemaModel) -> Iterator[Diagnostic]:
+    """REP103: role-set defects of relationship declarations."""
+    for info in model.types.values():
+        if info.kind == RELATIONSHIP:
+            if not info.participants:
+                yield make(
+                    "REP103",
+                    f"relationship type {info.name!r} relates no roles",
+                    subject=info.name,
+                    location=_loc(model, info.line),
+                    hint="add a `relates:` clause with at least one role",
+                )
+            role_lines: Dict[str, Optional[int]] = {}
+            for group in info.participants:
+                for role in group.roles:
+                    if role in role_lines:
+                        yield make(
+                            "REP103",
+                            f"role {role!r} of {info.name!r} is declared "
+                            f"twice; the later declaration silently wins",
+                            subject=info.name,
+                            location=_loc(model, group.line),
+                            severity=WARNING,
+                        )
+                    role_lines[role] = group.line
+                    member = info.members.get(role)
+                    if member is not None:
+                        yield make(
+                            "REP103",
+                            f"{info.name!r} declares {role!r} both as a "
+                            f"role and as a {member.kind}",
+                            subject=info.name,
+                            location=_loc(model, group.line),
+                            hint="rename the role or the member",
+                        )
+        elif info.kind == INHERITANCE:
+            if info.transmitter is None:
+                yield make(
+                    "REP103",
+                    f"inher-rel-type {info.name!r} declares no transmitter",
+                    subject=info.name,
+                    location=_loc(model, info.line),
+                    hint="add `transmitter: object-of-type T;`",
+                )
+            for role in _IMPLICIT_INHERITANCE_ROLES:
+                member = info.members.get(role)
+                if member is not None:
+                    yield make(
+                        "REP103",
+                        f"inher-rel-type {info.name!r} declares a "
+                        f"{member.kind} named {role!r}, clashing with its "
+                        f"implicit {role} role",
+                        subject=info.name,
+                        location=_loc(model, member.line),
+                        hint="rename the member",
+                    )
+
+
+def rule_bad_inheriting(model: SchemaModel) -> Iterator[Diagnostic]:
+    """REP104: empty or internally duplicated ``inheriting:`` clauses."""
+    for info in model.types.values():
+        if info.kind != INHERITANCE:
+            continue
+        if not info.inheriting:
+            yield make(
+                "REP104",
+                f"inher-rel-type {info.name!r} has an empty inheriting "
+                f"clause (nothing would be permeable)",
+                subject=info.name,
+                location=_loc(model, info.line),
+                hint="list at least one transmitter member",
+            )
+        seen: Set[str] = set()
+        for member in info.inheriting:
+            if member in seen:
+                yield make(
+                    "REP104",
+                    f"inher-rel-type {info.name!r} lists {member!r} twice "
+                    f"in its inheriting clause",
+                    subject=info.name,
+                    location=_loc(model, info.line),
+                )
+            seen.add(member)
+
+
+def rule_duplicates(model: SchemaModel) -> Iterator[Diagnostic]:
+    """REP105: re-declared types, domains and members."""
+    for info in model.redeclared_types:
+        yield make(
+            "REP105",
+            f"type {info.name!r} is declared more than once",
+            subject=info.name,
+            location=_loc(model, info.line),
+        )
+    for name, line in model.conflicting_domains:
+        yield make(
+            "REP105",
+            f"domain {name!r} is re-declared with a different definition",
+            subject=name,
+            location=_loc(model, line),
+            hint="identical re-declarations are tolerated; conflicting "
+                 "ones are not",
+        )
+    for info in model.types.values():
+        for dup in info.duplicate_members:
+            original = info.members[dup.name]
+            if dup.kind == original.kind:
+                yield make(
+                    "REP105",
+                    f"{info.name!r} declares {dup.kind} {dup.name!r} twice; "
+                    f"the later declaration silently wins",
+                    subject=info.name,
+                    location=_loc(model, dup.line),
+                    severity=WARNING,
+                )
+            else:
+                yield make(
+                    "REP105",
+                    f"{info.name!r} declares {dup.name!r} both as "
+                    f"{original.kind} and as {dup.kind}",
+                    subject=info.name,
+                    location=_loc(model, dup.line),
+                    hint="rename one of the members",
+                )
+
+
+def rule_end_name(model: SchemaModel) -> Iterator[Diagnostic]:
+    """REP106: ``end X`` closing a declaration that is not named X.
+
+    The paper's own listings do this (``end AllOf_BoltType`` closes
+    AllOf_NutType); the parser tolerates it, so this is advice only.
+    """
+    for info in model.types.values():
+        if info.end_name and info.end_name != info.name:
+            yield make(
+                "REP106",
+                f"declaration of {info.name!r} is closed by "
+                f"`end {info.end_name}`",
+                subject=info.name,
+                location=_loc(model, info.line),
+            )
+
+
+# ---------------------------------------------------------------------------
+# REP2xx — resolution / permeability
+# ---------------------------------------------------------------------------
+
+
+def rule_permeability_hole(model: SchemaModel) -> Iterator[Diagnostic]:
+    """REP201: ``inheriting`` names a member its transmitter doesn't have.
+
+    Checked against the transmitter's *effective* members — it may itself
+    inherit the name (the paper's GateInterface passes on Pins inherited
+    from GateInterface_I).
+    """
+    for info in model.types.values():
+        if info.kind != INHERITANCE:
+            continue
+        transmitter = model.transmitter_of(info)
+        if transmitter is None:
+            continue
+        effective = model.effective_members(transmitter)
+        for member in info.inheriting:
+            if member not in effective:
+                yield make(
+                    "REP201",
+                    f"inher-rel-type {info.name!r} makes {member!r} "
+                    f"permeable but transmitter {transmitter.name!r} has "
+                    f"no such member",
+                    subject=info.name,
+                    location=_loc(model, info.line),
+                    hint=f"declare {member!r} on {transmitter.name!r} or "
+                         f"drop it from the inheriting clause",
+                )
+
+
+def rule_local_shadow(model: SchemaModel) -> Iterator[Diagnostic]:
+    """REP202: a type declares a member it would also inherit."""
+    for inheritor_name, _transmitter_name, rel_name in model.inheritance_edges():
+        inheritor = model.types.get(inheritor_name)
+        rel = model.types.get(rel_name)
+        if inheritor is None or rel is None:
+            continue
+        for member in rel.inheriting:
+            if member in inheritor.members:
+                yield make(
+                    "REP202",
+                    f"{inheritor.name!r} declares {member!r} locally and "
+                    f"also inherits it through {rel.name!r}",
+                    subject=inheritor.name,
+                    location=_loc(model, inheritor.members[member].line),
+                    hint="drop the local member or the inheritor-in "
+                         "declaration",
+                )
+
+
+def rule_diamonds(model: SchemaModel) -> Iterator[Diagnostic]:
+    """REP203/REP204: members permeable through several relationships.
+
+    Legal — resolution deterministically picks the first *bound* link in
+    declaration order — but value-dependent dispatch surprises people, and
+    a domain disagreement between the competing transmitters (REP204)
+    makes the surprise typed.
+    """
+    for info in model.types.values():
+        rels_for: Dict[str, List[TypeInfo]] = {}
+        for rel in _ordered_inheritance_rels(model, info):
+            for member in rel.inheriting:
+                if member in info.members:
+                    continue  # the shadow rule reports this
+                rels_for.setdefault(member, []).append(rel)
+        for member, rels in rels_for.items():
+            if len(rels) < 2:
+                continue
+            names = ", ".join(rel.name for rel in rels)
+            yield make(
+                "REP203",
+                f"member {member!r} of {info.name!r} is permeable through "
+                f"{len(rels)} relationships ({names}); the first bound "
+                f"link in declaration order wins, so which value appears "
+                f"depends on bind order",
+                subject=info.name,
+                location=_loc(model, info.line),
+                hint=f"restrict all but one inheriting clause, or accept "
+                     f"that {rels[0].name!r} wins when all are bound",
+            )
+            domains: List[Tuple[str, str]] = []
+            for rel in rels:
+                transmitter = model.transmitter_of(rel)
+                if transmitter is None:
+                    continue
+                found = model.effective_members(transmitter).get(member)
+                if found is not None and found.kind == "attribute" and found.domain:
+                    domains.append((transmitter.name, found.domain))
+            if len({domain for _, domain in domains}) > 1:
+                typed = ", ".join(f"{name}: {domain}" for name, domain in domains)
+                yield make(
+                    "REP204",
+                    f"the transmitters competing for {member!r} of "
+                    f"{info.name!r} type it differently ({typed})",
+                    subject=info.name,
+                    location=_loc(model, info.line),
+                    hint="align the attribute domains or rename one member",
+                )
+
+
+def rule_restriction_bypass(model: SchemaModel) -> Iterator[Diagnostic]:
+    """REP205: inheritor-in declared outside the inheritor restriction.
+
+    ``bind`` authorizes any type that *explicitly* declared inheritor-in,
+    even when it does not conform to the relationship's ``inheritor:``
+    restriction — the paper's §5 WeightCarrying_Structure pattern — so
+    this is a warning, not an error.
+    """
+    for info in model.types.values():
+        for ref in info.inheritor_in:
+            rel = model.resolve(ref.name)
+            if rel is None or rel.kind != INHERITANCE:
+                continue
+            if rel.inheritor_restriction is None:
+                continue
+            restricted = model.resolve(rel.inheritor_restriction.name)
+            if restricted is None:
+                continue
+            if not model.conforms(info, restricted):
+                yield make(
+                    "REP205",
+                    f"{info.name!r} declares inheritor-in {rel.name!r} but "
+                    f"does not conform to its inheritor restriction "
+                    f"{restricted.name!r}; the explicit declaration "
+                    f"authorizes binds anyway",
+                    subject=info.name,
+                    location=_loc(model, ref.line),
+                )
+
+
+def rule_constraints(model: SchemaModel) -> Iterator[Diagnostic]:
+    """REP206/REP207: constraint blocks that don't parse or reference
+    names invisible at their anchor type.
+
+    Unknown names don't crash evaluation — the evaluator falls back to
+    treating them as literal labels (the enum convention) — so REP206 is a
+    warning; a parse failure aborts the schema build, so REP207 is an
+    error.
+    """
+    for info in model.types.values():
+        if not info.constraint_sources:
+            continue
+        visible = _visible_names(model, info)
+        for source in info.constraint_sources:
+            try:
+                nodes = parse_constraints(source)
+            except ExprSyntaxError as exc:
+                yield make(
+                    "REP207",
+                    f"constraints of {info.name!r} do not parse: {exc}",
+                    subject=info.name,
+                    location=_loc(model, info.constraints_line),
+                )
+                continue
+            unknown: Set[str] = set()
+            for node in nodes:
+                unknown |= free_names(node) - visible
+            for name in sorted(unknown):
+                yield make(
+                    "REP206",
+                    f"constraint of {info.name!r} references {name!r}, "
+                    f"which is not a member, role or enum label visible "
+                    f"there; it will evaluate as the literal label "
+                    f"{name!r}",
+                    subject=info.name,
+                    location=_loc(model, info.constraints_line),
+                    hint="declare the member or use a quoted literal",
+                )
+
+
+# ---------------------------------------------------------------------------
+# REP3xx — composition
+# ---------------------------------------------------------------------------
+
+
+def rule_composite_recursion(model: SchemaModel) -> Iterator[Diagnostic]:
+    """REP301: a type reachable from itself through subclass containment.
+
+    Each concrete object graph is still finite (an object cannot contain
+    itself), so the engine never fails — but the type admits unbounded
+    nesting and every expansion/traversal cost is unbounded by the schema.
+    """
+    edges = [
+        (owner, element)
+        for owner, element, _member in model.composition_edges()
+    ]
+    for component in _cycles(edges):
+        anchor = model.types.get(component[0])
+        yield make(
+            "REP301",
+            f"composite recursion: {_cycle_text(component)}; the schema "
+            f"admits unboundedly deep part hierarchies",
+            subject=component[0],
+            location=_loc(model, anchor.line if anchor else None),
+        )
+
+
+def rule_subrel_where(model: SchemaModel) -> Iterator[Diagnostic]:
+    """REP302/REP207: subrel ``where`` clauses outside their binding scope.
+
+    The clause is evaluated per candidate relationship, bound under the
+    subrel's alias set (name, singular, relationship type name, type name
+    minus ``Type``), in the owner's member scope.
+    """
+    for info in model.types.values():
+        effective = set(model.effective_members(info))
+        for member in info.members.values():
+            if member.kind != "subrel" or not member.where_source:
+                continue
+            try:
+                node = parse_expression(member.where_source)
+            except ExprSyntaxError as exc:
+                yield make(
+                    "REP207",
+                    f"where clause of subrel {member.name!r} of "
+                    f"{info.name!r} does not parse: {exc}",
+                    subject=info.name,
+                    location=_loc(model, member.line),
+                )
+                continue
+            visible = (
+                _subrel_aliases(model, member)
+                | effective
+                | model.enum_labels
+                | _ALWAYS_VISIBLE
+            )
+            for name in sorted(free_names(node) - visible):
+                yield make(
+                    "REP302",
+                    f"where clause of subrel {member.name!r} of "
+                    f"{info.name!r} references {name!r}, which is neither "
+                    f"a binding alias nor a member of {info.name!r}",
+                    subject=info.name,
+                    location=_loc(model, member.line),
+                    hint=f"bindable aliases here: "
+                         f"{', '.join(sorted(_subrel_aliases(model, member)))}",
+                )
+
+
+def _subrel_aliases(model: SchemaModel, member: MemberDecl) -> Set[str]:
+    """Mirror of ``SubrelSpec.binding_names`` over the model."""
+    names = [member.name]
+    if member.name.endswith("s") and len(member.name) > 1:
+        names.append(member.name[:-1])
+    type_names = []
+    if member.target:
+        type_names.append(member.target)
+        resolved = model.resolve(member.target)
+        if resolved is not None and resolved.name != member.target:
+            type_names.append(resolved.name)
+    for type_name in type_names:
+        names.append(type_name)
+        if type_name.lower().endswith("type") and len(type_name) > 4:
+            names.append(type_name[:-4])
+    return set(names)
+
+
+# ---------------------------------------------------------------------------
+# REP4xx — transactions / locking
+# ---------------------------------------------------------------------------
+
+
+def rule_lock_order_cycle(model: SchemaModel) -> Iterator[Diagnostic]:
+    """REP401: mixed composition/inheritance lock-scope cycles.
+
+    Expansion locking walks owner → element; inherited-read locking walks
+    inheritor → transmitter.  A cycle using *both* edge kinds means two
+    transactions taking the two plans can acquire the same types in
+    opposite orders.  (Pure cycles are REP101/REP301 territory.)
+    """
+    adjacency: Dict[str, List[str]] = {}
+    kinds: Dict[Tuple[str, str], Set[str]] = {}
+    nodes: List[str] = []
+    seen: Set[str] = set()
+
+    def add(src: str, dst: str, kind: str) -> None:
+        adjacency.setdefault(src, []).append(dst)
+        kinds.setdefault((src, dst), set()).add(kind)
+        for node in (src, dst):
+            if node not in seen:
+                seen.add(node)
+                nodes.append(node)
+
+    for inheritor, transmitter, _rel in model.inheritance_edges():
+        add(inheritor, transmitter, "inherit")
+    for owner, element, _member in model.composition_edges():
+        add(owner, element, "compose")
+
+    for component in _sccs(nodes, adjacency):
+        members = set(component)
+        if len(component) == 1 and component[0] not in adjacency.get(
+            component[0], []
+        ):
+            continue
+        kinds_present: Set[str] = set()
+        for src in component:
+            for dst in adjacency.get(src, []):
+                if dst in members:
+                    kinds_present |= kinds.get((src, dst), set())
+        if kinds_present >= {"inherit", "compose"}:
+            yield make(
+                "REP401",
+                f"types {_cycle_text(component)} form a mixed lock-scope "
+                f"cycle: expansion plans lock owner -> element while "
+                f"inherited-read plans lock inheritor -> transmitter, so "
+                f"concurrent plans can deadlock",
+                subject=component[0],
+                location=_loc(
+                    model,
+                    model.types[component[0]].line
+                    if component[0] in model.types else None,
+                ),
+                hint="break the cycle or serialise expansion and "
+                     "inherited reads on these types",
+            )
+
+
+# ---------------------------------------------------------------------------
+# the model-rule registry
+# ---------------------------------------------------------------------------
+
+_MODEL_RULES = [
+    rule_unknown_reference,
+    rule_forward_reference,
+    rule_kind_mismatch,
+    rule_inheritance_cycle,
+    rule_relationship_arity,
+    rule_bad_inheriting,
+    rule_duplicates,
+    rule_end_name,
+    rule_permeability_hole,
+    rule_local_shadow,
+    rule_diamonds,
+    rule_restriction_bypass,
+    rule_constraints,
+    rule_composite_recursion,
+    rule_subrel_where,
+    rule_lock_order_cycle,
+]
+
+
+def run_model_rules(model: SchemaModel) -> List[Diagnostic]:
+    """Run every static rule over the model; unsorted, unfiltered."""
+    findings: List[Diagnostic] = []
+    for rule in _MODEL_RULES:
+        findings.extend(rule(model))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# database-backed rules
+# ---------------------------------------------------------------------------
+
+
+def diagnostics_from_violations(violations) -> List[Diagnostic]:
+    """Map runtime integrity violations to their REP0xx diagnostics."""
+    return [
+        make(violation.code, violation.detail, subject=str(violation.subject))
+        for violation in violations
+    ]
+
+
+def run_database_rules(db) -> List[Diagnostic]:
+    """REP0xx: the runtime integrity invariants, as diagnostics."""
+    from ..engine.integrity import check_integrity
+
+    return diagnostics_from_violations(check_integrity(db))
+
+
+def run_query_rules(db, queries: Sequence[str]) -> List[Diagnostic]:
+    """REP5xx: workload queries vs the live schema and index state."""
+    from ..core import resolution
+    from ..errors import QueryError
+    from ..query.parser import parse_query
+    from ..query.planner import extract_sargs, resolve_source
+
+    findings: List[Diagnostic] = []
+    for text in queries:
+        try:
+            spec = parse_query(text)
+        except (QueryError, ExprSyntaxError) as exc:
+            findings.append(make(
+                "REP502",
+                f"workload query does not parse: {exc}",
+                subject=text.strip(),
+            ))
+            continue
+        try:
+            source = resolve_source(db, spec.source_name)
+        except QueryError as exc:
+            findings.append(make(
+                "REP502",
+                str(exc),
+                subject=spec.source_name,
+                hint="create the class or declare the type before running "
+                     "this workload",
+            ))
+            continue
+        source_type = source.source_type()
+        visible: Set[str] = set(_ALWAYS_VISIBLE)
+        if source_type is not None:
+            visible |= set(resolution.plan_for(source_type).entries)
+        for domain in db.catalog.domains().values():
+            labels = getattr(domain, "labels", None)
+            if labels:
+                visible.update(labels)
+        referenced: Set[str] = set()
+        if spec.where is not None:
+            referenced |= free_names(spec.where)
+        if spec.order_by is not None:
+            referenced |= free_names(spec.order_by)
+        for name in sorted(referenced - visible):
+            findings.append(make(
+                "REP503",
+                f"query over {source.name!r} references {name!r}, which "
+                f"{spec.source_name!r} cannot resolve",
+                subject=spec.source_name,
+            ))
+        if spec.where is None:
+            continue
+        size = source.size()
+        for sarg in extract_sargs(spec.where, source.concrete_types()):
+            if size < db.indexes.min_index_source:
+                continue
+            if db.indexes.value_index(source.kind, source.name, sarg.attr) is None:
+                findings.append(make(
+                    "REP501",
+                    f"query filters {source.name}.{sarg.attr} over "
+                    f"{size} candidates with no value index; the first "
+                    f"indexed run pays a full build",
+                    subject=source.name,
+                    hint="run the query once with auto-indexing enabled, "
+                         "or pre-build the index",
+                ))
+    return findings

@@ -125,6 +125,8 @@ def _find_object(db: Database, selector: str):
 
 
 def cmd_check(args: argparse.Namespace) -> int:
+    from .analysis import diagnostics_from_violations, make, to_json
+
     db = Database("cli", observe=args.trace)
     notes = _load_catalog(db, args.schema)
     for note in notes:
@@ -132,26 +134,106 @@ def cmd_check(args: argparse.Namespace) -> int:
     if args.image:
         load(args.image, db)
         print(f"loaded {db.count()} objects from {args.image}")
-    violations = check_integrity(db)
-    for violation in violations:
-        print(f"integrity: {violation}", file=sys.stderr)
-    constraint_failures = 0
+    integrity = diagnostics_from_violations(check_integrity(db))
+    for diagnostic in integrity:
+        print(f"integrity: {diagnostic.render()}", file=sys.stderr)
+    constraints = []
     for obj in db.objects():
         if obj.parent is None and not obj.deleted:
             try:
                 obj.check_constraints(deep=True)
             except ConstraintViolation as exc:
-                constraint_failures += 1
+                constraints.append(make("REP006", str(exc), subject=repr(obj)))
                 print(f"constraint: {exc}", file=sys.stderr)
     if args.trace:
         _print_trace(db)
-    if violations or constraint_failures:
+    if getattr(args, "json", False):
+        print(json.dumps(to_json(integrity + constraints), indent=2))
+    if integrity or constraints:
         print(
-            f"FAILED: {len(violations)} integrity violation(s), "
-            f"{constraint_failures} constraint violation(s)"
+            f"FAILED: {len(integrity)} integrity violation(s), "
+            f"{len(constraints)} constraint violation(s)"
         )
         return 2
     print("OK: schema loads, image consistent, all constraints hold")
+    return 0
+
+
+def _split_codes(values: Optional[List[str]]) -> Optional[List[str]]:
+    if not values:
+        return None
+    codes = []
+    for value in values:
+        codes.extend(part.strip() for part in value.split(",") if part.strip())
+    return codes or None
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import (
+        analyze,
+        filter_diagnostics,
+        render_text,
+        run_query_rules,
+        severity_rank,
+        sort_diagnostics,
+        to_json,
+        to_sarif,
+        verify_against_runtime,
+    )
+
+    with open(args.schema) as f:
+        source = f.read()
+
+    if args.verify:
+        report = verify_against_runtime(
+            source, source_path=args.schema, strict=args.strict
+        )
+        print(report.render())
+        return 0 if report.ok else 2
+
+    select = _split_codes(args.select)
+    ignore = _split_codes(args.ignore)
+    queries = None
+    if args.queries:
+        with open(args.queries) as f:
+            queries = [
+                line.strip()
+                for line in f
+                if line.strip() and not line.strip().startswith("#")
+            ]
+
+    if args.image:
+        # Live-database lint: catalog model + REP0xx integrity (+ REP5xx
+        # with queries).  Source line numbers are not available here.
+        db = Database("cli")
+        load_schema(source, db.catalog)
+        load(args.image, db)
+        findings = analyze(db, queries=queries, select=select, ignore=ignore)
+    else:
+        findings = analyze(
+            source, source_path=args.schema, select=select, ignore=ignore
+        )
+        if queries:
+            db = Database("cli")
+            load_schema(source, db.catalog)
+            findings = sort_diagnostics(
+                findings
+                + filter_diagnostics(
+                    run_query_rules(db, queries), select, ignore
+                )
+            )
+
+    if args.format == "json":
+        print(json.dumps(to_json(findings), indent=2))
+    elif args.format == "sarif":
+        print(json.dumps(to_sarif(findings), indent=2))
+    else:
+        print(render_text(findings))
+
+    if args.fail_on != "never":
+        threshold = severity_rank(args.fail_on)
+        if any(severity_rank(d.severity) <= threshold for d in findings):
+            return 2
     return 0
 
 
@@ -286,7 +368,69 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument(
         "--trace", action="store_true", help="print a span tree to stderr"
     )
+    p_check.add_argument(
+        "--json",
+        action="store_true",
+        help="also emit the findings as repro.lint/1 JSON on stdout",
+    )
     p_check.set_defaults(func=cmd_check)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="static schema analysis: predict runtime failures before "
+        "execution (REP1xx-REP5xx), or lint a live image (adds REP0xx)",
+    )
+    p_lint.add_argument("schema", help="path to a .ddl schema file")
+    p_lint.add_argument(
+        "image",
+        nargs="?",
+        help="optional JSON image: lint the live database instead of the "
+        "source (adds the REP0xx integrity diagnostics)",
+    )
+    p_lint.add_argument(
+        "--select",
+        action="append",
+        metavar="CODES",
+        help="only report these codes/prefixes (comma-separated; a prefix "
+        "like REP2 selects all REP2xx)",
+    )
+    p_lint.add_argument(
+        "--ignore",
+        action="append",
+        metavar="CODES",
+        help="suppress these codes/prefixes (comma-separated)",
+    )
+    p_lint.add_argument(
+        "--format",
+        choices=["text", "json", "sarif"],
+        default="text",
+        help="output format (sarif emits SARIF 2.1.0)",
+    )
+    p_lint.add_argument(
+        "--fail-on",
+        choices=["error", "warning", "advice", "never"],
+        default="error",
+        help="exit 2 when a finding at or above this severity remains "
+        "(default: error)",
+    )
+    p_lint.add_argument(
+        "--queries",
+        help="file of workload queries (one per line, # comments) for the "
+        "REP5xx advisories",
+    )
+    p_lint.add_argument(
+        "--verify",
+        action="store_true",
+        help="differential mode: cross-check the static predictions "
+        "against the runtime oracles on a synthesized instance",
+    )
+    p_lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="with --verify: disable the REP100 safety net so only "
+        "specific rules may predict build failures",
+    )
+    p_lint.set_defaults(func=cmd_lint)
 
     p_stats = sub.add_parser("stats", help="statistics of a database image")
     p_stats.add_argument("schema", help="path to a .ddl schema file")

@@ -38,7 +38,7 @@ class AttributeSpec:
 
     __slots__ = ("name", "domain", "_default", "has_default")
 
-    def __init__(self, name: str, domain: Optional[Domain] = None, default: Any = _UNSET):
+    def __init__(self, name: str, domain: Optional[Domain] = None, default: Any = _UNSET) -> None:
         if not name.isidentifier():
             raise SchemaError(f"attribute name {name!r} is not a valid identifier")
         if name in RESERVED_MEMBER_NAMES:

@@ -56,7 +56,7 @@ class Constraint:
 class ExprConstraint(Constraint):
     """A constraint written in the paper's expression language."""
 
-    def __init__(self, node: Node, source: str = ""):
+    def __init__(self, node: Node, source: str = "") -> None:
         self.node = node
         self.source = source or node.unparse()
 
@@ -80,7 +80,7 @@ class ExprConstraint(Constraint):
 class CallableConstraint(Constraint):
     """A constraint implemented as a Python predicate ``fn(subject) -> bool``."""
 
-    def __init__(self, predicate: Callable[[Any], bool], source: str = ""):
+    def __init__(self, predicate: Callable[[Any], bool], source: str = "") -> None:
         self.predicate = predicate
         self.source = source or getattr(predicate, "__name__", "<predicate>")
 

@@ -24,7 +24,7 @@ mutated behind the transmitter's back.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
 
 from ..errors import DomainError
 
@@ -195,7 +195,7 @@ class EnumDomain(Domain):
     Values are stored as their label strings; labels are case-sensitive.
     """
 
-    def __init__(self, name: str, labels: Sequence[str]):
+    def __init__(self, name: str, labels: Sequence[str]) -> None:
         if not labels:
             raise DomainError(f"enum domain {name!r} needs at least one label")
         seen = set()
@@ -226,7 +226,7 @@ class RecordValue(Mapping[str, Any]):
 
     __slots__ = ("_fields",)
 
-    def __init__(self, fields: Mapping[str, Any]):
+    def __init__(self, fields: Mapping[str, Any]) -> None:
         object.__setattr__(self, "_fields", dict(fields))
 
     def __getitem__(self, key: str) -> Any:
@@ -241,7 +241,7 @@ class RecordValue(Mapping[str, Any]):
     def __setattr__(self, key: str, value: Any) -> None:
         raise AttributeError("RecordValue is immutable")
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[str]:
         return iter(self._fields)
 
     def __len__(self) -> int:
@@ -278,7 +278,7 @@ class RecordDomain(Domain):
     1
     """
 
-    def __init__(self, name: str, fields: Mapping[str, Domain]):
+    def __init__(self, name: str, fields: Mapping[str, Domain]) -> None:
         if not fields:
             raise DomainError(f"record domain {name!r} needs at least one field")
         self.name = name
@@ -315,7 +315,7 @@ class RecordDomain(Domain):
 class ListOf(Domain):
     """The ``list-of`` constructor: an ordered sequence of element values."""
 
-    def __init__(self, element: Domain):
+    def __init__(self, element: Domain) -> None:
         self.element = element
         self.name = f"list-of {element.describe()}"
 
@@ -335,7 +335,7 @@ class SetOf(Domain):
     guarantees (records normalise to :class:`RecordValue`).
     """
 
-    def __init__(self, element: Domain):
+    def __init__(self, element: Domain) -> None:
         self.element = element
         self.name = f"set-of {element.describe()}"
 
@@ -356,7 +356,7 @@ class MatrixOf(Domain):
     the empty matrix is permitted.
     """
 
-    def __init__(self, element: Domain):
+    def __init__(self, element: Domain) -> None:
         self.element = element
         self.name = f"matrix-of {element.describe()}"
 

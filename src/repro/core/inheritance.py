@@ -21,7 +21,7 @@ can be used"), which :mod:`repro.consistency` builds on.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..errors import SchemaError
 from .objtype import ObjectType, TypeBase
@@ -154,7 +154,7 @@ class InheritanceRelationshipType(RelationshipType):
         """True when ``member`` flows through this relationship (§4.2)."""
         return member in self.inheriting
 
-    def permeable_attributes(self):
+    def permeable_attributes(self) -> Dict[str, Any]:
         """Attribute specs of the transmitter type that flow through."""
         return {
             name: spec
@@ -162,7 +162,7 @@ class InheritanceRelationshipType(RelationshipType):
             if name in self.inheriting
         }
 
-    def permeable_subclasses(self):
+    def permeable_subclasses(self) -> Dict[str, Any]:
         """Subclass specs of the transmitter type that flow through."""
         return {
             name: spec

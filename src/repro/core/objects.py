@@ -555,7 +555,7 @@ class LocalSubclass:
     transmitter's.
     """
 
-    def __init__(self, owner: DBObject, spec: SubclassSpec):
+    def __init__(self, owner: DBObject, spec: SubclassSpec) -> None:
         self.owner = owner
         self.spec = spec
         self._members: Dict[Surrogate, DBObject] = {}
@@ -648,7 +648,7 @@ class LocalRelClass:
     at creation time and by :meth:`DBObject.check_constraints`.
     """
 
-    def __init__(self, owner: DBObject, spec: SubrelSpec):
+    def __init__(self, owner: DBObject, spec: SubrelSpec) -> None:
         self.owner = owner
         self.spec = spec
         self._members: Dict[Surrogate, "RelationshipObject"] = {}

@@ -36,7 +36,7 @@ class SubclassSpec:
 
     __slots__ = ("name", "element_type")
 
-    def __init__(self, name: str, element_type: "ObjectType"):
+    def __init__(self, name: str, element_type: "ObjectType") -> None:
         if not name.isidentifier():
             raise SchemaError(f"subclass name {name!r} is not a valid identifier")
         if name in RESERVED_MEMBER_NAMES:

@@ -50,7 +50,7 @@ class SurrogateGenerator:
     True
     """
 
-    def __init__(self, space: str = "db", start: int = 1):
+    def __init__(self, space: str = "db", start: int = 1) -> None:
         if start < 0:
             raise ValueError("surrogate counter must start non-negative")
         self._space = space

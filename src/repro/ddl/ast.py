@@ -68,6 +68,8 @@ class AttributeDecl:
 
     names: Tuple[str, ...]
     domain: DomainAst
+    #: 1-based source line of the group, when parsed from DDL text.
+    line: Optional[int] = None
 
 
 @dataclass
@@ -94,6 +96,7 @@ class SubclassDecl:
     name: str
     type_name: Optional[str] = None
     body: Optional[AnonymousTypeBody] = None
+    line: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -104,6 +107,7 @@ class SubrelDecl:
     name: str
     rel_type_name: str
     where_source: str = ""
+    line: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -117,6 +121,7 @@ class ParticipantDecl:
     names: Tuple[str, ...]
     type_name: Optional[str]
     many: bool = False
+    line: Optional[int] = None
 
 
 # -- top-level declarations --------------------------------------------------------
@@ -127,6 +132,7 @@ class DomainDecl:
 
     name: str
     domain: DomainAst
+    line: Optional[int] = None
 
 
 @dataclass
@@ -138,6 +144,7 @@ class ObjTypeDecl:
     subrels: List[SubrelDecl] = field(default_factory=list)
     constraints: str = ""
     end_name: str = ""
+    line: Optional[int] = None
 
 
 @dataclass
@@ -149,6 +156,7 @@ class RelTypeDecl:
     subrels: List[SubrelDecl] = field(default_factory=list)
     constraints: str = ""
     end_name: str = ""
+    line: Optional[int] = None
 
 
 @dataclass
@@ -161,6 +169,7 @@ class InherRelTypeDecl:
     subclasses: List[SubclassDecl] = field(default_factory=list)
     constraints: str = ""
     end_name: str = ""
+    line: Optional[int] = None
 
 
 Declaration = Union[DomainDecl, ObjTypeDecl, RelTypeDecl, InherRelTypeDecl]

@@ -46,7 +46,7 @@ __all__ = ["SchemaBuilder", "load_schema"]
 class SchemaBuilder:
     """Materialises a parsed :class:`~repro.ddl.ast.Schema` into a catalog."""
 
-    def __init__(self, catalog: Catalog):
+    def __init__(self, catalog: Catalog) -> None:
         self.catalog = catalog
         self.notes: List[str] = []
         #: (inheritance type, inheritor type name) pairs whose inheritor

@@ -67,7 +67,7 @@ _CONSTRUCTORS = ("set-of", "list-of", "matrix-of")
 
 
 class _DdlParser:
-    def __init__(self, source: str):
+    def __init__(self, source: str) -> None:
         self.source = strip_comments(source)
         self.tokens = tokenize_ddl(self.source)
         self.pos = 0
@@ -145,12 +145,13 @@ class _DdlParser:
     # -- domains -------------------------------------------------------------------
 
     def domain_decl(self) -> DomainDecl:
+        line = self.current.line
         self.expect_keyword("domain")
         name = self.expect_ident().text
         self.expect_op("=")
         domain = self.domain_expr(allow_end_domain=True)
         self.skip_semicolons()
-        return DomainDecl(name, domain)
+        return DomainDecl(name, domain, line=line)
 
     def domain_expr(self, allow_end_domain: bool = False) -> DomainAst:
         token = self.current
@@ -227,12 +228,13 @@ class _DdlParser:
                 break
             # Attribute group: names ':' domain — require the colon to avoid
             # swallowing a following declaration's name.
+            line = self.current.line
             names = [self.expect_ident().text]
             while self.current.is_op(","):
                 self.advance()
                 names.append(self.expect_ident().text)
             self.expect_op(":")
-            groups.append(AttributeDecl(tuple(names), self.domain_expr()))
+            groups.append(AttributeDecl(tuple(names), self.domain_expr(), line=line))
         return groups
 
     def subclass_section(self, owner: str) -> List[SubclassDecl]:
@@ -242,13 +244,14 @@ class _DdlParser:
             self.skip_semicolons()
             if self.current.kind != "IDENT":
                 break
+            line = self.current.line
             name = self.expect_ident().text
             self.expect_op(":")
             if self.current.kind == "IDENT":
-                entries.append(SubclassDecl(name, type_name=self.advance().text))
+                entries.append(SubclassDecl(name, type_name=self.advance().text, line=line))
                 continue
             if self.current.is_keyword("inheritor-in", "inheritor", "attributes"):
-                entries.append(SubclassDecl(name, body=self.anonymous_body()))
+                entries.append(SubclassDecl(name, body=self.anonymous_body(), line=line))
                 continue
             raise self.error(f"expected a type name or inline body for subclass {name!r}")
         return entries
@@ -284,6 +287,7 @@ class _DdlParser:
             self.skip_semicolons()
             if self.current.kind != "IDENT":
                 break
+            line = self.current.line
             name = self.expect_ident().text
             self.expect_op(":")
             rel_type_name = self.expect_ident().text
@@ -291,7 +295,7 @@ class _DdlParser:
             if self.current.is_keyword("where"):
                 self.advance()
                 where_source = self.raw_block()
-            entries.append(SubrelDecl(name, rel_type_name, where_source))
+            entries.append(SubrelDecl(name, rel_type_name, where_source, line=line))
         return entries
 
     def raw_block(self, multi: bool = False) -> str:
@@ -350,11 +354,12 @@ class _DdlParser:
     # -- obj-type -----------------------------------------------------------------
 
     def obj_type_decl(self) -> ObjTypeDecl:
+        line = self.current.line
         self.expect_keyword("obj-type")
         name = self.expect_ident().text
         if self.current.is_op("=", ":"):
             self.advance()
-        decl = ObjTypeDecl(name)
+        decl = ObjTypeDecl(name, line=line)
         while True:
             self.skip_semicolons()
             token = self.current
@@ -395,6 +400,7 @@ class _DdlParser:
     # -- rel-type -----------------------------------------------------------------
 
     def participant_group(self) -> ParticipantDecl:
+        line = self.current.line
         names = [self.expect_ident().text]
         while self.current.is_op(","):
             self.advance()
@@ -412,7 +418,7 @@ class _DdlParser:
             type_name = None
         else:
             raise self.error("expected 'object-of-type <name>' or 'object'")
-        return ParticipantDecl(tuple(names), type_name, many)
+        return ParticipantDecl(tuple(names), type_name, many, line=line)
 
     def relates_section(self) -> List[ParticipantDecl]:
         self.expect_op(":")
@@ -425,11 +431,12 @@ class _DdlParser:
         return groups
 
     def rel_type_decl(self) -> RelTypeDecl:
+        line = self.current.line
         self.expect_keyword("rel-type")
         name = self.expect_ident().text
         if self.current.is_op("=", ":"):
             self.advance()
-        decl = RelTypeDecl(name)
+        decl = RelTypeDecl(name, line=line)
         while True:
             self.skip_semicolons()
             token = self.current
@@ -462,12 +469,13 @@ class _DdlParser:
     # -- inher-rel-type ---------------------------------------------------------------
 
     def inher_rel_type_decl(self, keyword_consumed: bool = False) -> InherRelTypeDecl:
+        line = self.current.line
         if not keyword_consumed:
             self.expect_keyword("inher-rel-type")
         name = self.expect_ident().text
         if self.current.is_op("=", ":"):
             self.advance()
-        decl = InherRelTypeDecl(name)
+        decl = InherRelTypeDecl(name, line=line)
         while True:
             self.skip_semicolons()
             token = self.current

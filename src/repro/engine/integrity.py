@@ -27,7 +27,17 @@ from ..core.objects import DBObject, RelationshipObject
 from ..core.surrogate import Surrogate
 from .database import Database
 
-__all__ = ["Violation", "check_integrity", "assert_integrity"]
+__all__ = ["Violation", "VIOLATION_CODES", "check_integrity", "assert_integrity"]
+
+#: Stable diagnostic code per violation kind — the REP0xx namespace of the
+#: rule catalog (repro.analysis.diagnostics registers the metadata).
+VIOLATION_CODES = {
+    "registry": "REP001",
+    "containment": "REP002",
+    "relationship": "REP003",
+    "inheritance": "REP004",
+    "class": "REP005",
+}
 
 
 @dataclass(frozen=True)
@@ -37,6 +47,11 @@ class Violation:
     kind: str
     subject: Any
     detail: str
+
+    @property
+    def code(self) -> str:
+        """The stable REP0xx diagnostic code for this kind of violation."""
+        return VIOLATION_CODES.get(self.kind, "REP001")
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return f"[{self.kind}] {self.subject!r}: {self.detail}"

@@ -18,9 +18,7 @@ from repro.core import (
     ListOf,
     MatrixOf,
     ObjectType,
-    RecordDomain,
     RelationshipType,
-    SetOf,
 )
 
 

@@ -30,7 +30,6 @@ from repro.versions import (
     StateGuard,
     VersionGraph,
     Workspace,
-    derive_version,
 )
 from repro.workloads import (
     gate_database,

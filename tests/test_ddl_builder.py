@@ -3,11 +3,8 @@
 import pytest
 
 from repro.core.domains import EnumDomain, SetOf
-from repro.core.inheritance import InheritanceRelationshipType
 from repro.ddl import load_schema
 from repro.ddl.paper import (
-    GATE_SCHEMA,
-    STEEL_SCHEMA,
     load_gate_schema,
     load_steel_schema,
 )

@@ -7,7 +7,6 @@ from repro.ddl.ast import (
     DomainRef,
     EnumLiteral,
     InherRelTypeDecl,
-    ObjTypeDecl,
     RecordLiteral,
     RelTypeDecl,
 )

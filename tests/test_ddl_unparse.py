@@ -4,7 +4,6 @@ Unparsing a catalog and re-loading the text must reproduce the same schema
 structure — this pins parser, builder and unparser against each other.
 """
 
-import pytest
 
 from repro.core.inheritance import InheritanceRelationshipType
 from repro.core.reltype import RelationshipType

@@ -15,7 +15,6 @@ from repro.core.domains import (
     ListOf,
     MatrixOf,
     RecordDomain,
-    RecordValue,
     SetOf,
     SurrogateDomain,
 )

@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.core import INTEGER, ObjectType
-from repro.engine import Database, walk_tree
+from repro.engine import walk_tree
 from repro.engine.query import (
     inheritors_of,
     relationships_of,

@@ -1,9 +1,8 @@
 """Unparse coverage for every expression node kind (repro.expr.ast)."""
 
-import pytest
 
 from repro.expr import EvalContext, parse_constraints, parse_expression
-from repro.expr.ast import Aggregate, Name, Path
+from repro.expr.ast import Name, Path
 
 
 class Obj:

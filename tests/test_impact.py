@@ -8,7 +8,7 @@ from repro.consistency import (
     change_impact,
     extension_impact,
 )
-from repro.core import INTEGER, InheritanceRelationshipType, ObjectType
+from repro.core import INTEGER, ObjectType
 from repro.workloads import gate_database, make_implementation, make_interface
 
 

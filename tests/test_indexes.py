@@ -150,6 +150,8 @@ def test_planner_matches_full_scan_oracle(actions):
 
     for step in actions:
         kind = step[0]
+        if kind not in ("create_base", "create_sub") and pick(0) is None:
+            continue  # every object deleted; mutation steps have no target
         try:
             if kind == "create_base":
                 objs.append(

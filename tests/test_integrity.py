@@ -3,7 +3,6 @@
 
 import pytest
 
-from repro.composition import add_component
 from repro.engine.integrity import assert_integrity, check_integrity
 from repro.workloads import (
     gate_database,

@@ -4,13 +4,11 @@ import pytest
 
 from repro.core import (
     INTEGER,
-    STRING,
     AttributeSpec,
     InheritanceRelationshipType,
     ObjectType,
     RelationshipType,
     SubclassSpec,
-    SubrelSpec,
 )
 from repro.errors import SchemaError
 

@@ -278,7 +278,6 @@ class TestInstrumentedPaths:
     def test_lock_metrics(self):
         from repro.errors import LockConflictError
         from repro.txn import TransactionManager
-        from repro.txn.locks import LockMode
 
         db = observed_gate_database()
         iface = make_interface(db)

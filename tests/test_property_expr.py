@@ -5,7 +5,7 @@ deterministic, arithmetic agrees with Python, and the quantifier semantics
 match an explicit cartesian-product check.
 """
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.expr import EvalContext, parse_expression, truthy

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import QueryError
-from repro.query import parse_query, run_query
+from repro.query import parse_query
 from tests.conftest import add_pins, build_gate_database
 
 

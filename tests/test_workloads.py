@@ -1,6 +1,5 @@
 """Tests for the synthetic workload generators (repro.workloads)."""
 
-import pytest
 
 from repro.engine.integrity import assert_integrity
 from repro.workloads import (
