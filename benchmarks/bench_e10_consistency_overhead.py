@@ -74,3 +74,32 @@ class TestWorklistScan:
             iface.set_attribute("Length", value + 1)
         worklist = benchmark(tracker.inheritors_needing_adaptation)
         assert len(worklist) == n_impls
+
+
+def register(suite):
+    """repro-bench adapter (see :mod:`repro.obs.bench`)."""
+    fanout = 10 if suite.quick else 50
+
+    @suite.case(f"bare_update[{fanout}]")
+    def bare_case():
+        db = gate_database("e10")
+        iface = populated(db, fanout)
+        counter = iter(range(10**9))
+        return lambda: iface.set_attribute("Length", next(counter) % 500)
+
+    @suite.case(f"update_with_tracker[{fanout}]")
+    def tracker_case():
+        db = gate_database("e10")
+        AdaptationTracker(db)
+        iface = populated(db, fanout)
+        counter = iter(range(10**9))
+        return lambda: iface.set_attribute("Length", next(counter) % 500)
+
+    @suite.case(f"worklist_scan[{fanout}]")
+    def worklist_case():
+        db = gate_database("e10")
+        tracker = AdaptationTracker(db)
+        iface = populated(db, fanout)
+        for value in range(5):
+            iface.set_attribute("Length", value + 1)
+        return tracker.inheritors_needing_adaptation

@@ -58,3 +58,23 @@ class TestPersistenceScale:
         iface = impl.inheritance_links[0].transmitter
         iface.set_attribute("Length", 499)
         assert impl["Length"] == 499
+
+
+def register(suite):
+    """repro-bench adapter (see :mod:`repro.obs.bench`)."""
+    n_interfaces = 10 if suite.quick else 50
+
+    @suite.case(f"dump_image[{n_interfaces}]")
+    def dump_case():
+        db = library_db(n_interfaces)
+        return lambda: dump_image(db)
+
+    @suite.case(f"load_image[{n_interfaces}]")
+    def load_case():
+        image = dump_image(library_db(n_interfaces))
+
+        def run():
+            # The fresh target's schema load is part of the round-trip.
+            load_image(image, fresh_target())
+
+        return run

@@ -50,3 +50,33 @@ class TestQueryScale:
             "select distinct Length, Length * Width from Cells "
             "where count(Pins) = 3 and Length > 10 order by Width desc limit 7",
         )
+
+
+def register(suite):
+    """repro-bench adapter (see :mod:`repro.obs.bench`)."""
+    n = 100 if suite.quick else 400
+
+    @suite.case(f"attribute_filter[{n}]")
+    def filter_case():
+        db = library(n)
+        return lambda: db.query("select Length from Cells where Length > 50")
+
+    @suite.case(f"aggregate_filter[{n}]")
+    def aggregate_case():
+        db = library(n)
+        return lambda: db.query("select * from Cells where count(Pins) = 3")
+
+    @suite.case(f"order_by_limit[{n}]")
+    def order_case():
+        db = library(n)
+        return lambda: db.query(
+            "select Length from Cells order by Length desc limit 5"
+        )
+
+    @suite.case("parse")
+    def parse_case():
+        text = (
+            "select distinct Length, Length * Width from Cells "
+            "where count(Pins) = 3 and Length > 10 order by Width desc limit 7"
+        )
+        return lambda: parse_query(text)

@@ -71,3 +71,32 @@ class TestReadOverhead:
         benchmark(impl.get_member, "Length")
         assert db.obs.metrics.value("reads.inherited") > 0
         obs_hook.collect(db, label="inherited_read_observe_on")
+
+
+def register(suite):
+    """repro-bench adapter (see :mod:`repro.obs.bench`)."""
+    fanout = 10
+
+    @suite.case(f"update_observe_off[{fanout}]")
+    def dark_case():
+        db, iface = _setup(fanout, observe=False)
+        counter = iter(range(10**9))
+        return lambda: iface.set_attribute("Length", 10 + next(counter) % 50)
+
+    @suite.case(f"update_observe_on[{fanout}]")
+    def observed_case():
+        db, iface = _setup(fanout, observe=True)
+        counter = iter(range(10**9))
+        return lambda: iface.set_attribute("Length", 10 + next(counter) % 50)
+
+    @suite.case("inherited_read_observe_off")
+    def read_dark_case():
+        db, iface = _setup(1, observe=False)
+        impl = db.objects_of_type("GateImplementation")[0]
+        return lambda: impl.get_member("Length")
+
+    @suite.case("inherited_read_observe_on")
+    def read_observed_case():
+        db, iface = _setup(1, observe=True)
+        impl = db.objects_of_type("GateImplementation")[0]
+        return lambda: impl.get_member("Length")

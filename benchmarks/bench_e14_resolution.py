@@ -162,3 +162,54 @@ class TestPlanCompilation:
         obj = new_object(inheritor_type)
         assert len(obj.visible_member_names()) == 33
         benchmark(obj.visible_member_names)
+
+
+def register(suite):
+    """repro-bench adapter (see :mod:`repro.obs.bench`)."""
+    depths = [8] if suite.quick else [8, 16]
+    for depth in depths:
+
+        @suite.case(f"plan_read[{depth}]")
+        def plan_case(depth=depth):
+            _top, bottom = build_chain(depth, "P")
+            assert bottom.get_member("V") == 42
+            return lambda: bottom.get_member("V")
+
+        @suite.case(f"plan_walk_cold[{depth}]")
+        def cold_case(depth=depth):
+            _top, bottom = build_chain(depth, "W")
+            memo = bottom._member_memo
+
+            def cold_read():
+                memo.clear()
+                return bottom.get_member("V")
+
+            assert cold_read() == 42
+            return cold_read
+
+        @suite.case(f"interpretive_read[{depth}]")
+        def interpretive_case(depth=depth):
+            _top, bottom = build_chain(depth, "N")
+            assert resolution.naive_get_member(bottom, "V") == 42
+            return lambda: resolution.naive_get_member(bottom, "V")
+
+    @suite.case("epoch_cache_warm_read[8]")
+    def cache_case():
+        from repro.composition import InheritedValueCache
+        from repro.workloads import gate_database
+
+        db = gate_database("e14-cache")
+        cache = InheritedValueCache(db)
+        base_type = ObjectType("C0", attributes={"V": INTEGER})
+        current_type = base_type
+        current = new_object(base_type, database=db, V=42)
+        for level in range(1, 9):
+            rel = InheritanceRelationshipType(f"CR{level}", current_type, ["V"])
+            next_type = ObjectType(f"C{level}")
+            next_type.declare_inheritor_in(rel)
+            current = new_object(
+                next_type, database=db, transmitter=current, via=rel
+            )
+            current_type = next_type
+        assert cache.get(current, "V") == 42
+        return lambda: cache.get(current, "V")

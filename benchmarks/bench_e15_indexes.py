@@ -117,3 +117,46 @@ class TestMaintenance:
 
         benchmark(run)
         obj.set_attribute("Weight", 0)
+
+
+def register(suite):
+    """repro-bench adapter (see :mod:`repro.obs.bench`)."""
+    sizes = [2_000] if suite.quick else SIZES
+    for n in sizes:
+
+        @suite.case(f"eq_indexed[{n}]")
+        def eq_indexed_case(n=n):
+            db = parts_db(n)
+            query = "select * from Parts where Category = 'cat_3'"
+            return lambda: run_with(db, query, True)
+
+        @suite.case(f"eq_full_scan[{n}]")
+        def eq_scan_case(n=n):
+            db = parts_db(n)
+            query = "select * from Parts where Category = 'cat_3'"
+            return lambda: run_with(db, query, False)
+
+        @suite.case(f"range_topk_indexed[{n}]")
+        def range_indexed_case(n=n):
+            db = parts_db(n)
+            query = (
+                f"select Serial from Parts where Serial >= {n - n // 100} "
+                "order by Serial desc limit 10"
+            )
+            return lambda: run_with(db, query, True)
+
+        @suite.case(f"range_topk_full_scan[{n}]")
+        def range_scan_case(n=n):
+            db = parts_db(n)
+            query = (
+                f"select Serial from Parts where Serial >= {n - n // 100} "
+                "order by Serial desc limit 10"
+            )
+            return lambda: run_with(db, query, False)
+
+        @suite.case(f"update_with_indexes[{n}]")
+        def update_case(n=n):
+            db = parts_db(n)
+            obj = db.class_("Parts").members()[0]
+            counter = iter(range(10**9))
+            return lambda: obj.set_attribute("Weight", next(counter))

@@ -103,3 +103,33 @@ class TestProvenanceQueries:
         cones = benchmark(audit.cones, "attribute_updated")
         assert cones and all(cone.breadth == 10 for cone in cones if cone.breadth)
         obs_hook.collect(db, label="cone_reconstruction")
+
+
+def register(suite):
+    """repro-bench adapter (see :mod:`repro.obs.bench`)."""
+    fanout = 10
+
+    @suite.case(f"update_dark[{fanout}]")
+    def dark_case():
+        db, iface = _setup(fanout, observe=False)
+        counter = iter(range(10**9))
+        return lambda: iface.set_attribute("Length", 10 + next(counter) % 50)
+
+    @suite.case(f"update_audit_off[{fanout}]")
+    def audit_off_case():
+        db, iface = _setup(fanout, observe=True, audit=False)
+        counter = iter(range(10**9))
+        return lambda: iface.set_attribute("Length", 10 + next(counter) % 50)
+
+    @suite.case(f"update_audit_on[{fanout}]")
+    def audit_on_case():
+        db, iface = _setup(fanout, observe=True, audit=True)
+        counter = iter(range(10**9))
+        return lambda: iface.set_attribute("Length", 10 + next(counter) % 50)
+
+    @suite.case("explain_value")
+    def explain_case():
+        db, iface = _setup(1, observe=False)
+        impl = db.objects_of_type("GateImplementation")[0]
+        assert db.explain_value(impl, "Length").hops == 1
+        return lambda: db.explain_value(impl, "Length")

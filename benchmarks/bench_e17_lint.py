@@ -88,3 +88,27 @@ class TestDifferential:
             lambda: verify_against_runtime(GATE_SCHEMA, strict=True)
         )
         assert report.ok and report.built
+
+
+def register(suite):
+    """repro-bench adapter (see :mod:`repro.obs.bench`)."""
+
+    @suite.case("lint_gate")
+    def gate_case():
+        return lambda: analyze(GATE_SCHEMA)
+
+    @suite.case("lint_gate_catalog")
+    def catalog_case():
+        catalog = load_gate_schema()
+        return lambda: run_model_rules(model_from_catalog(catalog))
+
+    @suite.case("lint_scaling[32]")
+    def scaling_case():
+        source = _chained_schema(32)
+        return lambda: analyze(source)
+
+    if not suite.quick:
+
+        @suite.case("verify_differential_gate")
+        def verify_case():
+            return lambda: verify_against_runtime(GATE_SCHEMA, strict=True)

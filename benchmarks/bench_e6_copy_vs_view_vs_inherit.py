@@ -123,3 +123,43 @@ class TestVisibility:
         # Inheritance exposes exactly the permeable subset plus own data.
         assert set(rel.inheriting) == {"Length", "Width", "Pins"}
         assert "GateLocation" in slot.visible_member_names()
+
+
+def register(suite):
+    """repro-bench adapter (see :mod:`repro.obs.bench`)."""
+    n_pins = 3 if suite.quick else 30
+
+    @suite.case(f"copy_composition[{n_pins}]")
+    def copy_case():
+        db = db_with_view_holder()
+        component = make_interface(db, n_in=n_pins - 1, n_out=1)
+        holder = db.create_object("Holder")
+        return lambda: copy_component(holder, "CopyParts", component)
+
+    @suite.case(f"view_composition[{n_pins}]")
+    def view_case():
+        db = db_with_view_holder()
+        component = make_interface(db, n_in=n_pins - 1, n_out=1)
+        holder = db.create_object("Holder")
+        return lambda: view_component(holder, "ViewParts", component)
+
+    @suite.case(f"inheritance_composition[{n_pins}]")
+    def inherit_case():
+        db = gate_database("e6-bench")
+        component = make_interface(db, n_in=n_pins - 1, n_out=1)
+        composite = make_implementation(db, make_interface(db))
+        return lambda: add_component(
+            composite, "SubGates", component, GateLocation={"X": 0, "Y": 0}
+        )
+
+    @suite.case("inherit_read_fresh")
+    def read_case():
+        db = gate_database("e6-bench")
+        component = make_interface(db, n_in=29, n_out=1)
+        composite = make_implementation(db, make_interface(db))
+        slot = add_component(
+            composite, "SubGates", component, GateLocation={"X": 0, "Y": 0}
+        )
+        component.set_attribute("Length", 999)
+        assert slot.get_member("Length") == 999
+        return lambda: slot.get_member("Length")

@@ -153,3 +153,72 @@ class TestHierarchyDepth:
             current_type = next_type
         counter = iter(range(10**9))
         benchmark(lambda: top.set_attribute("V", next(counter)))
+
+
+def _chain(db, depth, cache=None):
+    base_type = ObjectType("L0", attributes={"V": INTEGER})
+    current_type = base_type
+    top = new_object(base_type, database=db, V=42)
+    current = top
+    for level in range(1, depth + 1):
+        rel = InheritanceRelationshipType(f"R{level}", current_type, ["V"])
+        next_type = ObjectType(f"L{level}")
+        next_type.declare_inheritor_in(rel)
+        current = new_object(
+            next_type, database=db, transmitter=current, via=rel
+        )
+        current_type = next_type
+    return top, current
+
+
+def register(suite):
+    """repro-bench adapter (see :mod:`repro.obs.bench`)."""
+    width = 16 if suite.quick else 64
+    depth = 4 if suite.quick else 8
+
+    @suite.case(f"narrow_read[{width}]")
+    def narrow_case():
+        transmitter_type = wide_transmitter_type(width)
+        rel = InheritanceRelationshipType("Narrow", transmitter_type, ["A0"])
+        inheritor_type = ObjectType("N")
+        inheritor_type.declare_inheritor_in(rel)
+        transmitter = new_object(
+            transmitter_type, **{f"A{i}": i for i in range(width)}
+        )
+        inheritor = new_object(inheritor_type, transmitter=transmitter)
+        assert inheritor["A0"] == 0
+        return lambda: inheritor.get_member("A0")
+
+    @suite.case(f"allof_read[{width}]")
+    def allof_case():
+        transmitter_type = wide_transmitter_type(width)
+        rel = InheritanceRelationshipType(
+            "AllOf", transmitter_type, [f"A{i}" for i in range(width)]
+        )
+        inheritor_type = ObjectType("N")
+        inheritor_type.declare_inheritor_in(rel)
+        transmitter = new_object(
+            transmitter_type, **{f"A{i}": i for i in range(width)}
+        )
+        inheritor = new_object(inheritor_type, transmitter=transmitter)
+        return lambda: inheritor.get_member(f"A{width - 1}")
+
+    @suite.case(f"chain_read[{depth}]")
+    def chain_case():
+        from repro.workloads import gate_database
+
+        db = gate_database("e7-bench")
+        _top, bottom = _chain(db, depth)
+        assert bottom["V"] == 42
+        return lambda: bottom.get_member("V")
+
+    @suite.case(f"chain_read_cached[{depth}]")
+    def cached_case():
+        from repro.composition import InheritedValueCache
+        from repro.workloads import gate_database
+
+        db = gate_database("e7-cache")
+        cache = InheritedValueCache(db)
+        _top, bottom = _chain(db, depth)
+        assert cache.get(bottom, "V") == 42
+        return lambda: cache.get(bottom, "V")

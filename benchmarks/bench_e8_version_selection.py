@@ -113,3 +113,33 @@ class TestGraphOperations:
             base = last
         history = benchmark(graph.history_of, last)
         assert len(history) == n_versions
+
+
+def register(suite):
+    """repro-bench adapter (see :mod:`repro.obs.bench`)."""
+    n_versions = 10 if suite.quick else 100
+
+    @suite.case(f"re_resolve_default[{n_versions}]")
+    def re_resolve_case():
+        db = gate_database("e8-bench")
+        _, graph, versions = graph_with_versions(db, n_versions)
+        graph.set_default(versions[-1])
+        rel = db.catalog.inheritance_type("AllOf_GateInterface")
+        generic = GenericRelationship(fresh_slot(db), rel, graph)
+        generic.resolve(DefaultSelection())
+        policy = DefaultSelection()
+        return lambda: generic.re_resolve(policy)
+
+    @suite.case(f"history_walk[{n_versions}]")
+    def history_case():
+        db = gate_database("e8-bench")
+        anchor = make_interface(db)
+        graph = VersionGraph(design_object=anchor)
+        base = None
+        last = None
+        for i in range(n_versions):
+            last = make_interface(db, length=i + 1)
+            graph.add_version(last, derived_from=base)
+            base = last
+        assert len(graph.history_of(last)) == n_versions
+        return lambda: graph.history_of(last)

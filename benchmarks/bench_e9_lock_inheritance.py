@@ -115,3 +115,44 @@ class TestConflictDetection:
             writer.abort()
 
         benchmark(probe)
+
+
+def register(suite):
+    """repro-bench adapter (see :mod:`repro.obs.bench`)."""
+    depth = 2 if suite.quick else 3
+
+    @suite.case("locked_read_plain")
+    def plain_case():
+        db, tm, impl, own_if, component_if, slot = composite_db()
+        plain = db.create_object("PinType", InOut="IN")
+
+        def run():
+            txn = tm.begin()
+            txn.read(plain)
+            txn.commit()
+
+        return run
+
+    @suite.case("locked_read_inherited")
+    def inherited_case():
+        db, tm, impl, own_if, component_if, slot = composite_db()
+
+        def run():
+            txn = tm.begin()
+            txn.read(slot)
+            txn.commit()
+
+        return run
+
+    @suite.case(f"lock_expansion[{depth}]")
+    def expansion_case():
+        db = gate_database("e9-bench")
+        tm = TransactionManager(db)
+        top, _ = generate_component_tree(db, depth=depth, fanout=2)
+
+        def run():
+            txn = tm.begin()
+            txn.lock_expansion(top)
+            txn.commit()
+
+        return run

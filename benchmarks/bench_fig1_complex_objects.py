@@ -67,3 +67,25 @@ class TestFig1Deletion:
             gate.delete()
 
         benchmark.pedantic(run, setup=setup, rounds=10)
+
+
+def register(suite):
+    """repro-bench adapter (see :mod:`repro.obs.bench`)."""
+    n_subgates = 10 if suite.quick else 50
+
+    @suite.case(f"build_gate_chain[{n_subgates}]")
+    def build_case():
+        db = gate_database("fig1-bench")
+        return lambda: build_gate(db, n_subgates)
+
+    @suite.case(f"walk_tree[{n_subgates}]")
+    def walk_case():
+        db = gate_database("fig1-bench")
+        gate = build_gate(db, n_subgates)
+        return lambda: sum(1 for _ in walk_tree(gate))
+
+    @suite.case(f"deep_constraint_check[{n_subgates}]")
+    def check_case():
+        db = gate_database("fig1-bench")
+        gate = build_gate(db, n_subgates)
+        return lambda: gate.check_constraints(True)

@@ -83,3 +83,46 @@ class TestStalenessDetection:
 
         assert scan() == n_impls
         benchmark(scan)
+
+
+def register(suite):
+    """repro-bench adapter (see :mod:`repro.obs.bench`)."""
+    fanout = 10 if suite.quick else 100
+
+    @suite.case(f"update_with_inheritance[{fanout}]")
+    def inherit_case():
+        db = gate_database("fig2-bench")
+        iface = make_interface(db)
+        for _ in range(fanout):
+            make_implementation(db, iface)
+        counter = iter(range(10**9))
+        return lambda: iface.set_attribute("Length", 10 + next(counter) % 50)
+
+    @suite.case(f"update_with_copies[{fanout}]")
+    def copy_case():
+        db = gate_database("fig2-bench")
+        iface = make_interface(db)
+        copies = [clone_object(iface) for _ in range(fanout)]
+        counter = iter(range(10**9))
+
+        def update_and_refresh():
+            value = 10 + next(counter) % 50
+            iface.set_attribute("Length", value)
+            for copy in copies:
+                copy._attrs["Length"] = value
+
+        return update_and_refresh
+
+    @suite.case("local_read")
+    def local_case():
+        db = gate_database("fig2-bench")
+        iface = make_interface(db)
+        return lambda: iface.get_member("Length")
+
+    @suite.case("inherited_read")
+    def inherited_case():
+        db = gate_database("fig2-bench")
+        iface = make_interface(db)
+        impl = make_implementation(db, iface)
+        assert impl.get_member("Length") == iface.get_member("Length")
+        return lambda: impl.get_member("Length")

@@ -84,3 +84,41 @@ class TestCompositeInspection:
             return sum(slot["Length"] for slot in composite["SubGates"])
 
         benchmark(read_all)
+
+
+def register(suite):
+    """repro-bench adapter (see :mod:`repro.obs.bench`)."""
+    n_components = 5 if suite.quick else 25
+
+    @suite.case("add_component[30pins]")
+    def add_case():
+        db = gate_database("fig3-bench")
+        component_if = make_interface(db, n_in=29, n_out=1)
+        composite = fresh_composite(db)
+        return lambda: add_component(
+            composite, "SubGates", component_if, GateLocation={"X": 0, "Y": 0}
+        )
+
+    @suite.case(f"components_of[{n_components}]")
+    def inspect_case():
+        db = gate_database("fig3-bench")
+        composite = fresh_composite(db)
+        component_if = make_interface(db)
+        for i in range(n_components):
+            add_component(
+                composite, "SubGates", component_if,
+                GateLocation={"X": i, "Y": 0},
+            )
+        return lambda: components_of(composite)
+
+    @suite.case(f"read_all_component_data[{n_components}]")
+    def read_case():
+        db = gate_database("fig3-bench")
+        composite = fresh_composite(db)
+        component_if = make_interface(db)
+        for i in range(n_components):
+            add_component(
+                composite, "SubGates", component_if,
+                GateLocation={"X": i, "Y": 0},
+            )
+        return lambda: sum(slot["Length"] for slot in composite["SubGates"])

@@ -42,3 +42,20 @@ class TestConfigurationTraversal:
         db = gate_database("fig4-bench")
         top, _ = generate_component_tree(db, depth=depth, fanout=2)
         assert benchmark(provides_all_components, top)
+
+
+def register(suite):
+    """repro-bench adapter (see :mod:`repro.obs.bench`)."""
+    depth = 2 if suite.quick else 3
+
+    @suite.case(f"expand_full[{depth}]")
+    def expand_case():
+        db = gate_database("fig4-bench")
+        top, _ = generate_component_tree(db, depth=depth, fanout=2)
+        return lambda: expand(top)
+
+    @suite.case(f"configuration_tree[{depth}]")
+    def config_case():
+        db = gate_database("fig4-bench")
+        top, _ = generate_component_tree(db, depth=depth, fanout=2)
+        return lambda: configuration(top)

@@ -63,3 +63,22 @@ class TestSteelConstraintChecking:
             screwing.delete()
 
         benchmark(create_and_discard)
+
+
+def register(suite):
+    """repro-bench adapter (see :mod:`repro.obs.bench`)."""
+    n_screwings = 4 if suite.quick else 16
+
+    @suite.case(f"deep_structure_check[{n_screwings}]")
+    def deep_case():
+        db = steel_database("fig5-bench")
+        structure, _ = generate_structure(
+            db, n_girders=4, n_plates=4, n_screwings=n_screwings
+        )
+        return lambda: structure.check_constraints(True)
+
+    @suite.case("single_screwing_check")
+    def single_case():
+        db = steel_database("fig5-bench")
+        _, screwings = generate_structure(db, 1, 1, 1)
+        return lambda: screwings[0].check_constraints()

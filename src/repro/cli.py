@@ -11,6 +11,9 @@
     python -m repro docs FILE.ddl          # Markdown schema documentation
     python -m repro query FILE.ddl IMAGE "select * from X where ..."
     python -m repro paper [gate|steel]     # print the paper's schemas (normalised)
+    python -m repro bench [--quick] [--compare]   # unified benchmark harness
+    python -m repro profile [--hz N] COMMAND ...  # sampling profiler
+    python -m repro slowlog FILE.ddl IMAGE        # slow-operation log
 
 ``check`` and ``query`` accept ``--trace`` to run with tracing enabled and
 print the span tree — with propagation-cone membership under it — to
@@ -328,6 +331,142 @@ def cmd_explain_value(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .obs import bench as bench_harness
+
+    def progress(line: str) -> None:
+        print(line, file=sys.stderr)
+
+    suites, unadapted = bench_harness.discover_suites(
+        args.dir, quick=args.quick, only=args.only or None
+    )
+    for stem in unadapted:
+        print(f"note: {stem} has no register() adapter, skipped", file=sys.stderr)
+    if args.match:
+        for suite in suites:
+            suite.cases = [c for c in suite.cases if args.match in c.name]
+        suites = [s for s in suites if s.cases]
+    if args.list:
+        for suite in suites:
+            for case in suite.cases:
+                print(f"{suite.group}::{case.name}")
+        return 0
+    if not suites:
+        print("error: no benchmark suites matched", file=sys.stderr)
+        return 1
+
+    mode = "quick" if args.quick else "full"
+    runner = bench_harness.Runner(repeats=args.repeats, quick=args.quick)
+    results = runner.run(suites, progress=progress)
+
+    exit_code = 0
+    if args.compare is not None:
+        prior_path = (
+            args.compare
+            if args.compare is not True
+            else bench_harness.latest_snapshot(args.root)
+        )
+        if prior_path is None:
+            print(
+                f"compare: no prior BENCH_*.json under {args.root!r}; "
+                "this run seeds the trajectory",
+                file=sys.stderr,
+            )
+        else:
+            prior = bench_harness.load_snapshot(prior_path)
+            threshold = args.threshold / 100.0
+            current = bench_harness.make_snapshot(results, seq=0, mode=mode)
+            comparison = bench_harness.compare_snapshots(
+                prior, current, threshold=threshold
+            )
+            if not comparison.ok and args.confirm:
+                # Repeat-to-confirm: re-measure only the suspects before
+                # failing, so scheduler noise does not trip the gate.
+                results = bench_harness.confirm_regressions(
+                    comparison, suites, runner, results,
+                    rounds=args.confirm, progress=progress,
+                )
+                current = bench_harness.make_snapshot(results, seq=0, mode=mode)
+                comparison = bench_harness.compare_snapshots(
+                    prior, current, threshold=threshold
+                )
+            prior_commit = prior.get("fingerprint", {}).get("commit")
+            print(f"prior: {prior_path} (commit {prior_commit or 'unknown'})")
+            print(comparison.render())
+            if not comparison.ok and not args.warn_only:
+                exit_code = 2
+
+    if not args.no_emit:
+        seq, path = bench_harness.next_snapshot_path(args.root)
+        snap = bench_harness.make_snapshot(results, seq=seq, mode=mode, runner=runner)
+        bench_harness.write_snapshot(path, snap)
+        print(f"wrote {path} ({len(snap['results'])} case(s), {mode} mode)")
+        if args.json:
+            print(json.dumps(snap, indent=2, sort_keys=True))
+    elif args.json:
+        snap = bench_harness.make_snapshot(results, seq=0, mode=mode, runner=runner)
+        print(json.dumps(snap, indent=2, sort_keys=True))
+    return exit_code
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from .obs.profiler import SamplingProfiler
+
+    command = list(args.profiled)
+    if command and command[0] == "--":
+        command = command[1:]
+    if not command:
+        print("error: repro profile needs a command to run", file=sys.stderr)
+        return 1
+    if command[0] == "profile":
+        print("error: refusing to profile the profiler", file=sys.stderr)
+        return 1
+    profiled = build_parser().parse_args(command)
+    profiler = SamplingProfiler(interval=1.0 / args.hz)
+    profiler.start()
+    try:
+        code = profiled.func(profiled)
+    finally:
+        profiler.stop()
+    print(profiler.render_top(limit=args.top), file=sys.stderr)
+    collapsed = "\n".join(profiler.collapsed())
+    if args.collapsed:
+        with open(args.collapsed, "w") as f:
+            f.write(collapsed + "\n")
+        print(f"wrote collapsed stacks to {args.collapsed}", file=sys.stderr)
+    else:
+        print(collapsed)
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(profiler.as_dict(), f, indent=1)
+        print(f"wrote {args.out} (repro.profile/1)", file=sys.stderr)
+    return code
+
+
+def cmd_slowlog(args: argparse.Namespace) -> int:
+    from .obs.report import exercise
+    from .obs.slowlog import DEFAULT_BUDGETS
+    from .query import run_query
+
+    budgets = None
+    if args.budget_ms is not None:
+        budgets = {kind: args.budget_ms / 1000.0 for kind in DEFAULT_BUDGETS}
+    db = Database("cli")
+    db.enable_observability(tracing=False, slow_budgets=budgets)
+    _load_catalog(db, args.schema)
+    load(args.image, db)
+    if args.query:
+        run_query(db, args.query)
+    elif not args.no_exercise:
+        exercise(db)
+    slowlog = db.obs.slowlog
+    if args.json:
+        print(json.dumps(slowlog.snapshot(), indent=2))
+    else:
+        print(slowlog.render())
+    return 0
+
+
 def cmd_docs(args: argparse.Namespace) -> int:
     from .ddl.docgen import document_catalog
 
@@ -531,6 +670,147 @@ def build_parser() -> argparse.ArgumentParser:
         "--raw", action="store_true", help="print the verbatim listing text"
     )
     p_paper.set_defaults(func=cmd_paper)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run the benchmark suites through the unified harness and "
+        "emit a BENCH_<seq>.json (repro.bench/1) snapshot",
+    )
+    p_bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI regime: fewer repeats, shorter calibration, smaller scales",
+    )
+    p_bench.add_argument(
+        "--compare",
+        nargs="?",
+        const=True,
+        default=None,
+        metavar="SNAPSHOT",
+        help="compare against a prior snapshot (default: the latest "
+        "BENCH_*.json under --root) and exit 2 on confirmed regressions",
+    )
+    p_bench.add_argument(
+        "--threshold",
+        type=float,
+        default=25.0,
+        metavar="PCT",
+        help="relative regression threshold in percent (default: 25)",
+    )
+    p_bench.add_argument(
+        "--confirm",
+        type=int,
+        default=2,
+        metavar="N",
+        help="re-run suspected regressions up to N more times before "
+        "failing (0 disables; default: 2)",
+    )
+    p_bench.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report regressions but always exit 0 (advisory CI gate)",
+    )
+    p_bench.add_argument(
+        "--only",
+        action="append",
+        metavar="TOKEN",
+        help="only suites whose module stem contains TOKEN (repeatable; "
+        "e.g. --only e14)",
+    )
+    p_bench.add_argument(
+        "--match",
+        metavar="SUBSTR",
+        help="only cases whose name contains SUBSTR",
+    )
+    p_bench.add_argument(
+        "--dir",
+        default="benchmarks",
+        help="directory of bench_*.py suites (default: benchmarks)",
+    )
+    p_bench.add_argument(
+        "--root",
+        default=".",
+        help="where BENCH_*.json snapshots live (default: repo root '.')",
+    )
+    p_bench.add_argument(
+        "--repeats", type=int, default=5, help="measurements per case (default: 5)"
+    )
+    p_bench.add_argument(
+        "--no-emit",
+        action="store_true",
+        help="measure and compare without writing a new snapshot",
+    )
+    p_bench.add_argument(
+        "--list", action="store_true", help="list discovered cases and exit"
+    )
+    p_bench.add_argument(
+        "--json",
+        action="store_true",
+        help="also print the snapshot document on stdout",
+    )
+    p_bench.set_defaults(func=cmd_bench)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="run another repro command under the sampling wall-clock "
+        "profiler; collapsed stacks on stdout, hot-frame table on stderr",
+    )
+    p_profile.add_argument(
+        "--hz",
+        type=float,
+        default=1000.0,
+        help="sampling frequency (default: 1000)",
+    )
+    p_profile.add_argument(
+        "--top",
+        type=int,
+        default=15,
+        help="rows in the hot-frame table (default: 15)",
+    )
+    p_profile.add_argument(
+        "--collapsed",
+        metavar="PATH",
+        help="write collapsed stacks here instead of stdout",
+    )
+    p_profile.add_argument(
+        "--out",
+        metavar="PATH",
+        help="also write the full repro.profile/1 JSON document here",
+    )
+    p_profile.add_argument(
+        "profiled",
+        nargs=argparse.REMAINDER,
+        metavar="COMMAND ...",
+        help="the repro command line to profile, e.g. "
+        "bench --quick --only e14",
+    )
+    p_profile.set_defaults(func=cmd_profile)
+
+    p_slowlog = sub.add_parser(
+        "slowlog",
+        help="load an image with the slow-operation log attached, run a "
+        "query or the standard workout, and dump what blew its budget",
+    )
+    p_slowlog.add_argument("schema", help="path to a .ddl schema file")
+    p_slowlog.add_argument("image", help="JSON image to load")
+    p_slowlog.add_argument(
+        "--query", help="run this query instead of the standard workout"
+    )
+    p_slowlog.add_argument(
+        "--budget-ms",
+        type=float,
+        metavar="MS",
+        help="override every per-kind latency budget with MS milliseconds",
+    )
+    p_slowlog.add_argument(
+        "--no-exercise",
+        action="store_true",
+        help="skip the workout; report only what loading produced",
+    )
+    p_slowlog.add_argument(
+        "--json", action="store_true", help="emit the repro.slowlog/1 JSON"
+    )
+    p_slowlog.set_defaults(func=cmd_slowlog)
     return parser
 
 

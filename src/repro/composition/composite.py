@@ -14,6 +14,7 @@ the lock manager's expansion locking also traverses.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..core import resolution as _resolution
@@ -193,6 +194,8 @@ def expand(composite: DBObject, depth: Optional[int] = None) -> Expansion:
     if obs is None:
         tree = visit(composite, depth)
     else:
+        slowlog = obs.slowlog
+        started = perf_counter() if slowlog is not None else 0.0
         with obs.tracer.span(
             "composition.expand", root=str(composite.surrogate), depth=depth
         ) as span:
@@ -210,4 +213,14 @@ def expand(composite: DBObject, depth: Optional[int] = None) -> Expansion:
             span.set(objects=len(objects))
         obs.metrics.counter("composition.expansions").inc()
         obs.metrics.histogram("composition.expansion_size").observe(len(objects))
+        if slowlog is not None:
+            duration = perf_counter() - started
+            if slowlog.exceeded("expansion", duration):
+                slowlog.note(
+                    "expansion",
+                    duration,
+                    subject=composite,
+                    depth=depth,
+                    objects=len(objects),
+                )
     return Expansion(composite, tree, objects)

@@ -91,7 +91,10 @@ class Database:
         Options are forwarded to the bundle: ``tracing`` (default True),
         ``ring_size``, ``track_propagation``, ``audit`` (default True:
         keep the causal audit log), ``audit_ring``, ``audit_sink`` (a
-        JSONL path or sink object).
+        JSONL path or sink object), ``slowlog`` (default True: keep the
+        slow-operation log), ``slow_budgets`` (per-kind latency budgets
+        in seconds, e.g. ``{"query": 0.05}`` — see
+        :data:`repro.obs.slowlog.DEFAULT_BUDGETS`), ``slowlog_ring``.
         """
         if self.obs is None:
             from ..obs import Observability

@@ -18,6 +18,15 @@ instrumentation in the hot code:
   (bounded ring + optional JSONL sink) with per-mutation
   :class:`~repro.obs.provenance.PropagationCone` reconstruction and
   :func:`~repro.obs.provenance.explain_value` value provenance;
+* :class:`~repro.obs.slowlog.SlowLog` — over-budget operations (query,
+  propagation, expansion, txn) with their EXPLAIN plan / cone summary,
+  riding the audit stream;
+* :class:`~repro.obs.profiler.SamplingProfiler` — background-thread
+  wall-clock frame sampler with collapsed-stack / flamegraph output and
+  per-span attribution (``repro profile``);
+* :mod:`~repro.obs.bench` — the unified benchmark harness behind
+  ``repro bench``: one timing discipline for every suite, versioned
+  ``BENCH_*.json`` snapshots, noise-aware regression gating;
 * :class:`~repro.obs.instruments.Observability` — the per-database bundle,
   attached via ``Database(observe=True)`` and reachable as ``db.obs``.
 
@@ -27,16 +36,32 @@ See ``docs/observability.md`` for usage and the JSON schemas
 :mod:`repro.cli`.
 """
 
+from .bench import (
+    BENCH_SCHEMA_VERSION,
+    BenchCase,
+    BenchSuite,
+    CaseResult,
+    Comparison,
+    Runner,
+    compare_snapshots,
+    discover_suites,
+    load_snapshot,
+    make_snapshot,
+    write_snapshot,
+)
 from .export import AUDIT_SCHEMA_VERSION, JsonlSink, audit_snapshot, render_audit_table
 from .instruments import Observability, maybe_span, observability_of
 from .metrics import (
     DEFAULT_BUCKETS,
     FANOUT_BUCKETS,
+    RESERVOIR_SIZE,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
 )
+from .profiler import PROFILE_SCHEMA_VERSION, SamplingProfiler
+from .slowlog import SLOWLOG_SCHEMA_VERSION, SlowLog, SlowOp
 from .provenance import (
     AuditLog,
     AuditRecord,
@@ -77,4 +102,21 @@ __all__ = [
     "JsonlSink",
     "audit_snapshot",
     "render_audit_table",
+    "BENCH_SCHEMA_VERSION",
+    "BenchCase",
+    "BenchSuite",
+    "CaseResult",
+    "Comparison",
+    "Runner",
+    "compare_snapshots",
+    "discover_suites",
+    "load_snapshot",
+    "make_snapshot",
+    "write_snapshot",
+    "PROFILE_SCHEMA_VERSION",
+    "SamplingProfiler",
+    "RESERVOIR_SIZE",
+    "SLOWLOG_SCHEMA_VERSION",
+    "SlowLog",
+    "SlowOp",
 ]

@@ -1,0 +1,636 @@
+"""The unified benchmark harness behind ``repro bench``.
+
+The repo's perf claims live in ``benchmarks/bench_e*.py`` /
+``bench_fig*.py``; until this module they were driven only through
+pytest-benchmark and their trajectory existed as prose in EXPERIMENTS.md.
+This harness closes the loop from measurement to regression detection:
+
+* **One timing discipline for every suite.**  Each benchmark module
+  exposes ``register(suite)`` (see :class:`BenchSuite`); the
+  :class:`Runner` applies the same warmup, timeit-style inner-loop
+  calibration, repetition and GC pinning to every case, so all suites
+  report identical statistics (min/median/mean/stdev over per-iteration
+  seconds).  The headline metric is **min** — the least noise-contaminated
+  estimator of the true cost of a deterministic operation.
+
+* **Versioned in-repo snapshots.**  :func:`write_snapshot` emits
+  ``BENCH_<seq>.json`` (``repro.bench/1`` schema) at the repo root with a
+  machine/commit fingerprint, so the perf trajectory is tracked by git
+  next to the code that moved it.
+
+* **Noise-aware regression gating.**  :func:`compare_snapshots` reports
+  per-case ratios against a prior snapshot with a relative threshold and
+  an absolute noise floor; the CLI confirms suspected regressions by
+  re-running just those cases (min-of-more) before failing, so transient
+  scheduler noise does not page anyone.
+
+Everything is stdlib; pytest-benchmark remains the interactive driver for
+the same suites (both call the same module-level builders).
+"""
+
+from __future__ import annotations
+
+import gc
+import importlib
+import json
+import math
+import os
+import re
+import statistics
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchCase",
+    "BenchSuite",
+    "CaseResult",
+    "Runner",
+    "Comparison",
+    "Delta",
+    "discover_suites",
+    "fingerprint",
+    "make_snapshot",
+    "validate_snapshot",
+    "snapshot_paths",
+    "next_snapshot_path",
+    "load_snapshot",
+    "write_snapshot",
+    "latest_snapshot",
+    "compare_snapshots",
+]
+
+BENCH_SCHEMA_VERSION = "repro.bench/1"
+
+#: BENCH_0001.json, BENCH_0002.json, ... at the repository root.
+_SNAPSHOT_RE = re.compile(r"^BENCH_(\d{4,})\.json$")
+
+
+# ---------------------------------------------------------------------------
+# cases and suites
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BenchCase:
+    """One registered benchmark: a lazy ``make`` returning the timed thunk.
+
+    ``make`` runs the case's setup (build the database, warm the caches)
+    and returns the zero-argument callable the runner times — setup cost
+    never pollutes the measurement, and skipped cases (quick mode) never
+    pay their setup.  ``number`` pins the inner-loop count; ``None`` lets
+    the runner calibrate it.
+    """
+
+    name: str
+    group: str
+    make: Callable[[], Callable[[], Any]]
+    number: Optional[int] = None
+
+
+class BenchSuite:
+    """The registration surface handed to each module's ``register()``.
+
+    ``suite.quick`` tells the adapter which scale regime is being run, so
+    heavy parameterisations (50k-object libraries, fan-out 100) can drop
+    to CI-friendly sizes without forking the benchmark logic::
+
+        def register(suite):
+            sizes = [2_000] if suite.quick else [10_000, 50_000]
+            for n in sizes:
+                @suite.case(f"eq_indexed[{n}]")
+                def make(n=n):
+                    db = parts_db(n)
+                    return lambda: run_with(db, QUERY, True)
+    """
+
+    def __init__(self, group: str, quick: bool = False):
+        self.group = group
+        self.quick = quick
+        self.cases: List[BenchCase] = []
+
+    def case(
+        self,
+        name: str,
+        make: Optional[Callable[[], Callable[[], Any]]] = None,
+        *,
+        number: Optional[int] = None,
+    ):
+        """Register a case; usable directly or as a decorator on ``make``."""
+        if make is not None:
+            self.cases.append(BenchCase(name, self.group, make, number))
+            return make
+
+        def decorate(fn: Callable[[], Callable[[], Any]]):
+            self.cases.append(BenchCase(name, self.group, fn, number))
+            return fn
+
+        return decorate
+
+    def __len__(self) -> int:
+        return len(self.cases)
+
+    def __repr__(self) -> str:
+        mode = "quick" if self.quick else "full"
+        return f"<BenchSuite {self.group} {mode} cases={len(self.cases)}>"
+
+
+def discover_suites(
+    bench_dir: str,
+    quick: bool = False,
+    only: Optional[Iterable[str]] = None,
+) -> Tuple[List[BenchSuite], List[str]]:
+    """Import every ``bench_*.py`` under ``bench_dir`` and collect suites.
+
+    Modules are imported as ``benchmarks.<stem>`` (the directory's parent
+    goes on ``sys.path``), so their own ``from benchmarks import obs_hook``
+    imports keep working.  ``only`` filters module stems by substring
+    (``e14`` matches ``bench_e14_resolution``).  Returns the registered
+    suites plus the stems of modules that expose no ``register``.
+    """
+    directory = Path(bench_dir).resolve()
+    if not directory.is_dir():
+        raise FileNotFoundError(f"benchmark directory {bench_dir!r} not found")
+    parent = str(directory.parent)
+    if parent not in sys.path:
+        sys.path.insert(0, parent)
+    suites: List[BenchSuite] = []
+    unadapted: List[str] = []
+    for path in sorted(directory.glob("bench_*.py")):
+        stem = path.stem
+        if only and not any(token in stem for token in only):
+            continue
+        module = importlib.import_module(f"{directory.name}.{stem}")
+        register = getattr(module, "register", None)
+        if register is None:
+            unadapted.append(stem)
+            continue
+        suite = BenchSuite(stem, quick=quick)
+        register(suite)
+        suites.append(suite)
+    return suites, unadapted
+
+
+# ---------------------------------------------------------------------------
+# the runner
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CaseResult:
+    """Statistics of one timed case (per-iteration seconds)."""
+
+    name: str
+    group: str
+    number: int
+    repeats: int
+    warmup: int
+    min: float
+    median: float
+    mean: float
+    stdev: float
+    times: List[float] = field(default_factory=list, repr=False)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "group": self.group,
+            "number": self.number,
+            "repeats": self.repeats,
+            "warmup": self.warmup,
+            "min": self.min,
+            "median": self.median,
+            "mean": self.mean,
+            "stdev": self.stdev,
+        }
+
+    def merge_best(self, other: "CaseResult") -> "CaseResult":
+        """Fold a confirmation re-run in, keeping the best (lowest) stats.
+
+        Used by repeat-to-confirm: the true cost of a deterministic
+        operation is bounded above by every observation, so the min over
+        both runs is the better estimate and median/mean keep whichever
+        run was less contaminated.
+        """
+        return CaseResult(
+            name=self.name,
+            group=self.group,
+            number=self.number,
+            repeats=self.repeats + other.repeats,
+            warmup=self.warmup,
+            min=min(self.min, other.min),
+            median=min(self.median, other.median),
+            mean=min(self.mean, other.mean),
+            stdev=min(self.stdev, other.stdev),
+            times=self.times + other.times,
+        )
+
+
+class Runner:
+    """Warmup + calibration + repetition + GC pinning for every case.
+
+    The discipline, per case: run ``make()`` (setup, untimed), call the
+    thunk ``warmup`` times, calibrate an inner-loop ``number`` so one
+    measurement spans at least ``min_time`` (timeit's doubling strategy —
+    keeps the clock-read overhead amortised for nanosecond-scale thunks),
+    then take ``repeats`` measurements of ``number`` iterations each with
+    the GC frozen (collected once up front, disabled while timing).
+    """
+
+    def __init__(
+        self,
+        repeats: int = 5,
+        warmup: int = 2,
+        min_time: float = 0.02,
+        quick: bool = False,
+        max_number: int = 10_000_000,
+    ):
+        if quick:
+            repeats = min(repeats, 3)
+            min_time = min(min_time, 0.005)
+        self.repeats = repeats
+        self.warmup = warmup
+        self.min_time = min_time
+        self.quick = quick
+        self.max_number = max_number
+
+    def calibrate(self, fn: Callable[[], Any]) -> int:
+        number = 1
+        while number < self.max_number:
+            start = time.perf_counter()
+            for _ in range(number):
+                fn()
+            if time.perf_counter() - start >= self.min_time:
+                break
+            number *= 2
+        return number
+
+    def run_case(self, case: BenchCase) -> CaseResult:
+        fn = case.make()
+        for _ in range(self.warmup):
+            fn()
+        number = case.number or self.calibrate(fn)
+        times: List[float] = []
+        gc.collect()
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            perf_counter = time.perf_counter
+            for _ in range(self.repeats):
+                start = perf_counter()
+                for _ in range(number):
+                    fn()
+                times.append((perf_counter() - start) / number)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        return CaseResult(
+            name=case.name,
+            group=case.group,
+            number=number,
+            repeats=self.repeats,
+            warmup=self.warmup,
+            min=min(times),
+            median=statistics.median(times),
+            mean=statistics.fmean(times),
+            stdev=statistics.stdev(times) if len(times) > 1 else 0.0,
+            times=times,
+        )
+
+    def run(
+        self,
+        suites: Iterable[BenchSuite],
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> List[CaseResult]:
+        results: List[CaseResult] = []
+        for suite in suites:
+            for case in suite.cases:
+                result = self.run_case(case)
+                results.append(result)
+                if progress is not None:
+                    progress(
+                        f"{result.group}::{result.name}  "
+                        f"min={_format_time(result.min)}  "
+                        f"median={_format_time(result.median)}  "
+                        f"(n={result.number} x{result.repeats})"
+                    )
+        return results
+
+
+def _format_time(seconds: float) -> str:
+    if seconds < 1e-6:
+        return f"{seconds * 1e9:.0f}ns"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds:.3f}s"
+
+
+# ---------------------------------------------------------------------------
+# fingerprint and snapshots
+# ---------------------------------------------------------------------------
+
+
+def _git(*args: str) -> Optional[str]:
+    try:
+        out = subprocess.run(
+            ["git", *args],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):  # pragma: no cover
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip()
+
+
+def fingerprint() -> Dict[str, Any]:
+    """Machine + interpreter + commit identity of one benchmark run.
+
+    Comparisons across different fingerprints are still allowed (the CLI
+    only warns): the trajectory spans machines, and the threshold +
+    confirmation discipline is what filters environment noise.
+    """
+    import platform
+
+    commit = _git("rev-parse", "HEAD")
+    dirty = None
+    if commit is not None:
+        status = _git("status", "--porcelain")
+        dirty = bool(status) if status is not None else None
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "commit": commit,
+        "dirty": dirty,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+
+
+def make_snapshot(
+    results: Iterable[CaseResult],
+    seq: int,
+    mode: str = "full",
+    runner: Optional[Runner] = None,
+) -> Dict[str, Any]:
+    """The ``repro.bench/1`` document for one run."""
+    config: Dict[str, Any] = {"mode": mode}
+    if runner is not None:
+        config.update(
+            repeats=runner.repeats, warmup=runner.warmup, min_time=runner.min_time
+        )
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "seq": seq,
+        "fingerprint": fingerprint(),
+        "config": config,
+        "results": [result.as_dict() for result in sorted(
+            results, key=lambda r: (r.group, r.name)
+        )],
+    }
+
+
+def validate_snapshot(snap: Any) -> List[str]:
+    """Schema errors of a would-be ``repro.bench/1`` document ([] = valid)."""
+    errors: List[str] = []
+    if not isinstance(snap, dict):
+        return [f"snapshot must be an object, got {type(snap).__name__}"]
+    if snap.get("schema") != BENCH_SCHEMA_VERSION:
+        errors.append(
+            f"schema must be {BENCH_SCHEMA_VERSION!r}, got {snap.get('schema')!r}"
+        )
+    if not isinstance(snap.get("seq"), int) or isinstance(snap.get("seq"), bool):
+        errors.append("seq must be an integer")
+    if not isinstance(snap.get("fingerprint"), dict):
+        errors.append("fingerprint must be an object")
+    results = snap.get("results")
+    if not isinstance(results, list):
+        errors.append("results must be a list")
+        return errors
+    for index, entry in enumerate(results):
+        if not isinstance(entry, dict):
+            errors.append(f"results[{index}] must be an object")
+            continue
+        for key in ("name", "group"):
+            if not isinstance(entry.get(key), str):
+                errors.append(f"results[{index}].{key} must be a string")
+        for key in ("min", "median", "mean", "stdev"):
+            value = entry.get(key)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                errors.append(f"results[{index}].{key} must be a number")
+            elif not math.isfinite(value) or value < 0:
+                errors.append(f"results[{index}].{key} must be finite and >= 0")
+    return errors
+
+
+def snapshot_paths(root: str) -> List[Path]:
+    """All ``BENCH_*.json`` under ``root``, in sequence order."""
+    found = []
+    for path in Path(root).iterdir():
+        match = _SNAPSHOT_RE.match(path.name)
+        if match:
+            found.append((int(match.group(1)), path))
+    return [path for _, path in sorted(found)]
+
+
+def next_snapshot_path(root: str) -> Tuple[int, Path]:
+    """The next free (seq, path) in the trajectory under ``root``."""
+    existing = snapshot_paths(root)
+    if existing:
+        last = int(_SNAPSHOT_RE.match(existing[-1].name).group(1))
+    else:
+        last = 0
+    seq = last + 1
+    return seq, Path(root) / f"BENCH_{seq:04d}.json"
+
+
+def latest_snapshot(root: str) -> Optional[Path]:
+    paths = snapshot_paths(root)
+    return paths[-1] if paths else None
+
+
+def load_snapshot(path: str) -> Dict[str, Any]:
+    """Load and validate one snapshot; raises ``ValueError`` on bad schema."""
+    with open(path) as f:
+        snap = json.load(f)
+    errors = validate_snapshot(snap)
+    if errors:
+        raise ValueError(
+            f"{path}: not a valid {BENCH_SCHEMA_VERSION} snapshot: "
+            + "; ".join(errors)
+        )
+    return snap
+
+
+def write_snapshot(path: str, snap: Dict[str, Any]) -> None:
+    errors = validate_snapshot(snap)
+    if errors:
+        raise ValueError(f"refusing to write invalid snapshot: {'; '.join(errors)}")
+    with open(path, "w") as f:
+        json.dump(snap, f, indent=1, sort_keys=True)
+        f.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# comparison / regression gating
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Delta:
+    """One case's before/after (on the ``min`` statistic)."""
+
+    name: str
+    group: str
+    before: float
+    after: float
+
+    @property
+    def ratio(self) -> float:
+        return self.after / self.before if self.before else math.inf
+
+    @property
+    def key(self) -> str:
+        return f"{self.group}::{self.name}"
+
+
+@dataclass
+class Comparison:
+    """The outcome of comparing a run against a prior snapshot.
+
+    A case is a *regression* when its min grew by more than ``threshold``
+    (relative) **and** by more than ``noise_floor`` seconds (absolute) —
+    the floor keeps nanosecond-scale cases from tripping the gate on
+    clock granularity.  ``ok`` is False only when regressions remain.
+    """
+
+    threshold: float
+    noise_floor: float
+    regressions: List[Delta] = field(default_factory=list)
+    improvements: List[Delta] = field(default_factory=list)
+    unchanged: List[Delta] = field(default_factory=list)
+    added: List[str] = field(default_factory=list)
+    removed: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        lines = [
+            f"compared {len(self.regressions) + len(self.improvements) + len(self.unchanged)} "
+            f"case(s), threshold {self.threshold:.0%}"
+        ]
+        for delta in self.regressions:
+            lines.append(
+                f"  REGRESSION {delta.key}: {_format_time(delta.before)} -> "
+                f"{_format_time(delta.after)} ({delta.ratio:.2f}x)"
+            )
+        for delta in self.improvements:
+            lines.append(
+                f"  improved   {delta.key}: {_format_time(delta.before)} -> "
+                f"{_format_time(delta.after)} ({delta.ratio:.2f}x)"
+            )
+        if self.added:
+            lines.append(f"  new case(s): {', '.join(sorted(self.added))}")
+        if self.removed:
+            lines.append(f"  missing case(s): {', '.join(sorted(self.removed))}")
+        lines.append("regression gate: " + ("PASS" if self.ok else "FAIL"))
+        return "\n".join(lines)
+
+
+def _result_index(snap: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
+    return {
+        f"{entry['group']}::{entry['name']}": entry for entry in snap["results"]
+    }
+
+
+def compare_snapshots(
+    prior: Dict[str, Any],
+    current: Dict[str, Any],
+    threshold: float = 0.25,
+    noise_floor: float = 5e-8,
+) -> Comparison:
+    """Per-case comparison of two ``repro.bench/1`` snapshots."""
+    before_index = _result_index(prior)
+    after_index = _result_index(current)
+    comparison = Comparison(threshold=threshold, noise_floor=noise_floor)
+    for key, after in after_index.items():
+        before = before_index.get(key)
+        if before is None:
+            comparison.added.append(key)
+            continue
+        delta = Delta(
+            name=after["name"],
+            group=after["group"],
+            before=before["min"],
+            after=after["min"],
+        )
+        grew = delta.after - delta.before
+        if grew > noise_floor and delta.before and delta.ratio > 1 + threshold:
+            comparison.regressions.append(delta)
+        elif -grew > noise_floor and delta.ratio < 1 / (1 + threshold):
+            comparison.improvements.append(delta)
+        else:
+            comparison.unchanged.append(delta)
+    for key in before_index:
+        if key not in after_index:
+            comparison.removed.append(key)
+    comparison.regressions.sort(key=lambda d: d.ratio, reverse=True)
+    comparison.improvements.sort(key=lambda d: d.ratio)
+    return comparison
+
+
+def confirm_regressions(
+    comparison: Comparison,
+    suites: Iterable[BenchSuite],
+    runner: Runner,
+    results: List[CaseResult],
+    rounds: int = 2,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[CaseResult]:
+    """Repeat-to-confirm: re-run only the suspected regressions.
+
+    Each suspect is re-measured up to ``rounds`` more times; its result is
+    replaced by the best-of-all-runs merge (see
+    :meth:`CaseResult.merge_best`).  A case that stops regressing after
+    any round is cleared immediately.  Returns the updated result list;
+    the caller re-compares to get the confirmed verdict.
+    """
+    if comparison.ok:
+        return results
+    suspects = {delta.key for delta in comparison.regressions}
+    by_key = {f"{r.group}::{r.name}": r for r in results}
+    cases = {
+        f"{suite.group}::{case.name}": case
+        for suite in suites
+        for case in suite.cases
+    }
+    for key in sorted(suspects):
+        case = cases.get(key)
+        if case is None:  # pragma: no cover - result without a live case
+            continue
+        suspect_delta = next(d for d in comparison.regressions if d.key == key)
+        for round_index in range(rounds):
+            rerun = runner.run_case(case)
+            merged = by_key[key].merge_best(rerun)
+            by_key[key] = merged
+            if progress is not None:
+                progress(
+                    f"confirm[{round_index + 1}/{rounds}] {key}: "
+                    f"min={_format_time(merged.min)} "
+                    f"(was {_format_time(suspect_delta.before)})"
+                )
+            if merged.min <= suspect_delta.before * (1 + comparison.threshold):
+                break
+    return [by_key[f"{r.group}::{r.name}"] for r in results]

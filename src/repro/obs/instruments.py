@@ -1,7 +1,7 @@
 """The per-database observability bundle and hot-path helpers.
 
-:class:`Observability` bundles one tracer, one metrics registry and one
-event tap for a database.  Engine modules reach it through the database's
+:class:`Observability` bundles one tracer, one metrics registry, one
+event tap, the audit log and the slow-operation log for a database.  Engine modules reach it through the database's
 ``obs`` attribute (``None`` by default — the whole layer costs one
 attribute load and a branch when disabled)::
 
@@ -27,7 +27,7 @@ __all__ = ["Observability", "observability_of", "maybe_span"]
 
 
 class Observability:
-    """Tracer + metrics + event tap + audit log for one database."""
+    """Tracer + metrics + event tap + audit log + slow log for one database."""
 
     def __init__(
         self,
@@ -38,6 +38,9 @@ class Observability:
         audit: bool = True,
         audit_ring: int = 1024,
         audit_sink=None,
+        slowlog: bool = True,
+        slow_budgets=None,
+        slowlog_ring: int = 256,
     ):
         self.database = database
         self.tracer = Tracer(enabled=tracing)
@@ -51,6 +54,19 @@ class Observability:
             self.audit = AuditLog(
                 database.events, ring_size=audit_ring, sink=audit_sink
             )
+        # The slow-op log has no bus subscription of its own: engine call
+        # sites clock an operation only when this attribute is non-None
+        # and hand the duration over (see repro.obs.slowlog).
+        self.slowlog = None
+        if slowlog:
+            from .slowlog import SlowLog
+
+            self.slowlog = SlowLog(
+                budgets=slow_budgets,
+                ring_size=slowlog_ring,
+                audit=self.audit,
+                metrics=self.metrics,
+            )
         # The audit log rides the tap's single wildcard subscription —
         # enabling provenance adds no further bus handlers.
         self.tap = EventTap(
@@ -59,6 +75,7 @@ class Observability:
             ring_size=ring_size,
             track_propagation=track_propagation,
             audit=self.audit,
+            slowlog=self.slowlog,
         )
 
     # -- convenience passthroughs -------------------------------------------------

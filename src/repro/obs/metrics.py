@@ -14,6 +14,8 @@ stable shape (documented in ``docs/observability.md`` and wrapped into the
 from __future__ import annotations
 
 from bisect import bisect_left
+from random import Random
+from zlib import crc32
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
@@ -23,7 +25,12 @@ __all__ = [
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
     "FANOUT_BUCKETS",
+    "RESERVOIR_SIZE",
 ]
+
+#: Reservoir capacity per histogram: percentiles are exact up to this many
+#: observations and an unbiased uniform sample beyond (Algorithm R).
+RESERVOIR_SIZE = 512
 
 #: General-purpose size buckets (powers-of-ten-ish).
 DEFAULT_BUCKETS: Tuple[float, ...] = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000)
@@ -71,14 +78,19 @@ class Gauge:
 
 
 class Histogram:
-    """A fixed-bucket histogram with count/sum/min/max.
+    """A fixed-bucket histogram with count/sum/min/max and percentiles.
 
     ``bounds`` are inclusive upper bucket edges; observations above the
-    last edge land in the overflow (``+Inf``) bucket.
+    last edge land in the overflow (``+Inf``) bucket.  Alongside the
+    buckets, a bounded reservoir (Algorithm R, :data:`RESERVOIR_SIZE`
+    values) keeps a uniform sample of every observation, so
+    :meth:`percentile` is **exact** until the reservoir fills and an
+    unbiased estimate after.  The reservoir's RNG is seeded from the
+    metric name, so runs are reproducible.
     """
 
     __slots__ = ("name", "bounds", "bucket_counts", "overflow",
-                 "count", "sum", "min", "max")
+                 "count", "sum", "min", "max", "reservoir", "_rng")
 
     def __init__(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS):
         if not bounds:
@@ -91,6 +103,8 @@ class Histogram:
         self.sum: float = 0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self.reservoir: List[float] = []
+        self._rng = Random(crc32(name.encode()))
 
     def observe(self, value: float) -> None:
         index = bisect_left(self.bounds, value)
@@ -104,10 +118,40 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        reservoir = self.reservoir
+        if len(reservoir) < RESERVOIR_SIZE:
+            reservoir.append(value)
+        else:
+            # Algorithm R: keep each of the `count` observations seen so
+            # far in the sample with probability RESERVOIR_SIZE / count.
+            slot = self._rng.randrange(self.count)
+            if slot < RESERVOIR_SIZE:
+                reservoir[slot] = value
 
     @property
     def mean(self) -> Optional[float]:
         return self.sum / self.count if self.count else None
+
+    def percentile(self, p: float) -> Optional[float]:
+        """The ``p``-th percentile (0–100), linearly interpolated.
+
+        Exact while at most :data:`RESERVOIR_SIZE` values were observed;
+        estimated from the uniform reservoir sample afterwards.  ``None``
+        without observations.
+        """
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile {p!r} out of range [0, 100]")
+        sample = sorted(self.reservoir)
+        if not sample:
+            return None
+        if len(sample) == 1:
+            return sample[0]
+        rank = (len(sample) - 1) * p / 100.0
+        low = int(rank)
+        frac = rank - low
+        if frac == 0:
+            return sample[low]
+        return sample[low] + (sample[low + 1] - sample[low]) * frac
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -121,6 +165,10 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "sampled": len(self.reservoir),
         }
 
     def __repr__(self) -> str:

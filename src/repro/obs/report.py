@@ -131,6 +131,11 @@ def render_table(snap: Dict[str, Any]) -> str:
             f"  {name}  count={hist['count']} sum={hist['sum']} "
             f"min={hist['min']} max={hist['max']} mean={hist['mean']}"
         )
+        if hist.get("p50") is not None:
+            lines.append(
+                f"    p50={hist['p50']} p95={hist['p95']} p99={hist['p99']} "
+                f"(over {hist.get('sampled', '?')} sampled)"
+            )
         buckets = " ".join(
             f"≤{bucket['le']}:{bucket['count']}"
             for bucket in hist["buckets"]

@@ -1,0 +1,187 @@
+"""The slow-operation log (``repro slowlog``).
+
+Latency problems in this engine are *emergent* — a query is slow because
+the planner fell back to a scan, an update is slow because its propagation
+cone is wide, an expansion is slow because the hierarchy ballooned — so a
+slow-op record is only useful if it carries the **diagnosis**, not just
+the duration.  The :class:`SlowLog` captures, per operation kind:
+
+* ``query`` — the EXPLAIN plan (access path, estimated vs actual rows);
+* ``propagation`` — the cone summary (attribute, fan-out, max depth);
+* ``expansion`` — the materialised-object count and depth limit;
+* ``txn`` — commit/abort with the undo-log length.
+
+Operations exceeding the kind's latency budget are kept in a bounded ring
+**and** appended to the PR-4 audit stream (``slowlog.<kind>`` records,
+causally linked to the operation that overran), so ``repro audit`` and a
+JSONL sink see them interleaved with the mutations they explain.
+
+Cost discipline: the engine's call sites clock an operation **only when a
+slow log is attached** (``obs is not None and obs.slowlog is not None`` —
+the same one-load-one-branch guard as the rest of the observability
+layer), so the dark path stays free and the enabled-but-quiet path costs
+two ``perf_counter`` reads per operation (measured in E18).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, NamedTuple, Optional
+
+__all__ = ["SLOWLOG_SCHEMA_VERSION", "DEFAULT_BUDGETS", "SlowOp", "SlowLog"]
+
+SLOWLOG_SCHEMA_VERSION = "repro.slowlog/1"
+
+#: Default latency budgets in seconds, per operation kind.  Deliberately
+#: generous — the slow log is for outliers, not a second metrics registry.
+DEFAULT_BUDGETS: Dict[str, float] = {
+    "query": 0.050,
+    "propagation": 0.050,
+    "expansion": 0.100,
+    "txn": 0.100,
+}
+
+
+class SlowOp(NamedTuple):
+    """One recorded over-budget operation."""
+
+    ts: float
+    kind: str
+    duration: float
+    budget: float
+    subject: Any
+    detail: Dict[str, Any]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "ts": self.ts,
+            "kind": self.kind,
+            "duration": self.duration,
+            "budget": self.budget,
+            "subject": repr(self.subject) if self.subject is not None else None,
+            "detail": {
+                key: value
+                if isinstance(value, (bool, int, float, str, type(None)))
+                else repr(value)
+                for key, value in self.detail.items()
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<SlowOp {self.kind} {self.duration * 1e3:.2f}ms "
+            f"(budget {self.budget * 1e3:.1f}ms)>"
+        )
+
+
+class SlowLog:
+    """Bounded ring of over-budget operations, with per-kind budgets.
+
+    ``budgets`` overrides :data:`DEFAULT_BUDGETS` per kind; a kind whose
+    budget is ``None`` is never recorded.  When ``audit`` is attached,
+    every kept record is mirrored onto the audit stream as
+    ``slowlog.<kind>`` with the diagnosis in its detail.
+    """
+
+    def __init__(
+        self,
+        budgets: Optional[Dict[str, float]] = None,
+        ring_size: int = 256,
+        audit=None,
+        metrics=None,
+    ):
+        self.budgets = dict(DEFAULT_BUDGETS)
+        if budgets:
+            self.budgets.update(budgets)
+        self.ring: Deque[SlowOp] = deque(maxlen=ring_size)
+        self.audit = audit
+        self.metrics = metrics
+        #: Total over-budget operations ever seen (the ring is bounded).
+        self.recorded = 0
+
+    def budget(self, kind: str) -> Optional[float]:
+        """The budget for ``kind`` in seconds, or None (= never record)."""
+        return self.budgets.get(kind)
+
+    def exceeded(self, kind: str, duration: float) -> bool:
+        """Whether ``duration`` overran ``kind``'s budget.
+
+        Call sites use this one-compare check before building expensive
+        diagnosis detail (an EXPLAIN rendering, a cone summary) for
+        :meth:`note`, so within-budget operations never pay for it.
+        """
+        budget = self.budgets.get(kind)
+        return budget is not None and duration >= budget
+
+    def note(
+        self, kind: str, duration: float, subject: Any = None, **detail: Any
+    ) -> Optional[SlowOp]:
+        """Record the operation iff it exceeded its kind's budget.
+
+        Returns the :class:`SlowOp` kept, or None when within budget (the
+        overwhelmingly common case — one float compare).
+        """
+        budget = self.budgets.get(kind)
+        if budget is None or duration < budget:
+            return None
+        op = SlowOp(time.time(), kind, duration, budget, subject, detail)
+        self.ring.append(op)
+        self.recorded += 1
+        if self.metrics is not None:
+            self.metrics.counter(f"slowlog.{kind}").inc()
+        if self.audit is not None:
+            self.audit.record(
+                f"slowlog.{kind}",
+                subject,
+                duration=duration,
+                budget=budget,
+                **detail,
+            )
+        return op
+
+    # -- inspection --------------------------------------------------------------
+
+    def operations(self, kind: Optional[str] = None) -> List[SlowOp]:
+        """Buffered slow operations, oldest first, optionally by kind."""
+        if kind is None:
+            return list(self.ring)
+        return [op for op in self.ring if op.kind == kind]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The ``repro.slowlog/1`` JSON document."""
+        return {
+            "schema": SLOWLOG_SCHEMA_VERSION,
+            "budgets": dict(self.budgets),
+            "recorded": self.recorded,
+            "operations": [op.as_dict() for op in self.ring],
+        }
+
+    def render(self) -> str:
+        """An aligned text table of the buffered slow operations."""
+        if not self.ring:
+            return "slow log: empty (nothing exceeded its budget)"
+        lines = [
+            f"slow log: {self.recorded} over-budget operation(s) "
+            f"({len(self.ring)} buffered)"
+        ]
+        for op in self.ring:
+            lines.append(
+                f"  [{op.kind}] {op.duration * 1e3:.2f}ms "
+                f"(budget {op.budget * 1e3:.1f}ms) {op.subject!r}"
+            )
+            for key, value in op.detail.items():
+                rendered = str(value)
+                for extra, line in enumerate(rendered.split("\n")):
+                    prefix = f"    {key}: " if extra == 0 else "      "
+                    lines.append(prefix + line)
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        self.ring.clear()
+
+    def __len__(self) -> int:
+        return len(self.ring)
+
+    def __repr__(self) -> str:
+        return f"<SlowLog recorded={self.recorded} buffered={len(self.ring)}>"

@@ -31,6 +31,7 @@ mutation.
 from __future__ import annotations
 
 from collections import deque
+from time import perf_counter
 from typing import Deque, List, Optional
 
 from ..core.inheritance import iter_propagation, iter_propagation_depths
@@ -50,11 +51,13 @@ class EventTap:
         ring_size: int = 256,
         track_propagation: bool = True,
         audit=None,
+        slowlog=None,
     ):
         self.bus = bus
         self.metrics = metrics
         self.track_propagation = track_propagation
         self.audit = audit
+        self.slowlog = slowlog
         self.ring: Deque[Event] = deque(maxlen=ring_size)
         self._subscription = bus.subscribe(EventBus.WILDCARD, self._on_event)
 
@@ -84,8 +87,11 @@ class EventTap:
     def _measure_propagation(self, event: Event) -> None:
         metrics = self.metrics
         audit = self.audit
+        slowlog = self.slowlog
+        started = perf_counter() if slowlog is not None else 0.0
         attribute = event.data["attribute"]
         fanout = 0
+        reached = None
         if audit is not None:
             # The depth-annotated walk has the same membership/dedup as
             # iter_propagation (tested).  The arrivals are batched into
@@ -118,6 +124,21 @@ class EventTap:
         metrics.counter("propagation.fanout_total").inc(fanout)
         if fanout:
             metrics.counter("propagation.updates_with_inheritors").inc()
+        if slowlog is not None:
+            duration = perf_counter() - started
+            if slowlog.exceeded("propagation", duration):
+                # The cone summary is the diagnosis: how wide and (when the
+                # audit walk annotated depths) how deep the update reached.
+                slowlog.note(
+                    "propagation",
+                    duration,
+                    subject=event.subject,
+                    attribute=attribute,
+                    fanout=fanout,
+                    depth=max((item[2] for item in reached), default=0)
+                    if reached is not None
+                    else None,
+                )
 
     # -- inspection --------------------------------------------------------------
 

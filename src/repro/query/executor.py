@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Any, List, Optional, Tuple
 
 from ..core import resolution as _resolution
@@ -82,6 +83,10 @@ def execute_query(db: Database, spec: QuerySpec) -> QueryResult:
     obs = getattr(db, "obs", None)
     if obs is None:
         return _execute(db, spec, None)
+    # Clock the query only when a slow log is attached; within-budget
+    # queries pay two perf_counter reads and one compare, nothing else.
+    slowlog = obs.slowlog
+    started = perf_counter() if slowlog is not None else 0.0
     with obs.tracer.span(
         "query.execute", source=spec.source_name, text=spec.text
     ) as span:
@@ -89,6 +94,18 @@ def execute_query(db: Database, spec: QuerySpec) -> QueryResult:
         span.set(rows=len(result.rows))
         if result.plan is not None:
             span.set(access=result.plan.access_path)
+    if slowlog is not None:
+        duration = perf_counter() - started
+        if slowlog.exceeded("query", duration):
+            plan = result.plan
+            slowlog.note(
+                "query",
+                duration,
+                subject=spec.text,
+                explain=plan.describe() if plan is not None else None,
+                rows=len(result.rows),
+                candidates=plan.candidates if plan is not None else None,
+            )
     return result
 
 

@@ -23,6 +23,7 @@ sessions of CAD work: their locks survive :meth:`~Transaction.commit` until
 from __future__ import annotations
 
 import itertools
+from time import perf_counter
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.objects import DBObject
@@ -70,6 +71,11 @@ class Transaction:
         """The attached audit log, or None (one load + branch when off)."""
         obs = getattr(self.manager.database, "obs", None)
         return obs.audit if obs is not None else None
+
+    def _slowlog(self):
+        """The attached slow-op log, or None (one load + branch when off)."""
+        obs = getattr(self.manager.database, "obs", None)
+        return obs.slowlog if obs is not None else None
 
     # -- reading -----------------------------------------------------------------
 
@@ -179,17 +185,30 @@ class Transaction:
         semantics) until :meth:`checkin`.
         """
         self._ensure_active()
+        slowlog = self._slowlog()
+        started = perf_counter() if slowlog is not None else 0.0
+        undo_length = len(self._undo)
         self.status = self.COMMITTED
         self._undo.clear()
         if not self.persistent:
             self.lock_table.release_all(self.id)
         self.manager._finished(self)
         self.manager._record_finish("committed")
+        if slowlog is not None:
+            duration = perf_counter() - started
+            if slowlog.exceeded("txn", duration):
+                slowlog.note(
+                    "txn", duration, subject=self, op="commit",
+                    txn=self.id, undo=undo_length,
+                )
 
     def abort(self) -> None:
         """Undo every logged update and release all locks."""
         self._ensure_active()
         audit = self._audit_log()
+        slowlog = self._slowlog()
+        started = perf_counter() if slowlog is not None else 0.0
+        undo_length = len(self._undo)
         if audit is None:
             self._undo_all()
         else:
@@ -201,6 +220,13 @@ class Transaction:
         self.lock_table.release_all(self.id)
         self.manager._finished(self)
         self.manager._record_finish("aborted")
+        if slowlog is not None:
+            duration = perf_counter() - started
+            if slowlog.exceeded("txn", duration):
+                slowlog.note(
+                    "txn", duration, subject=self, op="abort",
+                    txn=self.id, undo=undo_length,
+                )
 
     def _undo_all(self) -> None:
         for obj, attribute, old, had_value in reversed(self._undo):

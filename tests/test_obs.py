@@ -14,6 +14,7 @@ from repro.obs import (
     Histogram,
     MetricsRegistry,
     Observability,
+    RESERVOIR_SIZE,
     Tracer,
     exercise,
     format_span_tree,
@@ -145,6 +146,45 @@ class TestMetrics:
         assert [bucket["le"] for bucket in exported["buckets"]] == [1, 10, 100]
         assert exported["inf"] == 1
         assert exported["mean"] == pytest.approx(225 / 7)
+
+    def test_histogram_percentiles_exact_below_reservoir(self):
+        hist = Histogram("h", bounds=(1000,))
+        for value in range(1, 101):  # 1..100, well under RESERVOIR_SIZE
+            hist.observe(value)
+        assert hist.percentile(0) == 1
+        assert hist.percentile(100) == 100
+        assert hist.percentile(50) == pytest.approx(50.5)
+        assert hist.percentile(95) == pytest.approx(95.05)
+        exported = hist.as_dict()
+        assert exported["p50"] == pytest.approx(50.5)
+        assert exported["p99"] == pytest.approx(99.01)
+        assert exported["sampled"] == 100
+
+    def test_histogram_percentile_edge_cases(self):
+        hist = Histogram("h", bounds=(1,))
+        assert hist.percentile(50) is None  # no observations
+        hist.observe(7)
+        assert hist.percentile(0) == 7 == hist.percentile(100)
+        with pytest.raises(ValueError):
+            hist.percentile(101)
+        with pytest.raises(ValueError):
+            hist.percentile(-1)
+
+    def test_histogram_reservoir_bounded_and_representative(self):
+        hist = Histogram("h", bounds=(10**7,))
+        n = 4 * RESERVOIR_SIZE
+        for value in range(n):
+            hist.observe(value)
+        # The reservoir never outgrows its bound even for 4x the traffic,
+        # and the uniform sample keeps the median estimate near truth.
+        assert len(hist.reservoir) == RESERVOIR_SIZE
+        assert hist.count == n
+        assert hist.percentile(50) == pytest.approx(n / 2, rel=0.15)
+        # Seeded RNG: the same stream always yields the same sample.
+        twin = Histogram("h", bounds=(10**7,))
+        for value in range(n):
+            twin.observe(value)
+        assert twin.reservoir == hist.reservoir
 
     def test_histogram_bounds_sorted_and_nonempty(self):
         hist = Histogram("h", bounds=(100, 1, 10))
