@@ -206,6 +206,22 @@ EXPERIMENTS = {
         "in some rounds and not others); lower --hz proportionally "
         "shrinks it.",
     ),
+    "bench_e19_storage": (
+        "E19 — slotted storage engine: compiled slot programs vs. tree walk",
+        "engine substrate (repro.core.slots / repro.expr.compile)",
+        "Attributes live in per-type column stores; predicates and "
+        "constraints compile once per (expression, type, schema epoch) "
+        "into generated batch scans that read slots positionally with "
+        "raw comparisons, falling back to the tree walk on any type "
+        "surprise.  At 50k objects the compiled unindexed equality and "
+        "range scans and the fused two-phase constraint sweep each beat "
+        "the tree-walking oracle by over the 10× acceptance floor "
+        "(measured ~11×/~12×/~18× on this run); the oracle rows grow "
+        "linearly with the extent while compiled rows keep a ~10× "
+        "smaller constant.  Equivalence — identical rows, violations "
+        "and error messages — is pinned by the hypothesis oracles in "
+        "tests/test_storage.py.",
+    ),
 }
 
 HEADER = """# EXPERIMENTS — paper vs. measured
@@ -243,6 +259,7 @@ reproduction targets, and all of them hold on this run.
 | E16 | observability layer | causal provenance / audit overhead | measured (~10% audit tax at Figure-2 fan-out, dark path unchanged) |
 | E17 | static analyzer | lint cost vs. prevented failures | measured (ms-scale lint, near-linear scaling, verify ≈ one lint) |
 | E18 | perf observatory | profiler + slow-log overhead | measured (≈0 disabled; profiler tax ≈0 by min/median on deep-chain reads) |
+| E19 | engine substrate | slotted storage + compiled scans | measured (≥10× eq/range scans and constraint sweep at 50k vs. tree walk) |
 
 The same suites are driven by the unified stdlib harness (`repro bench`,
 `src/repro/obs/bench.py`): every run emits a `BENCH_<seq>.json` snapshot

@@ -243,6 +243,9 @@ register_rule("REP502", "unknown-query-source", ERROR,
               "Workload query selects from a name that is neither class nor type")
 register_rule("REP503", "query-unresolved-name", ADVICE,
               "Workload query references a name the source type cannot resolve")
+register_rule("REP504", "constraint-not-compilable", ADVICE,
+              "Constraint has dynamic free names, so it cannot compile to a "
+              "slot program and evaluates through the interpretive fallback")
 
 
 def make(code: str, message: str, *, subject: str = "",

@@ -835,6 +835,58 @@ def rule_lock_order_cycle(model: SchemaModel) -> Iterator[Diagnostic]:
 
 
 # ---------------------------------------------------------------------------
+# REP5xx — query / compilation advisories (static half)
+# ---------------------------------------------------------------------------
+
+
+def rule_uncompilable_constraints(model: SchemaModel) -> Iterator[Diagnostic]:
+    """REP504: constraints the expression compiler cannot slot-compile.
+
+    The runtime compiler (:mod:`repro.expr.compile`) turns a constraint
+    into a direct slot-array program when every free name binds statically
+    to a stored member or role.  A free name bound to *nothing* resolves
+    dynamically per object, which forces the interpretive fallback closure
+    on every check.  Declared enum labels are exempt — writing them
+    unquoted is the paper's own convention and their dynamic resolution is
+    deliberate; undeclared names additionally trip REP206, but this rule
+    states the *compilation* consequence.  Advisory only: the behaviour is
+    correct, just not batch-fast.
+    """
+    for info in model.types.values():
+        if not info.constraint_sources:
+            continue
+        bound = (
+            set(model.effective_members(info))
+            | set(_ALWAYS_VISIBLE)
+            | model.enum_labels
+        )
+        for group in info.participants:
+            bound.update(group.roles)
+        if info.kind == INHERITANCE:
+            bound.update(_IMPLICIT_INHERITANCE_ROLES)
+        for source in info.constraint_sources:
+            try:
+                nodes = parse_constraints(source)
+            except ExprSyntaxError:
+                continue  # REP207 owns parse failures
+            dynamic: Set[str] = set()
+            for node in nodes:
+                dynamic |= free_names(node) - bound
+            if dynamic:
+                names = ", ".join(repr(name) for name in sorted(dynamic))
+                yield make(
+                    "REP504",
+                    f"constraint of {info.name!r} cannot compile to a slot "
+                    f"program: {names} resolve{'s' if len(dynamic) == 1 else ''} "
+                    f"dynamically per object (label literal or dynamic "
+                    f"attribute)",
+                    subject=info.name,
+                    location=_loc(model, info.constraints_line),
+                    hint="quote label literals so they compile as constants",
+                )
+
+
+# ---------------------------------------------------------------------------
 # the model-rule registry
 # ---------------------------------------------------------------------------
 
@@ -855,6 +907,7 @@ _MODEL_RULES = [
     rule_composite_recursion,
     rule_subrel_where,
     rule_lock_order_cycle,
+    rule_uncompilable_constraints,
 ]
 
 

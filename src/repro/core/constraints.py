@@ -20,6 +20,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Union
 from ..errors import ConstraintViolation, ExprEvaluationError
 from ..expr import EvalContext, parse_constraints, truthy
 from ..expr.ast import Node
+from ..expr.compile import compile_predicate
 
 __all__ = [
     "Constraint",
@@ -66,6 +67,29 @@ class ExprConstraint(Constraint):
         return [cls(node, node.unparse()) for node in parse_constraints(source)]
 
     def holds(self, subject: Any, bindings: Optional[Dict[str, Any]] = None) -> bool:
+        # Bindings-free checks against a live slotted object run the
+        # compiled program (one closure call); everything else — binder
+        # scopes from the DDL layer, plain values, deleted objects (the
+        # tree walk owns the ObjectDeletedError protocol) — interprets.
+        if bindings is None and getattr(subject, "_row", -1) >= 0:
+            type_ = getattr(subject, "object_type", None)
+            if type_ is not None:
+                predicate = compile_predicate(self.node, type_)
+                try:
+                    return predicate(subject)
+                except ExprEvaluationError as exc:
+                    raise ConstraintViolation(
+                        f"constraint {self.source!r} failed to evaluate "
+                        f"on {subject!r}: {exc}",
+                        constraint=self.source,
+                        subject=subject,
+                    ) from exc
+        return self.naive_holds(subject, bindings)
+
+    def naive_holds(
+        self, subject: Any, bindings: Optional[Dict[str, Any]] = None
+    ) -> bool:
+        """Tree-walking evaluation — the compiled path's testing oracle."""
         ctx = EvalContext(subject, bindings)
         try:
             return truthy(self.node.evaluate(ctx))

@@ -45,6 +45,7 @@ from .constraints import check_all
 from .inheritance import INHERITOR_ROLE, TRANSMITTER_ROLE, InheritanceRelationshipType
 from .objtype import ObjectType, SubclassSpec, SubrelSpec, TypeBase
 from .reltype import RelationshipType
+from .slots import UNSET, AttrsView, store_for
 from .surrogate import Surrogate, SurrogateGenerator
 
 __all__ = [
@@ -92,7 +93,24 @@ class DBObject:
         self.surrogate = surrogate
         self.database = database
         self.parent = parent
-        self._attrs: Dict[str, Any] = {}
+        #: Local attribute values live in the type's slotted column store
+        #: (see repro.core.slots): the object holds a row index, one cell
+        #: per declared attribute.  Dynamic attributes and post-deletion
+        #: spills go to the lazily allocated overflow dict.  ``_attrs``
+        #: remains available as a raw mapping view (property below).
+        store = object_type._store
+        if store is None or store.epoch != _resolution._SCHEMA_EPOCH:
+            store = store_for(object_type, getattr(database, "obs", None))
+        self._store = store
+        self._row = store.alloc()
+        self._overflow: Optional[Dict[str, Any]] = None
+        #: Raw mapping view over local storage (slots + overflow) — the
+        #: compatibility surface for code that used to poke the
+        #: per-instance dict directly (transaction undo, version revert,
+        #: merge apply, persistence restore).  Pure storage semantics: no
+        #: validation, no events, no epoch bumps.  A plain attribute, not
+        #: a property: the view is stateless and raw writes are hot.
+        self._attrs = AttrsView(self)
         self._subclasses: Dict[str, LocalSubclass] = {}
         self._subrels: Dict[str, LocalRelClass] = {}
         #: rel-type name -> InheritanceLink where self is the inheritor.
@@ -114,9 +132,12 @@ class DBObject:
         #: changes of this object only.
         self._binding_epoch = 0
         self._mutation_epoch = 0
-        #: member name -> (schema_epoch, binding_epoch, holder, entry, hops):
-        #: the memoised end of the delegation chain for that member,
-        #: valid while both epochs match (values are always read live).
+        #: member name -> (schema_epoch, binding_epoch, holder, entry, hops,
+        #: column): the memoised end of the delegation chain for that
+        #: member, valid while both epochs match (values are always read
+        #: live).  ``column`` is the holder's slot array for the member (or
+        #: None when it has no declared slot) — the steady-state read is
+        #: one list index off it.
         self._member_memo: Dict[str, Any] = {}
         if database is not None and hasattr(database, "_adopt"):
             database._adopt(self)
@@ -135,6 +156,29 @@ class DBObject:
     def _ensure_alive(self) -> None:
         if self._deleted:
             raise ObjectDeletedError(f"{self!r} was deleted")
+
+    # -- local storage ----------------------------------------------------------
+
+    def _local_value(self, name: str, default: Any = None) -> Any:
+        """The locally stored value of ``name`` (no inheritance), or
+        ``default`` — the slot-layer fast path behind ``_attrs.get``."""
+        row = self._row
+        if row >= 0:
+            store = self._store
+            if store.epoch != _resolution._SCHEMA_EPOCH:
+                store.refresh(_resolution.plan_for(self.object_type))
+            slot = store.slot_of.get(name)
+            if slot is not None:
+                value = store.columns[slot][row]
+                return default if value is UNSET else value
+        overflow = self._overflow
+        if overflow is None:
+            return default
+        return overflow.get(name, default)
+
+    def _has_local_value(self, name: str) -> bool:
+        """True when ``name`` has a locally stored value (``name in _attrs``)."""
+        return self._local_value(name, UNSET) is not UNSET
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, DBObject):
@@ -269,9 +313,17 @@ class DBObject:
                     # k-level interface hierarchy contributes k.
                     obs.metrics.counter("reads.inherited").inc(hops)
                     obs.metrics.counter("resolution.fast_hits").inc()
-            attrs = holder._attrs
-            if name in attrs:
-                return attrs[name]
+            column = memo[5]
+            if column is not None:
+                # The steady-state read: one list index into the holder's
+                # slot array (columns are stable within a schema epoch).
+                value = column[holder._row]
+                if value is not UNSET:
+                    return value
+            else:
+                overflow = holder._overflow
+                if overflow is not None and name in overflow:
+                    return overflow[name]
             return self._member_from_holder(holder, memo[3], name)
         object_type = self.object_type
         plan = object_type._plan
@@ -331,13 +383,33 @@ class DBObject:
                         obs.metrics.counter("resolution.fast_hits").inc()
             # The resolution (not the value) is memoised: a chain of plain
             # objects ending at `current` stays valid until the schema or
-            # this object's binding topology moves.
+            # this object's binding topology moves.  The holder's slot
+            # array is memoised with it, so steady-state reads index it
+            # directly.
+            store = current._store
+            if store.epoch != schema_epoch:
+                store.refresh(
+                    _resolution.plan_for(
+                        current.object_type, getattr(current.database, "obs", None)
+                    )
+                )
+            slot = entry.slot if entry is not None else None
+            column = store.columns[slot] if slot is not None else None
             self._member_memo[name] = (
-                schema_epoch, self._binding_epoch, current, entry, hops,
+                schema_epoch, self._binding_epoch, current, entry, hops, column,
             )
-        attrs = current._attrs
-        if name in attrs:
-            return attrs[name]
+            if column is not None:
+                value = column[current._row]
+                if value is not UNSET:
+                    return value
+            else:
+                overflow = current._overflow
+                if overflow is not None and name in overflow:
+                    return overflow[name]
+            return self._member_from_holder(current, entry, name)
+        overflow = current._overflow
+        if overflow is not None and name in overflow:
+            return overflow[name]
         return self._member_from_holder(current, entry, name)
 
     @staticmethod
@@ -419,8 +491,25 @@ class DBObject:
             normalised = value
         else:
             normalised = spec.validate(value)
-        old = self._attrs.get(name)
-        self._attrs[name] = normalised
+        store = self._store
+        if store.epoch != _resolution._SCHEMA_EPOCH:
+            store.refresh(
+                _resolution.plan_for(
+                    self.object_type, getattr(self.database, "obs", None)
+                )
+            )
+        slot = entry.slot if entry is not None else store.slot_of.get(name)
+        if slot is not None:
+            column = store.columns[slot]
+            prior = column[self._row]
+            old = None if prior is UNSET else prior
+            column[self._row] = normalised
+        else:
+            overflow = self._overflow
+            if overflow is None:
+                overflow = self._overflow = {}
+            old = overflow.get(name)
+            overflow[name] = normalised
         self._mutation_epoch += 1
         self._emit("attribute_updated", attribute=name, old=old, new=normalised)
         return normalised
@@ -436,7 +525,7 @@ class DBObject:
 
     def local_attributes(self) -> Dict[str, Any]:
         """Copy of the locally stored attribute values (no inherited data)."""
-        return dict(self._attrs)
+        return AttrsView(self).to_dict()
 
     # -- containers --------------------------------------------------------------
 
@@ -538,6 +627,18 @@ class DBObject:
         database = self.database
         if database is not None and hasattr(database, "_forget_object"):
             database._forget_object(self)
+        # Release the slot row: live cells spill into the overflow dict so
+        # the deleted object keeps reporting its last local values (dict
+        # semantics), while the row is recycled for new objects.
+        row = self._row
+        if row >= 0:
+            spilled = self._store.spill_row(row)
+            self._row = -1
+            if spilled:
+                overflow = self._overflow
+                if overflow:
+                    spilled.update(overflow)
+                self._overflow = spilled
 
     # -- introspection ------------------------------------------------------------
 
@@ -878,7 +979,7 @@ def _check_no_local_shadow(
     inheritor: DBObject, rel_type: InheritanceRelationshipType
 ) -> None:
     for member in rel_type.inheriting:
-        if member in inheritor._attrs:
+        if inheritor._has_local_value(member):
             raise InheritanceError(
                 f"{inheritor!r} holds a local value for {member!r}; it cannot "
                 f"be bound through {rel_type.name!r} which inherits that "

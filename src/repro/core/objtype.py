@@ -198,6 +198,10 @@ class TypeBase:
         #: Lazily compiled member-resolution plan (see repro.core.resolution);
         #: valid only while its schema epoch matches the global one.
         self._plan: Any = None
+        #: Lazily built slotted column store for instances of this type
+        #: (see repro.core.slots); its layout follows the plan and is
+        #: refreshed in place on schema-epoch bumps.
+        self._store: Any = None
         self._check_local_name_clashes()
         resolution.bump_schema_epoch()
 

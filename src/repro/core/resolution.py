@@ -50,6 +50,7 @@ from __future__ import annotations
 from typing import Any, Dict, Tuple
 
 from ..errors import ObjectDeletedError, UnknownAttributeError
+from .interning import intern_name
 
 __all__ = [
     "MemberEntry",
@@ -145,6 +146,7 @@ class MemberEntry:
         "default",
         "check_subclass",
         "check_subrel",
+        "slot",
     )
 
     def __init__(
@@ -156,6 +158,7 @@ class MemberEntry:
         default: Any,
         check_subclass: bool,
         check_subrel: bool,
+        slot: Any = None,
     ):
         self.name = name
         self.kind = kind
@@ -164,6 +167,12 @@ class MemberEntry:
         self.default = default
         self.check_subclass = check_subclass
         self.check_subrel = check_subrel
+        #: Column index of the member in the type's slotted store
+        #: (:mod:`repro.core.slots`), or None for members without local
+        #: attribute storage (surrogate, containers).  Slots follow the
+        #: position in :attr:`ResolutionPlan.attribute_names` — the plan is
+        #: the layout authority the store compiles from.
+        self.slot = slot
 
     def __repr__(self) -> str:
         via = f" via {list(self.rels)}" if self.rels else ""
@@ -215,12 +224,20 @@ class ResolutionPlan:
         for rel in type_.inheritor_in:
             permeable_sets[rel.name] = frozenset(rel.inheriting)
             for member in rel.inheriting:
+                member = intern_name(member)
                 rels_for[member] = rels_for.get(member, ()) + (rel.name,)
         self.permeable_sets = permeable_sets
 
-        effective_attrs = type_.effective_attributes()
-        effective_subclasses = type_.effective_subclasses()
-        effective_subrels = type_.effective_subrels()
+        # Names are interned at compile time: plan entries, slot maps and
+        # parsed query identifiers then probe each other by identity.
+        effective_attrs = [intern_name(n) for n in type_.effective_attributes()]
+        effective_subclasses = {
+            intern_name(n): spec
+            for n, spec in type_.effective_subclasses().items()
+        }
+        effective_subrels = {
+            intern_name(n): spec for n, spec in type_.effective_subrels().items()
+        }
 
         entries: Dict[str, MemberEntry] = {
             "surrogate": MemberEntry(
@@ -228,6 +245,7 @@ class ResolutionPlan:
             )
         }
         names = ["surrogate"]
+        attr_names: list = []
         for name in effective_attrs:
             if name in entries:
                 continue
@@ -243,7 +261,9 @@ class ResolutionPlan:
                 spec.default if spec is not None and spec.has_default else None,
                 name in effective_subclasses,
                 name in effective_subrels,
+                len(attr_names),
             )
+            attr_names.append(name)
         for name in effective_subclasses:
             if name in entries:
                 continue
@@ -270,7 +290,9 @@ class ResolutionPlan:
                 )
         self.entries = entries
         self.member_names: Tuple[str, ...] = tuple(names)
-        self.attribute_names: Tuple[str, ...] = tuple(effective_attrs)
+        #: Slot order of the type's store: ``attribute_names[i]`` lives in
+        #: column ``i`` (deduplicated; aligned with ``entry.slot``).
+        self.attribute_names: Tuple[str, ...] = tuple(attr_names)
         self.inherited_names = frozenset(
             name for name, entry in entries.items() if entry.rels
         )

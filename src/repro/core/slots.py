@@ -1,0 +1,310 @@
+"""Slotted per-type attribute storage.
+
+Before this module, every :class:`~repro.core.objects.DBObject` stored its
+local attribute values in a per-instance dict.  That is flexible but slow
+to scan: an unindexed query or constraint sweep over 50k objects pays a
+hash probe per attribute per object, and the values of one attribute are
+scattered across 50k dicts.
+
+Here the storage is *columnar per type* — Litwin's stored/inherited
+relation layout applied at the instance level:
+
+* :class:`TypeStore` — one store per type, holding a **column table**: one
+  Python list (column) per declared attribute, plus a **slot-index map**
+  from attribute name to column index.  The layout is compiled from the
+  type's :class:`~repro.core.resolution.ResolutionPlan` (the plan already
+  knows every member; ``MemberEntry.slot`` is the column index), so the
+  plan remains the single layout authority.
+* Objects hold a **row index** into the columns (``DBObject._row``).  A
+  cell holds :data:`UNSET` when the object has no local value — exactly
+  the old dict-miss.
+* **Epoch lifecycle**: the store records the schema epoch of its layout.
+  On a schema-epoch bump the layout is recompiled lazily on next access
+  (:meth:`TypeStore.refresh`); live objects migrate in place because
+  columns move *by name* — values survive, and names that left the
+  declared layout keep their columns (matching dict semantics, where a
+  stored value outlives schema evolution).
+* **Dynamic attributes** (types with ``allow_dynamic``) and values of
+  deleted objects live in a per-object ``_overflow`` dict — the escape
+  hatch for everything without a declared slot.
+* :class:`AttrsView` — a ``MutableMapping`` with the exact raw-dict
+  protocol of the old ``obj._attrs``: reads and writes touch storage only,
+  with **no validation, no events, no epoch bumps**.  Transaction undo
+  logs, version revert and merge apply keep writing ``obj._attrs[...]``
+  unchanged; they manage epochs/events themselves.
+
+Row recycling: deleting an object spills its non-UNSET cells into the
+object's overflow dict and releases the row to a free list — a deleted
+object keeps reporting its last local values (as dicts did), while the
+column table stays dense for the batch executor.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, MutableMapping
+
+from . import resolution as _resolution
+from .interning import intern_name
+
+__all__ = ["UNSET", "TypeStore", "AttrsView", "store_for"]
+
+
+class _UnsetType:
+    """Sentinel for "no local value in this cell" (never leaks to users)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return "<UNSET>"
+
+
+#: The one cell sentinel.  Identity-compared everywhere (``is UNSET``).
+UNSET: Any = _UnsetType()
+
+
+class TypeStore:
+    """The column table of one type: slot arrays + slot-index map."""
+
+    __slots__ = ("type", "epoch", "names", "slot_of", "columns", "free", "capacity")
+
+    def __init__(self, type_: Any, plan: Any) -> None:
+        self.type = type_
+        #: Schema epoch of the current layout; checked (one integer
+        #: compare) on every access, refreshed lazily when stale.
+        self.epoch: int = plan.schema_epoch
+        names: List[str] = [intern_name(n) for n in plan.attribute_names]
+        #: Column index -> attribute name (slot order of the plan).
+        self.names = names
+        #: Attribute name -> column index.  Interned keys: probes with
+        #: parsed-query identifiers short-circuit on identity.
+        self.slot_of: Dict[str, int] = {n: i for i, n in enumerate(names)}
+        #: One column (Python list) per slot; cells default to UNSET.
+        self.columns: List[List[Any]] = [[] for _ in names]
+        self.free: List[int] = []
+        self.capacity = 0
+
+    # -- row lifecycle -------------------------------------------------------
+
+    def alloc(self) -> int:
+        """A fresh (or recycled) row with every cell UNSET."""
+        free = self.free
+        if free:
+            return free.pop()
+        row = self.capacity
+        self.capacity = row + 1
+        for column in self.columns:
+            column.append(UNSET)
+        return row
+
+    def spill_row(self, row: int) -> Dict[str, Any]:
+        """Release ``row``, returning its live cells ``{name: value}``.
+
+        Called on object deletion: the values move to the object's
+        overflow dict so deleted objects keep reporting their last local
+        state, while the row is recycled for new objects.
+        """
+        spilled: Dict[str, Any] = {}
+        for name, column in zip(self.names, self.columns):
+            value = column[row]
+            if value is not UNSET:
+                spilled[name] = value
+                column[row] = UNSET
+        self.free.append(row)
+        return spilled
+
+    # -- layout lifecycle ----------------------------------------------------
+
+    def refresh(self, plan: Any) -> None:
+        """Adopt ``plan``'s layout; live rows migrate in place, by name.
+
+        Columns are *moved*, never copied: a name present in both layouts
+        keeps its column list object (so per-object values survive with
+        zero copying), new names get fresh UNSET columns, and names no
+        longer declared keep trailing slots — a stored value outlives
+        schema evolution exactly as it did in the dict regime.
+        """
+        if self.epoch == plan.schema_epoch:
+            return
+        old_slot_of = self.slot_of
+        old_columns = self.columns
+        names = [intern_name(n) for n in plan.attribute_names]
+        known = set(names)
+        for name in self.names:
+            if name not in known:
+                names.append(name)
+                known.add(name)
+        columns: List[List[Any]] = []
+        for name in names:
+            old_slot = old_slot_of.get(name)
+            if old_slot is None:
+                columns.append([UNSET] * self.capacity)
+            else:
+                columns.append(old_columns[old_slot])
+        self.names = names
+        self.slot_of = {n: i for i, n in enumerate(names)}
+        self.columns = columns
+        self.epoch = plan.schema_epoch
+
+    # -- introspection -------------------------------------------------------
+
+    def live_rows(self) -> int:
+        """Rows currently assigned to objects (capacity minus free list)."""
+        return self.capacity - len(self.free)
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return (
+            f"<TypeStore {self.type.name} epoch={self.epoch} "
+            f"slots={len(self.names)} rows={self.live_rows()}>"
+        )
+
+
+def store_for(type_: Any, obs: Any = None) -> TypeStore:
+    """The current store of ``type_``, building/refreshing lazily.
+
+    Steady state costs one attribute load and one integer compare (same
+    contract as :func:`repro.core.resolution.plan_for`).
+    """
+    store = type_._store
+    if store is None:
+        store = TypeStore(type_, _resolution.plan_for(type_, obs))
+        type_._store = store
+    elif store.epoch != _resolution._SCHEMA_EPOCH:
+        store.refresh(_resolution.plan_for(type_, obs))
+    return store
+
+
+class AttrsView(MutableMapping[str, Any]):
+    """Raw mapping over one object's local storage (slots + overflow).
+
+    This is the compatibility ``obj._attrs`` surface: plain-dict get /
+    set / pop / contains / iter / len semantics with **no side effects**
+    — no domain validation, no events, no epoch bumps.  The raw writers
+    (transaction undo, version revert, merge apply, persistence restore)
+    rely on exactly that and handle epochs/events themselves.
+    """
+
+    __slots__ = ("_obj",)
+
+    def __init__(self, obj: Any) -> None:
+        self._obj = obj
+
+    def _store(self) -> TypeStore:
+        obj = self._obj
+        store = obj._store
+        if store.epoch != _resolution._SCHEMA_EPOCH:
+            store.refresh(_resolution.plan_for(obj.object_type))
+        return store
+
+    def __getitem__(self, name: str) -> Any:
+        obj = self._obj
+        row = obj._row
+        if row >= 0:
+            store = obj._store
+            if store.epoch != _resolution._SCHEMA_EPOCH:
+                store = self._store()
+            slot = store.slot_of.get(name)
+            if slot is not None:
+                value = store.columns[slot][row]
+                if value is not UNSET:
+                    return value
+                raise KeyError(name)
+        overflow = obj._overflow
+        if overflow is None:
+            raise KeyError(name)
+        return overflow[name]
+
+    def __setitem__(self, name: str, value: Any) -> None:
+        obj = self._obj
+        row = obj._row
+        if row >= 0:
+            store = obj._store
+            if store.epoch != _resolution._SCHEMA_EPOCH:
+                store = self._store()
+            slot = store.slot_of.get(name)
+            if slot is not None:
+                store.columns[slot][row] = value
+                return
+        overflow = obj._overflow
+        if overflow is None:
+            overflow = obj._overflow = {}
+        overflow[name] = value
+
+    def __delitem__(self, name: str) -> None:
+        obj = self._obj
+        row = obj._row
+        if row >= 0:
+            store = self._store()
+            slot = store.slot_of.get(name)
+            if slot is not None:
+                column = store.columns[slot]
+                if column[row] is UNSET:
+                    raise KeyError(name)
+                column[row] = UNSET
+                return
+        overflow = obj._overflow
+        if overflow is None:
+            raise KeyError(name)
+        del overflow[name]
+
+    def __contains__(self, name: object) -> bool:
+        obj = self._obj
+        row = obj._row
+        if row >= 0 and isinstance(name, str):
+            store = self._store()
+            slot = store.slot_of.get(name)
+            if slot is not None:
+                return store.columns[slot][row] is not UNSET
+        overflow = obj._overflow
+        return overflow is not None and name in overflow
+
+    def __iter__(self) -> Iterator[str]:
+        obj = self._obj
+        row = obj._row
+        if row >= 0:
+            store = self._store()
+            for name, column in zip(store.names, store.columns):
+                if column[row] is not UNSET:
+                    yield name
+        overflow = obj._overflow
+        if overflow is not None:
+            yield from overflow
+
+    def __len__(self) -> int:
+        count = 0
+        for _ in self:
+            count += 1
+        return count
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Materialise as a plain dict (slot order, then overflow)."""
+        obj = self._obj
+        row = obj._row
+        out: Dict[str, Any] = {}
+        if row >= 0:
+            store = self._store()
+            for name, column in zip(store.names, store.columns):
+                value = column[row]
+                if value is not UNSET:
+                    out[name] = value
+        overflow = obj._overflow
+        if overflow is not None:
+            out.update(overflow)
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, AttrsView):
+            return self.to_dict() == other.to_dict()
+        if isinstance(other, dict):
+            return self.to_dict() == other
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    __hash__ = None  # type: ignore[assignment]  # mutable mapping
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return f"AttrsView({self.to_dict()!r})"

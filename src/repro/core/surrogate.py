@@ -7,14 +7,25 @@ is managed by the system."*
 A :class:`Surrogate` is an immutable, hashable token.  Surrogates are never
 reused within one :class:`SurrogateGenerator`, independent of deletions, and
 they order by creation time, which the version and lock managers rely on.
+
+Surrogates are *interned*: the generator registers every fresh token in the
+shared pool (:mod:`repro.core.interning`), and reconstruction sites
+(persistence load, CLI selectors) fold duplicates onto the live instance
+via :meth:`Surrogate.intern` — registry, lock-table and index probes then
+hit the dict identity fast path instead of comparing ``(value, space)``
+tuples.  The hash is computed once at construction for the same reason:
+surrogates key nearly every hot dictionary in the engine.
 """
 
 from __future__ import annotations
 
 import itertools
+import sys
 import threading
 from dataclasses import dataclass, field
 from typing import Iterator
+
+from .interning import intern_surrogate
 
 
 @dataclass(frozen=True, order=True)
@@ -33,6 +44,18 @@ class Surrogate:
 
     value: int
     space: str = field(default="db")
+    #: Hash of ``(value, space)``, precomputed — excluded from eq/order.
+    _hash: int = field(default=0, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.value, self.space)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def intern(self) -> "Surrogate":
+        """The canonical live instance of this token (see interning pool)."""
+        return intern_surrogate(self)
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return f"@{self.space}:{self.value}"
@@ -53,7 +76,9 @@ class SurrogateGenerator:
     def __init__(self, space: str = "db", start: int = 1) -> None:
         if start < 0:
             raise ValueError("surrogate counter must start non-negative")
-        self._space = space
+        # One canonical space string per generator: every surrogate of the
+        # space shares it, so eq/order tuple compares hit identity first.
+        self._space = sys.intern(space)
         self._counter = itertools.count(start)
         self._lock = threading.Lock()
         self._last = start - 1
@@ -69,11 +94,16 @@ class SurrogateGenerator:
         return self._last
 
     def fresh(self) -> Surrogate:
-        """Return a surrogate never issued before by this generator."""
+        """Return a surrogate never issued before by this generator.
+
+        The fresh token is registered in the shared interning pool at
+        creation time, making it the canonical instance later
+        reconstructions resolve to.
+        """
         with self._lock:
             value = next(self._counter)
             self._last = value
-        return Surrogate(value, self._space)
+        return intern_surrogate(Surrogate(value, self._space))
 
     def fresh_many(self, count: int) -> Iterator[Surrogate]:
         """Yield ``count`` fresh surrogates (convenience for bulk loads)."""

@@ -23,6 +23,7 @@ from ..core.domains import (
 )
 from ..core import resolution
 from ..core.inheritance import InheritanceRelationshipType
+from ..core.interning import InternPool
 from ..core.objtype import ObjectType, TypeBase
 from ..core.reltype import RelationshipType
 from ..errors import (
@@ -32,6 +33,9 @@ from ..errors import (
 )
 
 __all__ = ["Catalog"]
+
+#: Facade over the process-wide interning pools (see repro.core.interning).
+_INTERN_POOL = InternPool()
 
 #: Domains every catalog starts with, under the paper's spellings.
 _BUILTIN_DOMAINS: Dict[str, Domain] = {
@@ -88,6 +92,16 @@ class Catalog:
         because types can exist outside any catalog.
         """
         return resolution.schema_epoch()
+
+    @property
+    def interning(self) -> InternPool:
+        """The shared surrogate/attribute-name interning pool.
+
+        One pool per process (names and surrogate tokens are canonical
+        across catalogs, like the schema epoch); exposed here so tools
+        inspect ``catalog.interning.stats()`` next to the schema state.
+        """
+        return _INTERN_POOL
 
     def register(self, type_: TypeBase) -> TypeBase:
         """Register any kind of type under its name."""

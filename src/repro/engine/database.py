@@ -271,17 +271,31 @@ class Database:
             extent = self.class_(source)
             if where is not None and isinstance(where, str):
                 from ..expr import EvalContext, parse_expression, truthy
+                from ..expr.compile import compile_predicate
                 from ..query.planner import class_source, plan_source
 
                 node = parse_expression(where)
                 _, candidates = plan_source(
                     self, class_source(self, extent), node, text=where
                 )
-                return [
-                    obj
-                    for obj in candidates
-                    if truthy(node.evaluate(EvalContext(obj)))
-                ]
+                # One compiled slot program per concrete type; deleted
+                # candidates keep the interpretive walk (it owns the
+                # ObjectDeletedError protocol).
+                obs = getattr(self, "obs", None)
+                preds: Dict[int, Any] = {}
+                kept = []
+                for obj in candidates:
+                    if obj._row >= 0:
+                        predicate = preds.get(id(obj.object_type))
+                        if predicate is None:
+                            predicate = preds[id(obj.object_type)] = (
+                                compile_predicate(node, obj.object_type, obs)
+                            )
+                        if predicate(obj):
+                            kept.append(obj)
+                    elif truthy(node.evaluate(EvalContext(obj))):
+                        kept.append(obj)
+                return kept
             candidates: Iterable[DBObject] = extent
         else:
             candidates = source

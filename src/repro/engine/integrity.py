@@ -21,13 +21,23 @@ so tests can inject corruption and assert precise findings.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List, Set
+from typing import Any, Dict, List, Set, Tuple
 
+from ..core.constraints import ExprConstraint
 from ..core.objects import DBObject, RelationshipObject
 from ..core.surrogate import Surrogate
+from ..errors import ConstraintViolation, ExprEvaluationError
+from ..expr.ast import Binary, Node
+from ..expr.compile import compile_predicate, compiled_for
 from .database import Database
 
-__all__ = ["Violation", "VIOLATION_CODES", "check_integrity", "assert_integrity"]
+__all__ = [
+    "Violation",
+    "VIOLATION_CODES",
+    "check_integrity",
+    "assert_integrity",
+    "sweep_constraints",
+]
 
 #: Stable diagnostic code per violation kind — the REP0xx namespace of the
 #: rule catalog (repro.analysis.diagnostics registers the metadata).
@@ -37,6 +47,7 @@ VIOLATION_CODES = {
     "relationship": "REP003",
     "inheritance": "REP004",
     "class": "REP005",
+    "constraint": "REP006",
 }
 
 
@@ -76,6 +87,123 @@ def check_integrity(db: Database) -> List[Violation]:
 
     _check_classes(db, tracked, violations)
     _check_containment_uniqueness(objects, violations)
+    return violations
+
+
+#: Per-type fused AND-conjunction of its expression constraints, cached by
+#: constraint identity so the compiled-program cache (keyed on node
+#: identity) hits across sweeps.  Revalidated against the constraint list.
+_FUSED: Dict[int, Tuple[Tuple[int, ...], Node]] = {}
+
+
+def _fused_constraint_node(type_: Any, exprs: List[ExprConstraint]) -> Node:
+    ids = tuple(id(c) for c in exprs)
+    hit = _FUSED.get(id(type_))
+    if hit is not None and hit[0] == ids:
+        return hit[1]
+    node = exprs[0].node
+    for constraint in exprs[1:]:
+        node = Binary("and", node, constraint.node)
+    _FUSED[id(type_)] = (ids, node)
+    return node
+
+
+def sweep_constraints(db: Database, compiled: bool = True) -> List[Violation]:
+    """Batched sweep of every type-level value constraint.
+
+    Live objects are grouped by concrete type; each type's expression
+    constraints bind to their compiled slot program **once**, then run
+    over the whole group — the constraint-side counterpart of the batch
+    query executor.  Violations are *collected* (kind ``constraint``,
+    code REP006), not raised, so diagnostics can report them all.
+
+    ``compiled=False`` forces the tree-walking oracle
+    (:meth:`ExprConstraint.naive_holds`); results are identical — the
+    equivalence is part of the storage test suite.
+
+    Structural restrictions (subrel ``where`` clauses) stay with
+    :meth:`DBObject.check_constraints`: they carry binder scopes the slot
+    program cannot see.
+    """
+    obs = getattr(db, "obs", None)
+    violations: List[Violation] = []
+    for type_, members in db.indexes.type_groups():
+        if not type_.constraints:
+            continue
+        suspects = members
+        if compiled:
+            exprs = [c for c in type_.constraints if isinstance(c, ExprConstraint)]
+            if exprs:
+                # Phase 1: one batched scan of the fused AND-conjunction of
+                # the type's expression constraints.  Objects the scan
+                # passes satisfy every constraint and need no per-constraint
+                # work — the common all-clean sweep is a single generated
+                # loop per type.  Failures (and any evaluation error, which
+                # aborts the scan) drop to the per-constraint phase below
+                # for attribution.
+                fused = _fused_constraint_node(type_, exprs)
+                try:
+                    outcome = compiled_for(fused, type_, obs).scan(members)
+                except ExprEvaluationError:
+                    outcome = None
+                if outcome is not None:
+                    passed = outcome[1]
+                    if len(passed) == len(members):
+                        suspects = []
+                    else:
+                        # Order-preserving difference: the scan keeps
+                        # member order, so one forward merge suffices.
+                        suspects = []
+                        position = 0
+                        for obj in members:
+                            if position < len(passed) and passed[position] is obj:
+                                position += 1
+                            else:
+                                suspects.append(obj)
+        for constraint in type_.constraints:
+            if compiled and isinstance(constraint, ExprConstraint):
+                if not suspects:
+                    continue
+                predicate = compile_predicate(constraint.node, type_, obs)
+                for obj in suspects:
+                    try:
+                        # A live object without a row (defensive; deleted
+                        # objects never reach the buckets) gets the oracle.
+                        ok = predicate(obj) if obj._row >= 0 else (
+                            constraint.naive_holds(obj)
+                        )
+                    except ExprEvaluationError as exc:
+                        violations.append(Violation(
+                            "constraint",
+                            obj,
+                            f"constraint {constraint.source!r} failed to "
+                            f"evaluate on {obj!r}: {exc}",
+                        ))
+                        continue
+                    if not ok:
+                        violations.append(Violation(
+                            "constraint",
+                            obj,
+                            f"constraint {constraint.source!r} violated",
+                        ))
+            else:
+                for obj in members:
+                    try:
+                        if isinstance(constraint, ExprConstraint):
+                            ok = constraint.naive_holds(obj)
+                        else:
+                            ok = constraint.holds(obj)
+                    except ConstraintViolation as exc:
+                        violations.append(Violation(
+                            "constraint", obj, str(exc)
+                        ))
+                        continue
+                    if not ok:
+                        violations.append(Violation(
+                            "constraint",
+                            obj,
+                            f"constraint {constraint.source!r} violated",
+                        ))
     return violations
 
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import itertools
 from collections import Counter
-from typing import Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional
 
 from ..core.objects import DBObject
 from ..core.objtype import TypeBase
@@ -31,7 +31,9 @@ __all__ = ["Extent"]
 class Extent:
     """A database class: a named set of same-typed objects."""
 
-    def __init__(self, name: str, object_type: TypeBase, database=None):
+    def __init__(
+        self, name: str, object_type: TypeBase, database: Any = None
+    ) -> None:
         if not name.isidentifier():
             raise SchemaError(f"class name {name!r} is not a valid identifier")
         self.name = name
@@ -41,7 +43,7 @@ class Extent:
         self._order: Dict[Surrogate, int] = {}
         self._seq = itertools.count(1)
         #: Live count per concrete member type.
-        self._type_counts: Counter = Counter()
+        self._type_counts: Counter[TypeBase] = Counter()
         self._indexes = getattr(database, "indexes", None)
 
     def add(self, obj: DBObject) -> DBObject:

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from ..core.interning import intern_name
 from ..errors import ExprSyntaxError
 from .ast import Aggregate, Binary, Literal, Name, Node, Path, Quantified, Unary, iter_aggregates
 from .lexer import Token, tokenize
@@ -139,11 +140,11 @@ class _Parser:
         return name, self._path()
 
     def _path(self) -> Node:
-        base: Node = Name(self.expect_ident().text)
+        base: Node = Name(intern_name(self.expect_ident().text))
         segments: List[str] = []
         while self.current.is_op("."):
             self.advance()
-            segments.append(self.expect_ident().text)
+            segments.append(intern_name(self.expect_ident().text))
         return Path(base, segments) if segments else base
 
     def _attach_where(self, expression: Node, condition: Node) -> None:
@@ -223,7 +224,7 @@ class _Parser:
         segments: List[str] = []
         while self.current.is_op("."):
             self.advance()
-            segments.append(self.expect_ident().text)
+            segments.append(intern_name(self.expect_ident().text))
         return Path(node, segments) if segments else node
 
     def _primary(self) -> Node:
@@ -251,7 +252,8 @@ class _Parser:
             return node
         if token.kind == "IDENT":
             self.advance()
-            return Name(token.text)
+            # Interned: member probes on plan/slot maps hit identity.
+            return Name(intern_name(token.text))
         raise self._error("expected a value")
 
     def _aggregate(self) -> Aggregate:

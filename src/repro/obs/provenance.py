@@ -41,6 +41,7 @@ from time import time as _time
 from typing import Any, Deque, Dict, Iterator, List, NamedTuple, Optional
 
 from ..core import resolution as _resolution
+from ..core.slots import UNSET as _UNSET
 from ..engine.events import Event, EventBus, next_seq
 from ..errors import ObjectDeletedError, UnknownAttributeError
 
@@ -582,8 +583,9 @@ def explain_value(obj, name: str) -> ValueProvenance:
             continue
         # No bound permeable link: this level is the holder.
         steps.append(ProvenanceStep(current, None, decisions))
-        if name in current._attrs:
-            value = current._attrs[name]
+        local = current._local_value(name, _UNSET)
+        if local is not _UNSET:
+            value = local
             source = "local-attribute" if hops == 0 else "transmitter-attribute"
             break
         container = current._subclasses.get(name)

@@ -26,10 +26,18 @@ from ..core import resolution as _resolution
 from ..core.objects import DBObject
 from ..engine.database import Database
 from ..expr import MISSING, EvalContext, truthy
+from ..expr.compile import compile_expression, compile_predicate, compiled_for
 from .parser import QuerySpec, parse_query
 from .planner import QueryPlan, plan_source, resolve_source
 
 __all__ = ["QueryResult", "execute_query", "run_query"]
+
+#: When false, where/order/projection expressions evaluate with the
+#: tree-walking interpreter instead of compiled slot programs — the
+#: compiled engine's oracle mode, used by equivalence tests and the E19
+#: benchmark baseline.  Per-call override via ``execute_query(...,
+#: compiled=...)``.
+USE_COMPILED = True
 
 
 @dataclass
@@ -78,11 +86,13 @@ def _sort_key(value: Any):
     return (1, type(value).__name__, str(value))
 
 
-def execute_query(db: Database, spec: QuerySpec) -> QueryResult:
+def execute_query(
+    db: Database, spec: QuerySpec, compiled: Optional[bool] = None
+) -> QueryResult:
     """Run a parsed query against a database."""
     obs = getattr(db, "obs", None)
     if obs is None:
-        return _execute(db, spec, None)
+        return _execute(db, spec, None, compiled)
     # Clock the query only when a slow log is attached; within-budget
     # queries pay two perf_counter reads and one compare, nothing else.
     slowlog = obs.slowlog
@@ -90,7 +100,7 @@ def execute_query(db: Database, spec: QuerySpec) -> QueryResult:
     with obs.tracer.span(
         "query.execute", source=spec.source_name, text=spec.text
     ) as span:
-        result = _execute(db, spec, obs)
+        result = _execute(db, spec, obs, compiled)
         span.set(rows=len(result.rows))
         if result.plan is not None:
             span.set(access=result.plan.access_path)
@@ -117,6 +127,12 @@ def _distinct_rows(rows: List[Tuple[Any, ...]]) -> List[Tuple[Any, ...]]:
     so hashable rows are also checked against the kept unhashable pool,
     and unhashable rows against everything kept so far.
     """
+    try:
+        # Bulk fast path: when every row hashes, dict.fromkeys dedupes
+        # order-preservingly in one C-level pass (one hash per row).
+        return list(dict.fromkeys(rows))
+    except TypeError:
+        pass
     seen: set = set()
     unhashable: List[Tuple[Any, ...]] = []
     unique: List[Tuple[Any, ...]] = []
@@ -135,27 +151,71 @@ def _distinct_rows(rows: List[Tuple[Any, ...]]) -> List[Tuple[Any, ...]]:
     return unique
 
 
-def _execute(db: Database, spec: QuerySpec, obs) -> QueryResult:
+def _execute(
+    db: Database, spec: QuerySpec, obs, compiled: Optional[bool] = None
+) -> QueryResult:
+    use_compiled = USE_COMPILED if compiled is None else compiled
     source = resolve_source(db, spec.source_name)
     plan, candidates = plan_source(db, source, spec.where, text=spec.text)
 
     matches: List[DBObject] = []
     scanned = 0
-    # Resolve each candidate type's plan once up front (not per object):
-    # the where/order/projection evaluation then always hits valid plans.
-    warmed: set = set()
-    for obj in candidates:
-        if obj.deleted:
-            continue
-        object_type = obj.object_type
-        if id(object_type) not in warmed:
-            warmed.add(id(object_type))
-            _resolution.plan_for(object_type, obs)
-        scanned += 1
-        if spec.where is not None:
-            if not truthy(spec.where.evaluate(EvalContext(obj))):
+    where = spec.where
+    batched = False
+    if use_compiled and where is not None and candidates:
+        # Batched scan: the whole filter loop is generated next to the
+        # predicate (CompiledExpr.scan), so the steady per-object cost is
+        # one identity compare plus the inlined slot reads — no closure
+        # call.  The scan bails out (None) on the first object of another
+        # type; mixed extents rerun below with per-type dispatch.
+        outcome = compiled_for(where, candidates[0].object_type, obs).scan(
+            candidates
+        )
+        if outcome is not None:
+            scanned, matches = outcome
+            batched = True
+    if batched:
+        pass
+    elif use_compiled:
+        # Per-type dispatch: one compiled slot program per concrete type,
+        # applied over runs of candidates (heterogeneous extents, or no
+        # where clause at all).
+        pred = None
+        pred_type = None
+        preds: dict = {}
+        for obj in candidates:
+            if obj.deleted:
                 continue
-        matches.append(obj)
+            scanned += 1
+            if where is not None:
+                object_type = obj.object_type
+                if object_type is not pred_type:
+                    pred_type = object_type
+                    pred = preds.get(id(object_type))
+                    if pred is None:
+                        pred = preds[id(object_type)] = compile_predicate(
+                            where, object_type, obs
+                        )
+                if not pred(obj):
+                    continue
+            matches.append(obj)
+    else:
+        # Oracle mode: the interpretive walk.  Resolve each candidate
+        # type's plan once up front (not per object): the where/order/
+        # projection evaluation then always hits valid plans.
+        warmed: set = set()
+        for obj in candidates:
+            if obj.deleted:
+                continue
+            object_type = obj.object_type
+            if id(object_type) not in warmed:
+                warmed.add(id(object_type))
+                _resolution.plan_for(object_type, obs)
+            scanned += 1
+            if where is not None:
+                if not truthy(where.evaluate(EvalContext(obj))):
+                    continue
+            matches.append(obj)
     plan.candidates = scanned
 
     if obs is not None:
@@ -168,8 +228,20 @@ def _execute(db: Database, spec: QuerySpec, obs) -> QueryResult:
             obs.metrics.counter("query.plan.index_scan").inc()
 
     if spec.order_by is not None:
-        def order_key(obj: DBObject):
-            return _sort_key(spec.order_by.evaluate(EvalContext(obj)))
+        order_node = spec.order_by
+        if use_compiled:
+            order_fns: dict = {}
+
+            def order_key(obj: DBObject):
+                fn = order_fns.get(id(obj.object_type))
+                if fn is None:
+                    fn = order_fns[id(obj.object_type)] = compile_expression(
+                        order_node, obj.object_type, obs
+                    )
+                return _sort_key(fn(obj))
+        else:
+            def order_key(obj: DBObject):
+                return _sort_key(order_node.evaluate(EvalContext(obj)))
 
         if spec.limit is not None and spec.limit < len(matches):
             # Bounded-heap top-k: nsmallest/nlargest are documented as
@@ -204,28 +276,49 @@ def _execute(db: Database, spec: QuerySpec, obs) -> QueryResult:
         return QueryResult(spec, ["*"], rows, matches, plan)
 
     rows = []
-    for obj in matches:
-        ctx = EvalContext(obj)
-        row = tuple(
-            None if (value := node.evaluate(ctx)) is MISSING else value
-            for _, node in spec.projection
-        )
-        rows.append(row)
+    if use_compiled:
+        proj_fns: dict = {}
+        for obj in matches:
+            fns = proj_fns.get(id(obj.object_type))
+            if fns is None:
+                fns = proj_fns[id(obj.object_type)] = tuple(
+                    compile_expression(node, obj.object_type, obs)
+                    for _, node in spec.projection
+                )
+            rows.append(
+                tuple(
+                    None if (value := fn(obj)) is MISSING else value
+                    for fn in fns
+                )
+            )
+    else:
+        for obj in matches:
+            ctx = EvalContext(obj)
+            row = tuple(
+                None if (value := node.evaluate(ctx)) is MISSING else value
+                for _, node in spec.projection
+            )
+            rows.append(row)
     if spec.distinct:
         rows = _distinct_rows(rows)
     plan.rows = len(rows)
     return QueryResult(spec, spec.column_names, rows, plan=plan)
 
 
-def run_query(db: Database, text: str, explain: bool = False) -> QueryResult:
+def run_query(
+    db: Database,
+    text: str,
+    explain: bool = False,
+    compiled: Optional[bool] = None,
+) -> QueryResult:
     """Parse and execute query text in one step.
 
     The plan is always attached as ``result.plan``; ``explain=True`` is
     the spelled-out request for it (the CLI's ``--explain`` uses this) —
     execution still happens, so the plan carries actual row counts next
-    to the estimates.
+    to the estimates.  ``compiled=False`` forces the tree-walking oracle.
     """
-    result = execute_query(db, parse_query(text))
+    result = execute_query(db, parse_query(text), compiled)
     if explain and result.plan is None:  # pragma: no cover - defensive
         result.plan = QueryPlan(
             source_name=result.spec.source_name,

@@ -461,6 +461,17 @@ class IndexManager:
             if self._by_type[concrete]
         ]
 
+    def type_groups(self) -> List[Tuple[Any, List[Any]]]:
+        """Every live object, grouped by concrete type (adoption order
+        within each group) — the batch form of the extent index, served
+        in O(objects) with no per-object dispatch.  The constraint sweep
+        runs its compiled scans over these groups."""
+        return [
+            (type_, list(bucket.values()))
+            for type_, bucket in self._by_type.items()
+            if bucket
+        ]
+
     # -- value indexes ----------------------------------------------------------
 
     def value_index(self, source_kind: str, source_name: str,

@@ -24,7 +24,8 @@ live objects of the type, subtypes included).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from functools import lru_cache
 from typing import List, Optional, Tuple
 
 from ..errors import QueryError
@@ -225,6 +226,18 @@ class _QueryParser:
         return value
 
 
+@lru_cache(maxsize=256)
+def _parse_cached(source: str) -> QuerySpec:
+    return _QueryParser(source).parse()
+
+
 def parse_query(source: str) -> QuerySpec:
-    """Parse query text into a :class:`QuerySpec`."""
-    return _QueryParser(source.strip()).parse()
+    """Parse query text into a :class:`QuerySpec`.
+
+    Parses are memoised by text, so re-running a query shares one AST —
+    node identity is what keys the compiled-program cache, making repeat
+    executions hit their compiled slot programs instead of recompiling.
+    Each call returns a fresh (shallow) spec copy; the shared pieces are
+    the immutable clause ASTs.
+    """
+    return replace(_parse_cached(source.strip()))

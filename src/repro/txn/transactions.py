@@ -27,6 +27,7 @@ from time import perf_counter
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.objects import DBObject
+from ..core.slots import UNSET as _UNSET
 from ..errors import TransactionError
 from .access import AccessControlManager, Right
 from .lock_inheritance import expansion_lock_plan, inherited_lock_plan
@@ -138,8 +139,11 @@ class Transaction:
     def set(self, obj: DBObject, attribute: str, value: Any) -> Any:
         """Write-lock, log undo information, update."""
         self.write(obj, {attribute})
-        had_value = attribute in obj._attrs
-        old = obj._attrs.get(attribute)
+        # One slot probe instead of two _attrs-view constructions.
+        old = obj._local_value(attribute, _UNSET)
+        had_value = old is not _UNSET
+        if old is _UNSET:
+            old = None
         result = obj.set_attribute(attribute, value)
         self._undo.append((obj, attribute, old, had_value))
         return result

@@ -207,6 +207,17 @@ CORPUS = {
         "obj-type A = attributes: X: integer; constraints: X = ; end A;",
         "obj-type A = attributes: X: integer; constraints: X = 1; end A;",
     ),
+    "REP504": (
+        # ON is an undeclared label: per object it resolves dynamically
+        # (its own spelling), so the constraint cannot compile to a slot
+        # program.  Declaring the enum domain makes ON a known label,
+        # which the compiler folds to a constant — advisory gone.
+        "obj-type A = attributes: X: integer; constraints: X = ON; end A;",
+        """
+        domain Mode = (ON, OFF);
+        obj-type A = attributes: X: Mode; constraints: X = ON; end A;
+        """,
+    ),
     "REP301": (
         # A self-containing composite; the self-reference is also a
         # forward reference, so the build failure is predicted by REP108.
