@@ -246,6 +246,9 @@ register_rule("REP503", "query-unresolved-name", ADVICE,
 register_rule("REP504", "constraint-not-compilable", ADVICE,
               "Constraint has dynamic free names, so it cannot compile to a "
               "slot program and evaluates through the interpretive fallback")
+register_rule("REP505", "view-ineligible-member", ADVICE,
+              "Inherited member cannot materialize into a per-type view "
+              "column (container member; queries resolve it per object)")
 
 
 def make(code: str, message: str, *, subject: str = "",

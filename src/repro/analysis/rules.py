@@ -886,6 +886,47 @@ def rule_uncompilable_constraints(model: SchemaModel) -> Iterator[Diagnostic]:
                 )
 
 
+def rule_view_ineligible_members(model: SchemaModel) -> Iterator[Diagnostic]:
+    """REP505: inherited members the per-type views cannot materialize.
+
+    The materialized-view engine (:mod:`repro.query.views`) flattens a
+    type's plan-resolvable members into contiguous columns, but only
+    attribute-valued ones: a permeable *container* member (subclass set or
+    local relationship) yields live object collections whose contents
+    mutate independently of any event the view could watch, so such
+    members stay on the per-object resolution path.  Queries filtering on
+    them never take the ``view`` access path.  Advisory only: results are
+    identical, just not column-fast.
+    """
+    seen: Set[Tuple[str, str]] = set()
+    for info in model.types.values():
+        for rel in _ordered_inheritance_rels(model, info):
+            transmitter = model.transmitter_of(rel)
+            if transmitter is None:
+                continue
+            effective = model.effective_members(transmitter)
+            for member in rel.inheriting:
+                if member in info.members:
+                    continue  # shadowed locally: REP202 territory
+                decl = effective.get(member)
+                if decl is None or decl.kind == "attribute":
+                    continue
+                if (info.name, member) in seen:
+                    continue
+                seen.add((info.name, member))
+                yield make(
+                    "REP505",
+                    f"{info.name!r} inherits {decl.kind} member {member!r} "
+                    f"through {rel.name!r}; container members cannot "
+                    f"flatten into a view column, so queries filtering on "
+                    f"{member!r} resolve it per object",
+                    subject=info.name,
+                    location=_loc(model, info.line),
+                    hint="filter on attribute members (or an aggregate "
+                         "pushed into the projection) to stay view-routable",
+                )
+
+
 # ---------------------------------------------------------------------------
 # the model-rule registry
 # ---------------------------------------------------------------------------
@@ -908,6 +949,7 @@ _MODEL_RULES = [
     rule_subrel_where,
     rule_lock_order_cycle,
     rule_uncompilable_constraints,
+    rule_view_ineligible_members,
 ]
 
 

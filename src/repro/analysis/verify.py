@@ -194,6 +194,8 @@ def _exercise(db: Database, report: VerifyReport) -> None:
                         f"oracle chain does not start at the object"
                     )
 
+    _probe_views(db, instances, report)
+
     report.checks += 1
     violations = check_integrity(db)
     if violations:
@@ -201,6 +203,80 @@ def _exercise(db: Database, report: VerifyReport) -> None:
             f"integrity: {diag.code} {diag.message}"
             for diag in diagnostics_from_violations(violations)
         )
+
+
+def _probe_views(db: Database, instances: Dict[str, Any], report: VerifyReport) -> None:
+    """View-vs-live parity: every materialized cell must agree with the
+    interpretive oracle, and a view-routed query must return exactly what
+    the live resolution path returns.
+
+    A live read that raises ``KeyError``/``UnknownAttributeError`` maps to
+    the member's own spelling — the engine-wide label convention — so the
+    view cell is compared against that; any *other* live failure must have
+    tainted the row (a tainted view refuses scans, keeping error parity).
+    """
+    from ..query.executor import run_query
+
+    db.views.min_view_source = 0  # probe even single-instance extents
+    for obj in instances.values():
+        if obj.deleted:
+            continue
+        view = db.views.view_for(obj.object_type)
+        if view is None:
+            continue
+        vrow = view.row_of.get(obj.surrogate)
+        if vrow is None:
+            report.failures.append(
+                f"views: {obj.object_type.name} instance {obj.surrogate} "
+                f"missing from its type view"
+            )
+            continue
+        for member in view.names:
+            report.checks += 1
+            expected = _outcome(
+                lambda: resolution.naive_get_member(obj, member)
+            )
+            if expected[0] == "raise":
+                if expected[1] in ("KeyError", "UnknownAttributeError"):
+                    expected = ("value", member)  # label convention
+                elif obj.surrogate not in view.tainted:
+                    report.failures.append(
+                        f"views: {obj.object_type.name}.{member}: live read "
+                        f"raises {expected[1]} but the view row is not "
+                        f"tainted"
+                    )
+                    continue
+                else:
+                    continue
+            cell = view.columns[view.col_of[member]][vrow]
+            if not _same_outcome(("value", cell), expected):
+                report.failures.append(
+                    f"views: {obj.object_type.name}.{member}: view cell "
+                    f"{cell!r} != oracle {expected[1]!r}"
+                )
+
+    for name, obj in instances.items():
+        if obj.deleted:
+            continue
+        view = db.views._views.get(obj.object_type)
+        if view is None or not view.names:
+            continue
+        member = view.names[0]
+        if not (name.isidentifier() and member.isidentifier()):
+            continue
+        text = f"select * from {name} where {member} = {member}"
+        report.checks += 1
+        live = _outcome(lambda: frozenset(
+            o.surrogate for o in run_query(db, text, views=False).objects
+        ))
+        routed = _outcome(lambda: frozenset(
+            o.surrogate for o in run_query(db, text, views=True).objects
+        ))
+        if not _same_outcome(routed, live):
+            report.failures.append(
+                f"views: query {text!r}: view path {routed!r} != live "
+                f"path {live!r}"
+            )
 
 
 def _synthesize(db: Database, report: VerifyReport) -> Dict[str, Any]:

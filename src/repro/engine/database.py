@@ -64,6 +64,7 @@ class Database:
         # Imported here, not at module level: repro.query imports this
         # module for the executor, so the package edges meet at runtime.
         from ..query.indexes import IndexManager
+        from ..query.views import ViewManager
 
         self.name = name
         self.surrogates = SurrogateGenerator(name)
@@ -73,6 +74,8 @@ class Database:
         self._objects: Dict[Surrogate, DBObject] = {}
         #: Extent/value indexes + sargable-query planner state (repro.query).
         self.indexes = IndexManager(self)
+        #: Materialized per-type inherited-relation views (repro.query.views).
+        self.views = ViewManager(self)
         #: Set by repro.txn when a transaction manager attaches.
         self.transactions = None
         #: Set by repro.consistency when an adaptation tracker attaches.
@@ -127,12 +130,14 @@ class Database:
         """Track every object constructed against this database."""
         self._objects[obj.surrogate] = obj
         self.indexes.object_adopted(obj)
+        self.views.object_adopted(obj)
 
     def _forget_object(self, obj: DBObject) -> None:
         self._objects.pop(obj.surrogate, None)
         for extent in self._classes.values():
             extent.discard(obj)
         self.indexes.object_forgotten(obj)
+        self.views.object_forgotten(obj)
 
     # -- schema ------------------------------------------------------------------
 

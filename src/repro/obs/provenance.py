@@ -427,6 +427,7 @@ class ValueProvenance:
         "served_by",
         "epochs",
         "indexes",
+        "views",
     )
 
     def __init__(
@@ -441,6 +442,7 @@ class ValueProvenance:
         served_by: str,
         epochs: Dict[str, int],
         indexes: List[str],
+        views: Optional[List[str]] = None,
     ):
         self.object = obj
         self.attribute = attribute
@@ -452,6 +454,10 @@ class ValueProvenance:
         self.served_by = served_by
         self.epochs = epochs
         self.indexes = indexes
+        #: Materialized views whose flattened row carries this reading,
+        #: each tagged ``(fresh)`` or ``(stale)`` by comparing the view
+        #: cell with the live value (see repro.query.views).
+        self.views = views if views is not None else []
 
     def chain(self) -> List[Any]:
         """The delegation chain ``[object, …, holder]`` (provenance oracle:
@@ -469,6 +475,7 @@ class ValueProvenance:
             "served_by": self.served_by,
             "epochs": dict(self.epochs),
             "indexes": list(self.indexes),
+            "views": list(self.views),
             "path": [step.as_dict() for step in self.steps],
         }
 
@@ -484,6 +491,8 @@ class ValueProvenance:
         ]
         if self.indexes:
             lines.append(f"  tracked by: {', '.join(self.indexes)}")
+        if self.views:
+            lines.append(f"  materialized in: {', '.join(self.views)}")
         lines.append("  path:")
         for step in self.steps:
             arrow = f" --[{step.via}]-->" if step.via else "  (holder)"
@@ -621,6 +630,23 @@ def explain_value(obj, name: str) -> ValueProvenance:
                 indexes.append(
                     f"{index.source_kind}:{index.source_name}.{index.attr}"
                 )
+    views: List[str] = []
+    view_manager = getattr(database, "views", None)
+    if view_manager is not None:
+        view = view_manager._views.get(obj.object_type)
+        if view is not None and view.schema_epoch == schema:
+            col = view.col_of.get(name)
+            vrow = view.row_of.get(obj.surrogate)
+            if col is not None and vrow is not None:
+                cell = view.columns[col][vrow]
+                try:
+                    fresh = bool(cell == value)
+                except Exception:  # noqa: BLE001 — incomparable: identity
+                    fresh = cell is value
+                views.append(
+                    f"type:{obj.object_type.name}.{name} "
+                    f"({'fresh' if fresh else 'stale'})"
+                )
     return ValueProvenance(
         obj,
         name,
@@ -636,6 +662,7 @@ def explain_value(obj, name: str) -> ValueProvenance:
             "holder_mutation": holder._mutation_epoch,
         },
         indexes,
+        views,
     )
 
 

@@ -58,6 +58,11 @@ def snapshot(db, include_events: bool = True) -> Dict[str, Any]:
     indexes = getattr(db, "indexes", None)
     if indexes is not None:
         gauges.update(indexes.stats_snapshot())
+    # Same for the materialized-view manager (query.view.hits / misses /
+    # refreshes / staleness / …).
+    views = getattr(db, "views", None)
+    if views is not None:
+        gauges.update(views.stats_snapshot())
     result: Dict[str, Any] = {
         "schema": SCHEMA_VERSION,
         "database": db.name,

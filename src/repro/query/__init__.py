@@ -7,7 +7,9 @@
 
 Execution is planned: sargable ``where`` conjuncts are answered from
 incrementally-maintained value indexes when that beats a full scan (see
-:mod:`repro.query.planner` and :mod:`repro.query.indexes`); pass
+:mod:`repro.query.planner` and :mod:`repro.query.indexes`); full-scan
+predicates over plan-resolvable members — inherited ones included — route
+to materialized per-type views (:mod:`repro.query.views`).  Pass
 ``explain=True`` (or use ``repro query --explain``) to inspect the chosen
 plan via ``result.plan``.
 """
@@ -16,6 +18,7 @@ from .executor import QueryResult, execute_query, run_query
 from .indexes import IndexManager, ValueIndex
 from .parser import QuerySpec, parse_query
 from .planner import QueryPlan, Sarg, extract_sargs, plan_source, resolve_source
+from .views import TypeView, ViewManager, view_eligible_names
 
 __all__ = [
     "IndexManager",
@@ -23,11 +26,14 @@ __all__ = [
     "QueryResult",
     "QuerySpec",
     "Sarg",
+    "TypeView",
     "ValueIndex",
+    "ViewManager",
     "execute_query",
     "extract_sargs",
     "parse_query",
     "plan_source",
     "resolve_source",
     "run_query",
+    "view_eligible_names",
 ]

@@ -39,6 +39,13 @@ __all__ = ["QueryResult", "execute_query", "run_query"]
 #: compiled=...)``.
 USE_COMPILED = True
 
+#: When false, full-scan predicates are never routed to materialized
+#: per-type views (:mod:`repro.query.views`) — the live-resolution path
+#: is the views engine's differential oracle, used by the equivalence
+#: tests and the E20 benchmark baseline.  Per-call override via
+#: ``execute_query(..., views=...)``.
+USE_VIEWS = True
+
 
 @dataclass
 class QueryResult:
@@ -87,12 +94,15 @@ def _sort_key(value: Any):
 
 
 def execute_query(
-    db: Database, spec: QuerySpec, compiled: Optional[bool] = None
+    db: Database,
+    spec: QuerySpec,
+    compiled: Optional[bool] = None,
+    views: Optional[bool] = None,
 ) -> QueryResult:
     """Run a parsed query against a database."""
     obs = getattr(db, "obs", None)
     if obs is None:
-        return _execute(db, spec, None, compiled)
+        return _execute(db, spec, None, compiled, views)
     # Clock the query only when a slow log is attached; within-budget
     # queries pay two perf_counter reads and one compare, nothing else.
     slowlog = obs.slowlog
@@ -100,7 +110,7 @@ def execute_query(
     with obs.tracer.span(
         "query.execute", source=spec.source_name, text=spec.text
     ) as span:
-        result = _execute(db, spec, obs, compiled)
+        result = _execute(db, spec, obs, compiled, views)
         span.set(rows=len(result.rows))
         if result.plan is not None:
             span.set(access=result.plan.access_path)
@@ -152,9 +162,14 @@ def _distinct_rows(rows: List[Tuple[Any, ...]]) -> List[Tuple[Any, ...]]:
 
 
 def _execute(
-    db: Database, spec: QuerySpec, obs, compiled: Optional[bool] = None
+    db: Database,
+    spec: QuerySpec,
+    obs,
+    compiled: Optional[bool] = None,
+    views: Optional[bool] = None,
 ) -> QueryResult:
     use_compiled = USE_COMPILED if compiled is None else compiled
+    use_views = USE_VIEWS if views is None else views
     source = resolve_source(db, spec.source_name)
     plan, candidates = plan_source(db, source, spec.where, text=spec.text)
 
@@ -163,14 +178,22 @@ def _execute(
     where = spec.where
     batched = False
     if use_compiled and where is not None and candidates:
-        # Batched scan: the whole filter loop is generated next to the
-        # predicate (CompiledExpr.scan), so the steady per-object cost is
-        # one identity compare plus the inlined slot reads — no closure
-        # call.  The scan bails out (None) on the first object of another
-        # type; mixed extents rerun below with per-type dispatch.
-        outcome = compiled_for(where, candidates[0].object_type, obs).scan(
-            candidates
-        )
+        outcome = None
+        if use_views and plan.access_path == "full-scan":
+            # View routing: predicates over inherited members run against
+            # the type's materialized view columns (plan shows "view").
+            # Index paths keep precedence — sub-linear beats faster-scan.
+            outcome = db.views.try_scan(where, candidates, plan, obs)
+        if outcome is None:
+            # Batched scan: the whole filter loop is generated next to the
+            # predicate (CompiledExpr.scan), so the steady per-object cost
+            # is one identity compare plus the inlined slot reads — no
+            # closure call.  The scan bails out (None) on the first object
+            # of another type; mixed extents rerun below with per-type
+            # dispatch.
+            outcome = compiled_for(where, candidates[0].object_type, obs).scan(
+                candidates
+            )
         if outcome is not None:
             scanned, matches = outcome
             batched = True
@@ -224,6 +247,8 @@ def _execute(
         obs.metrics.counter("query.rows_matched").inc(len(matches))
         if plan.access_path == "full-scan":
             obs.metrics.counter("query.plan.full_scan").inc()
+        elif plan.access_path == "view":
+            obs.metrics.counter("query.plan.view_scan").inc()
         else:
             obs.metrics.counter("query.plan.index_scan").inc()
 
@@ -310,15 +335,18 @@ def run_query(
     text: str,
     explain: bool = False,
     compiled: Optional[bool] = None,
+    views: Optional[bool] = None,
 ) -> QueryResult:
     """Parse and execute query text in one step.
 
     The plan is always attached as ``result.plan``; ``explain=True`` is
     the spelled-out request for it (the CLI's ``--explain`` uses this) —
     execution still happens, so the plan carries actual row counts next
-    to the estimates.  ``compiled=False`` forces the tree-walking oracle.
+    to the estimates.  ``compiled=False`` forces the tree-walking oracle;
+    ``views=False`` keeps inherited-member predicates on the live
+    resolution path (the materialized-view oracle).
     """
-    result = execute_query(db, parse_query(text), compiled)
+    result = execute_query(db, parse_query(text), compiled, views)
     if explain and result.plan is None:  # pragma: no cover - defensive
         result.plan = QueryPlan(
             source_name=result.spec.source_name,

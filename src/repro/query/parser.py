@@ -28,6 +28,7 @@ from dataclasses import dataclass, replace
 from functools import lru_cache
 from typing import List, Optional, Tuple
 
+from ..core import resolution as _resolution
 from ..errors import QueryError
 from ..expr.ast import Node
 from ..expr.lexer import Token, tokenize
@@ -227,17 +228,22 @@ class _QueryParser:
 
 
 @lru_cache(maxsize=256)
-def _parse_cached(source: str) -> QuerySpec:
+def _parse_cached(source: str, schema_epoch: int) -> QuerySpec:
+    # schema_epoch is not read — it is part of the cache key, so a DDL
+    # change yields fresh AST nodes for the same text (see parse_query).
     return _QueryParser(source).parse()
 
 
 def parse_query(source: str) -> QuerySpec:
     """Parse query text into a :class:`QuerySpec`.
 
-    Parses are memoised by text, so re-running a query shares one AST —
-    node identity is what keys the compiled-program cache, making repeat
-    executions hit their compiled slot programs instead of recompiling.
-    Each call returns a fresh (shallow) spec copy; the shared pieces are
-    the immutable clause ASTs.
+    Parses are memoised by ``(text, schema epoch)``: re-running a query
+    within one epoch shares one AST — node identity is what keys the
+    compiled-program and view-scan caches, making repeat executions hit
+    their compiled programs instead of recompiling — while any DDL change
+    (type definition, ``declare_inheritor_in``) keys a fresh parse, so no
+    downstream cache can serve a program compiled against the old schema
+    for textually identical query text.  Each call returns a fresh
+    (shallow) spec copy; the shared pieces are the immutable clause ASTs.
     """
-    return replace(_parse_cached(source.strip()))
+    return replace(_parse_cached(source.strip(), _resolution.schema_epoch()))

@@ -218,6 +218,27 @@ CORPUS = {
         obj-type A = attributes: X: Mode; constraints: X = ON; end A;
         """,
     ),
+    "REP505": (
+        # B inherits the Parts *subclass*: container members cannot
+        # flatten into a view column, so queries filtering on Parts
+        # resolve it per object.  Inheriting only attributes is quiet.
+        """
+        obj-type P = attributes: X: integer; end P;
+        obj-type A = attributes: L: integer;
+            types-of-subclasses: Parts: P; end A;
+        inher-rel-type R = transmitter: object-of-type A; inheritor: object;
+            inheriting: L, Parts; end R;
+        obj-type B = inheritor-in: R; end B;
+        """,
+        """
+        obj-type P = attributes: X: integer; end P;
+        obj-type A = attributes: L: integer;
+            types-of-subclasses: Parts: P; end A;
+        inher-rel-type R = transmitter: object-of-type A; inheritor: object;
+            inheriting: L; end R;
+        obj-type B = inheritor-in: R; end B;
+        """,
+    ),
     "REP301": (
         # A self-containing composite; the self-reference is also a
         # forward reference, so the build failure is predicted by REP108.
@@ -432,14 +453,20 @@ def populated_db():
 
 class TestDatabaseRules:
     def test_healthy_database_is_clean(self, populated_db):
-        assert codes_of(analyze(populated_db)) == []
+        # Advice only: GateImplementation inherits the Pins *subclass*,
+        # which legitimately trips the view-ineligibility advisory.
+        findings = analyze(populated_db)
+        assert codes_of(findings) == ["REP505"]
+        assert all(d.severity == ADVICE for d in findings)
 
     def test_corruption_surfaces_as_rep0xx(self, populated_db):
         iface = populated_db.class_("Interfaces").members()[0]
         iface._deleted = True  # corrupt: deleted without unregistering
         findings = analyze(populated_db)
         assert "REP001" in codes_of(findings)
-        assert all(d.severity == ERROR for d in findings)
+        assert all(
+            d.severity == ERROR for d in findings if d.code != "REP505"
+        )
 
     def test_violation_codes_are_stable(self):
         assert Violation("containment", None, "x").code == "REP002"

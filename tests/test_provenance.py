@@ -478,7 +478,7 @@ class TestExplainValue:
         shape = prov.as_dict()
         assert set(shape) == {
             "object", "attribute", "value", "holder", "hops", "source",
-            "served_by", "epochs", "indexes", "path",
+            "served_by", "epochs", "indexes", "views", "path",
         }
         json.dumps(shape)  # JSON-safe
 
