@@ -241,6 +241,28 @@ EXPERIMENTS = {
         "run_query(views=False) — rows, order, errors — is pinned by the "
         "hypothesis oracle in tests/test_views.py.",
     ),
+    "bench_e21_contention": (
+        "E21 — flight-recorder tax and the contention observatory",
+        "service-tier observability (repro.obs.recorder / repro.txn.locks)",
+        "The flight recorder is pull-based — one tick walks the registry, "
+        "summarises histogram percentiles and appends to the ring in "
+        "~13 µs, the price the sampling thread pays per interval, while "
+        "the engine's update path costs the same with an empty and a "
+        "capacity-full ring (update_recorder_idle vs. "
+        "update_recorder_full_ring; the pytest variant pins them within "
+        "a 3× min-of-7 noise bound and update_dark is the "
+        "observability-off floor, ~4-5× cheaper than carrying metrics "
+        "at all).  contended_grant prices one full blocking-lock round — "
+        "K reader threads park behind an exclusive holder, waits-for "
+        "edges register, the holder releases, every waiter is granted "
+        "and the wait histogram absorbs K observations — at "
+        "thread-lifecycle cost (~2.7 ms for K=4), with the uncontended "
+        "acquire held at parity with the non-blocking seed "
+        "(locked_read_plain in E9).  The pytest variant additionally "
+        "walks the lock-wait-p95 health rule through ok → degraded → ok "
+        "around the contention burst, pinning the windowed-delta "
+        "semantics of repro.obs.health end to end.",
+    ),
 }
 
 HEADER = """# EXPERIMENTS — paper vs. measured
@@ -280,6 +302,7 @@ reproduction targets, and all of them hold on this run.
 | E18 | perf observatory | profiler + slow-log overhead | measured (≈0 disabled; profiler tax ≈0 by min/median on deep-chain reads) |
 | E19 | engine substrate | slotted storage + compiled scans | measured (≥10× eq/range scans and constraint sweep at 50k vs. tree walk) |
 | E20 | §4.2 permeability (Litwin SIRs) | materialized per-type views | measured (~12× inherited-eq scan at 50k vs. tree walk, maintenance priced) |
+| E21 | service-tier observability | flight recorder + contention observatory | measured (tick ~13 µs, update parity empty vs. full ring, contended grants + health walk) |
 
 The same suites are driven by the unified stdlib harness (`repro bench`,
 `src/repro/obs/bench.py`): every run emits a `BENCH_<seq>.json` snapshot

@@ -14,6 +14,9 @@
     python -m repro bench [--quick] [--compare]   # unified benchmark harness
     python -m repro profile [--hz N] COMMAND ...  # sampling profiler
     python -m repro slowlog FILE.ddl IMAGE        # slow-operation log
+    python -m repro flight FILE.ddl IMAGE         # flight-recorder ring (repro.flight/1)
+    python -m repro health FILE.ddl IMAGE         # health verdict (exit 0/1/2)
+    python -m repro top FILE.ddl IMAGE            # live rates/health/contention view
 
 ``check`` and ``query`` accept ``--trace`` to run with tracing enabled and
 print the span tree — with propagation-cone membership under it — to
@@ -281,6 +284,13 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     load(args.image, db)
     if not args.no_exercise:
         exercise(db)
+    if args.watch is not None:
+        return _watch_loop(
+            db,
+            interval=args.watch,
+            count=args.count,
+            exercise_each=not args.no_exercise,
+        )
     snap = snapshot(db, include_events=not args.no_events)
     if args.json:
         print(json.dumps(snap, indent=2))
@@ -297,6 +307,135 @@ def cmd_metrics(args: argparse.Namespace) -> int:
                     f"{event.subject!r}{cause}"
                 )
     return 0
+
+
+def _watch_loop(
+    db: Database,
+    interval: float,
+    count: Optional[int],
+    exercise_each: bool,
+    top: bool = False,
+    limit: int = 20,
+) -> int:
+    """Tick the flight recorder every ``interval`` seconds and render.
+
+    The shared loop behind ``repro metrics --watch`` and ``repro top``:
+    one :meth:`~repro.obs.recorder.FlightRecorder.tick` per frame, the
+    sample rendered through the recorder's own renderer.  ``top`` adds
+    the health verdict and the lock table's contention snapshot and
+    clears the screen between frames on a tty.  Runs until ``count``
+    frames (None = until Ctrl-C).
+    """
+    import time as _time
+
+    from .obs.recorder import render_sample
+    from .obs.report import exercise
+
+    recorder = db.obs.recorder
+    recorder.tick()
+    frames = 0
+    try:
+        while count is None or frames < count:
+            _time.sleep(interval)
+            if exercise_each:
+                exercise(db)
+            sample = recorder.tick()
+            if top and sys.stdout.isatty():
+                print("\x1b[2J\x1b[H", end="")
+            if top:
+                report = db.obs.health.evaluate()
+                print(
+                    f"repro top — db={db.name}  "
+                    f"health={report.status.upper()}  "
+                    f"interval={interval:g}s"
+                )
+                print()
+            print(render_sample(sample, limit=limit))
+            if top:
+                firing = db.obs.health.evaluate().firing()
+                if firing:
+                    print("health:")
+                    for result in firing:
+                        print(
+                            f"  [{result.status.upper()}] {result.name}: "
+                            f"{result.reason}"
+                        )
+                manager = db.transactions
+                if manager is not None:
+                    snap = manager.lock_table.contention_snapshot()
+                    print(
+                        f"locks: {snap['granted']} granted on "
+                        f"{snap['locked_objects']} object(s) by "
+                        f"{snap['holding_transactions']} txn(s), "
+                        f"{snap['waiting']} waiting"
+                    )
+                    for waiter, holder in snap["waits_for"]:
+                        print(f"  txn {waiter} waits for txn {holder}")
+            print()
+            frames += 1
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_flight(args: argparse.Namespace) -> int:
+    from .obs.recorder import render_sample
+    from .obs.report import exercise
+
+    db = Database("cli", observe=True)
+    _load_catalog(db, args.schema)
+    load(args.image, db)
+    recorder = db.obs.recorder
+    recorder.tick()
+    for _ in range(args.ticks):
+        if not args.no_exercise:
+            exercise(db)
+        recorder.tick()
+    if args.json:
+        print(json.dumps(recorder.snapshot(), indent=2))
+        return 0
+    print(
+        f"flight recorder: {len(recorder)} sample(s) buffered "
+        f"(capacity {recorder.capacity}, {recorder.ticks} tick(s) taken)"
+    )
+    latest = recorder.latest()
+    if latest is not None:
+        print(render_sample(latest, limit=args.limit))
+    return 0
+
+
+def cmd_health(args: argparse.Namespace) -> int:
+    from .obs.report import exercise
+
+    db = Database("cli", observe=True)
+    _load_catalog(db, args.schema)
+    load(args.image, db)
+    recorder = db.obs.recorder
+    recorder.tick()
+    for _ in range(args.ticks):
+        if not args.no_exercise:
+            exercise(db)
+        recorder.tick()
+    report = db.obs.health.evaluate()
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(report.render())
+    return report.exit_code
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    db = Database("cli", observe=True)
+    _load_catalog(db, args.schema)
+    load(args.image, db)
+    return _watch_loop(
+        db,
+        interval=args.interval,
+        count=args.count,
+        exercise_each=not args.no_exercise,
+        top=True,
+        limit=args.limit,
+    )
 
 
 def cmd_audit(args: argparse.Namespace) -> int:
@@ -366,6 +505,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             if args.compare is not True
             else bench_harness.latest_snapshot(args.root)
         )
+        prior = None
         if prior_path is None:
             print(
                 f"compare: no prior BENCH_*.json under {args.root!r}; "
@@ -373,7 +513,17 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
         else:
-            prior = bench_harness.load_snapshot(prior_path)
+            try:
+                prior = bench_harness.load_snapshot(prior_path)
+            except (ValueError, OSError) as exc:
+                # An empty or malformed baseline must not fail the run:
+                # report it, skip the gate, and let this run re-seed.
+                print(
+                    f"compare: baseline {prior_path} is unusable ({exc}); "
+                    "skipping the regression gate",
+                    file=sys.stderr,
+                )
+        if prior is not None:
             threshold = args.threshold / 100.0
             current = bench_harness.make_snapshot(results, seq=0, mode=mode)
             comparison = bench_harness.compare_snapshots(
@@ -461,9 +611,9 @@ def cmd_slowlog(args: argparse.Namespace) -> int:
         exercise(db)
     slowlog = db.obs.slowlog
     if args.json:
-        print(json.dumps(slowlog.snapshot(), indent=2))
+        print(json.dumps(slowlog.snapshot(args.kind, args.since), indent=2))
     else:
-        print(slowlog.render())
+        print(slowlog.render(args.kind, args.since))
     return 0
 
 
@@ -613,6 +763,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--events",
         action="store_true",
         help="also dump the full event ring (seq, kind, subject, cause)",
+    )
+    p_metrics.add_argument(
+        "--watch",
+        type=float,
+        metavar="SECONDS",
+        help="interval mode: tick the flight recorder every SECONDS and "
+        "render per-second rates instead of the one-shot dump",
+    )
+    p_metrics.add_argument(
+        "--count",
+        type=int,
+        metavar="N",
+        help="with --watch: stop after N frames (default: until Ctrl-C)",
     )
     p_metrics.set_defaults(func=cmd_metrics)
 
@@ -810,7 +973,109 @@ def build_parser() -> argparse.ArgumentParser:
     p_slowlog.add_argument(
         "--json", action="store_true", help="emit the repro.slowlog/1 JSON"
     )
+    p_slowlog.add_argument(
+        "--kind",
+        help="only operations of this kind (query, propagation, "
+        "expansion, txn)",
+    )
+    p_slowlog.add_argument(
+        "--since",
+        type=int,
+        metavar="SEQ",
+        help="only operations at or after this global sequence number "
+        "(the #seq shared with repro audit records)",
+    )
     p_slowlog.set_defaults(func=cmd_slowlog)
+
+    p_flight = sub.add_parser(
+        "flight",
+        help="load an image with observability on, tick the flight "
+        "recorder across workout rounds, and dump the sample ring "
+        "(repro.flight/1)",
+    )
+    p_flight.add_argument("schema", help="path to a .ddl schema file")
+    p_flight.add_argument("image", help="JSON image to observe")
+    p_flight.add_argument(
+        "--ticks",
+        type=int,
+        default=3,
+        metavar="N",
+        help="workout/tick rounds after the baseline sample (default: 3)",
+    )
+    p_flight.add_argument(
+        "--no-exercise",
+        action="store_true",
+        help="skip the workout between ticks; samples show only loading",
+    )
+    p_flight.add_argument(
+        "--limit",
+        type=int,
+        default=20,
+        metavar="N",
+        help="rate rows in the text rendering (default: 20)",
+    )
+    p_flight.add_argument(
+        "--json", action="store_true", help="emit the repro.flight/1 JSON"
+    )
+    p_flight.set_defaults(func=cmd_flight)
+
+    p_health = sub.add_parser(
+        "health",
+        help="evaluate the health rules over flight-recorder samples; "
+        "exit 0 ok, 1 degraded, 2 critical",
+    )
+    p_health.add_argument("schema", help="path to a .ddl schema file")
+    p_health.add_argument("image", help="JSON image to observe")
+    p_health.add_argument(
+        "--ticks",
+        type=int,
+        default=3,
+        metavar="N",
+        help="workout/tick rounds before evaluating (default: 3)",
+    )
+    p_health.add_argument(
+        "--no-exercise",
+        action="store_true",
+        help="skip the workout between ticks",
+    )
+    p_health.add_argument(
+        "--json", action="store_true", help="emit the repro.health/1 JSON"
+    )
+    p_health.set_defaults(func=cmd_health)
+
+    p_top = sub.add_parser(
+        "top",
+        help="live terminal view: per-second rates, health verdict and "
+        "lock contention, refreshed per interval",
+    )
+    p_top.add_argument("schema", help="path to a .ddl schema file")
+    p_top.add_argument("image", help="JSON image to observe")
+    p_top.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="refresh interval (default: 1.0)",
+    )
+    p_top.add_argument(
+        "--count",
+        type=int,
+        metavar="N",
+        help="stop after N frames (default: until Ctrl-C)",
+    )
+    p_top.add_argument(
+        "--no-exercise",
+        action="store_true",
+        help="do not run the workout between frames (observe only)",
+    )
+    p_top.add_argument(
+        "--limit",
+        type=int,
+        default=15,
+        metavar="N",
+        help="rate rows per frame (default: 15)",
+    )
+    p_top.set_defaults(func=cmd_top)
     return parser
 
 

@@ -97,7 +97,10 @@ class Database:
         JSONL path or sink object), ``slowlog`` (default True: keep the
         slow-operation log), ``slow_budgets`` (per-kind latency budgets
         in seconds, e.g. ``{"query": 0.05}`` — see
-        :data:`repro.obs.slowlog.DEFAULT_BUDGETS`), ``slowlog_ring``.
+        :data:`repro.obs.slowlog.DEFAULT_BUDGETS`), ``slowlog_ring``,
+        ``flight_ring`` (sample capacity of the pull-based flight
+        recorder reachable as ``obs.recorder``; the recorder costs
+        nothing until ticked).
         """
         if self.obs is None:
             from ..obs import Observability

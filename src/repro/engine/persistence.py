@@ -16,7 +16,7 @@ attribute values are re-validated against their domains on load.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict
+from typing import Any, Dict, List, Tuple
 
 from ..core.domains import RecordValue
 from ..core.objects import DBObject, InheritanceLink, RelationshipObject
@@ -187,6 +187,10 @@ def _load_image(image: Dict[str, Any], db: Database) -> Database:
     by_surrogate: Dict[int, DBObject] = {}
 
     # Pass 1: plain objects, so relationships can resolve participants.
+    # An object's container owner may itself be a relationship (a steel
+    # Screwing carries its Bolt/Nut in local subclasses), and those only
+    # materialise in pass 2 — defer such containers until then.
+    deferred_containers: List[Tuple[DBObject, Any]] = []
     for record in records:
         if record["kind"] != "object":
             continue
@@ -198,8 +202,12 @@ def _load_image(image: Dict[str, Any], db: Database) -> Database:
             continue
         obj = by_surrogate[record["surrogate"]]
         _restore_attrs(obj, record["attrs"])
-        if record["container"] is not None:
-            _restore_container(obj, record["container"], by_surrogate)
+        ref = record["container"]
+        if ref is not None:
+            if ref[0] in by_surrogate:
+                _restore_container(obj, ref, by_surrogate)
+            else:
+                deferred_containers.append((obj, ref))
 
     # Pass 2: relationships and links, in surrogate (creation) order.
     for record in records:
@@ -243,6 +251,9 @@ def _load_image(image: Dict[str, Any], db: Database) -> Database:
                 rel._container_rel = container
                 container._members[rel.surrogate] = rel
             by_surrogate[record["surrogate"]] = rel
+
+    for obj, ref in deferred_containers:
+        _restore_container(obj, ref, by_surrogate)
 
     # Classes.
     for name, class_record in image.get("classes", {}).items():

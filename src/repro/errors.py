@@ -117,6 +117,10 @@ class DeadlockError(LockConflictError):
     """Granting the request would create a wait-for cycle."""
 
 
+class LockTimeoutError(LockConflictError):
+    """A blocking lock request waited past its timeout."""
+
+
 class AccessDeniedError(TransactionError):
     """The access-control manager refused the operation or lock mode."""
 

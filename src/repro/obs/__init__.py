@@ -24,6 +24,11 @@ instrumentation in the hot code:
 * :class:`~repro.obs.profiler.SamplingProfiler` — background-thread
   wall-clock frame sampler with collapsed-stack / flamegraph output and
   per-span attribution (``repro profile``);
+* :class:`~repro.obs.recorder.FlightRecorder` — a pull-based ring of
+  periodic registry samples turning lifetime counters into *rates*
+  (``repro flight``, ``repro top``, the ``repro.flight/1`` schema);
+* :mod:`~repro.obs.health` — declarative ok/degraded/critical rules
+  over the recorder's series (``repro health``, ``repro.health/1``);
 * :mod:`~repro.obs.bench` — the unified benchmark harness behind
   ``repro bench``: one timing discipline for every suite, versioned
   ``BENCH_*.json`` snapshots, noise-aware regression gating;
@@ -50,7 +55,26 @@ from .bench import (
     write_snapshot,
 )
 from .export import AUDIT_SCHEMA_VERSION, JsonlSink, audit_snapshot, render_audit_table
+from .health import (
+    HEALTH_SCHEMA_VERSION,
+    HealthMonitor,
+    HealthReport,
+    HealthRule,
+    RuleResult,
+    default_rules,
+    hit_rate_rule,
+    monitor_of,
+    percentile_rule,
+    rate_rule,
+)
 from .instruments import Observability, maybe_span, observability_of
+from .recorder import (
+    FLIGHT_SCHEMA_VERSION,
+    FlightRecorder,
+    FlightSample,
+    recorder_of,
+    render_sample,
+)
 from .metrics import (
     DEFAULT_BUCKETS,
     FANOUT_BUCKETS,
@@ -119,4 +143,19 @@ __all__ = [
     "SLOWLOG_SCHEMA_VERSION",
     "SlowLog",
     "SlowOp",
+    "FLIGHT_SCHEMA_VERSION",
+    "FlightRecorder",
+    "FlightSample",
+    "recorder_of",
+    "render_sample",
+    "HEALTH_SCHEMA_VERSION",
+    "HealthMonitor",
+    "HealthReport",
+    "HealthRule",
+    "RuleResult",
+    "default_rules",
+    "hit_rate_rule",
+    "monitor_of",
+    "percentile_rule",
+    "rate_rule",
 ]

@@ -27,7 +27,8 @@ __all__ = ["Observability", "observability_of", "maybe_span"]
 
 
 class Observability:
-    """Tracer + metrics + event tap + audit log + slow log for one database."""
+    """Tracer + metrics + event tap + audit + slow log + flight recorder
+    for one database."""
 
     def __init__(
         self,
@@ -41,6 +42,7 @@ class Observability:
         slowlog: bool = True,
         slow_budgets=None,
         slowlog_ring: int = 256,
+        flight_ring: int = 256,
     ):
         self.database = database
         self.tracer = Tracer(enabled=tracing)
@@ -77,6 +79,21 @@ class Observability:
             audit=self.audit,
             slowlog=self.slowlog,
         )
+        # The flight recorder is pull-based: it subscribes to nothing and
+        # costs nothing until someone calls tick() (or starts its thread).
+        from .recorder import FlightRecorder
+
+        self.recorder = FlightRecorder(database, capacity=flight_ring)
+        self._health = None
+
+    @property
+    def health(self):
+        """The lazily-built :class:`~repro.obs.health.HealthMonitor`."""
+        if self._health is None:
+            from .health import HealthMonitor
+
+            self._health = HealthMonitor(self.recorder)
+        return self._health
 
     # -- convenience passthroughs -------------------------------------------------
 
@@ -96,9 +113,11 @@ class Observability:
 
     def detach(self) -> None:
         """Stop observing: drop the bus subscription, disable the tracer,
-        close the audit sink (the in-memory ring stays readable)."""
+        stop the recorder thread, close the audit sink (the in-memory
+        rings stay readable)."""
         self.tap.detach()
         self.tracer.enabled = False
+        self.recorder.stop()
         if self.audit is not None:
             self.audit.close()
 

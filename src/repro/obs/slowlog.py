@@ -29,6 +29,8 @@ import time
 from collections import deque
 from typing import Any, Deque, Dict, List, NamedTuple, Optional
 
+from ..engine.events import next_seq
+
 __all__ = ["SLOWLOG_SCHEMA_VERSION", "DEFAULT_BUDGETS", "SlowOp", "SlowLog"]
 
 SLOWLOG_SCHEMA_VERSION = "repro.slowlog/1"
@@ -44,7 +46,13 @@ DEFAULT_BUDGETS: Dict[str, float] = {
 
 
 class SlowOp(NamedTuple):
-    """One recorded over-budget operation."""
+    """One recorded over-budget operation.
+
+    ``seq`` places the record on the database's global event/audit
+    sequence (the same counter ``repro audit`` numbers records with), so
+    ``repro slowlog --since SEQ`` can tail incrementally and a slow op
+    can be correlated with the audit records around it.
+    """
 
     ts: float
     kind: str
@@ -52,9 +60,11 @@ class SlowOp(NamedTuple):
     budget: float
     subject: Any
     detail: Dict[str, Any]
+    seq: Optional[int] = None
 
     def as_dict(self) -> Dict[str, Any]:
         return {
+            "seq": self.seq,
             "ts": self.ts,
             "kind": self.kind,
             "duration": self.duration,
@@ -125,49 +135,73 @@ class SlowLog:
         budget = self.budgets.get(kind)
         if budget is None or duration < budget:
             return None
-        op = SlowOp(time.time(), kind, duration, budget, subject, detail)
-        self.ring.append(op)
-        self.recorded += 1
-        if self.metrics is not None:
-            self.metrics.counter(f"slowlog.{kind}").inc()
+        record = None
         if self.audit is not None:
-            self.audit.record(
+            record = self.audit.record(
                 f"slowlog.{kind}",
                 subject,
                 duration=duration,
                 budget=budget,
                 **detail,
             )
+        # Share the audit record's global sequence number; without an
+        # audit log, draw from the same counter so --since still works.
+        seq = record.seq if record is not None else next_seq()
+        op = SlowOp(time.time(), kind, duration, budget, subject, detail, seq)
+        self.ring.append(op)
+        self.recorded += 1
+        if self.metrics is not None:
+            self.metrics.counter(f"slowlog.{kind}").inc()
         return op
 
     # -- inspection --------------------------------------------------------------
 
-    def operations(self, kind: Optional[str] = None) -> List[SlowOp]:
-        """Buffered slow operations, oldest first, optionally by kind."""
-        if kind is None:
-            return list(self.ring)
-        return [op for op in self.ring if op.kind == kind]
+    def operations(
+        self, kind: Optional[str] = None, since: Optional[int] = None
+    ) -> List[SlowOp]:
+        """Buffered slow operations, oldest first.
 
-    def snapshot(self) -> Dict[str, Any]:
-        """The ``repro.slowlog/1`` JSON document."""
+        ``kind`` keeps one operation kind; ``since`` keeps records at or
+        after that global sequence number (the selectors behind
+        ``repro slowlog --kind/--since``, mirroring ``repro audit``).
+        """
+        ops = list(self.ring)
+        if kind is not None:
+            ops = [op for op in ops if op.kind == kind]
+        if since is not None:
+            ops = [op for op in ops if op.seq is not None and op.seq >= since]
+        return ops
+
+    def snapshot(
+        self, kind: Optional[str] = None, since: Optional[int] = None
+    ) -> Dict[str, Any]:
+        """The ``repro.slowlog/1`` JSON document (optionally filtered)."""
         return {
             "schema": SLOWLOG_SCHEMA_VERSION,
             "budgets": dict(self.budgets),
             "recorded": self.recorded,
-            "operations": [op.as_dict() for op in self.ring],
+            "operations": [
+                op.as_dict() for op in self.operations(kind, since)
+            ],
         }
 
-    def render(self) -> str:
+    def render(
+        self, kind: Optional[str] = None, since: Optional[int] = None
+    ) -> str:
         """An aligned text table of the buffered slow operations."""
-        if not self.ring:
+        ops = self.operations(kind, since)
+        if not ops:
+            if kind is not None or since is not None:
+                return "slow log: no operations match the filters"
             return "slow log: empty (nothing exceeded its budget)"
         lines = [
             f"slow log: {self.recorded} over-budget operation(s) "
-            f"({len(self.ring)} buffered)"
+            f"({len(self.ring)} buffered, {len(ops)} shown)"
         ]
-        for op in self.ring:
+        for op in ops:
+            seq = f"#{op.seq} " if op.seq is not None else ""
             lines.append(
-                f"  [{op.kind}] {op.duration * 1e3:.2f}ms "
+                f"  {seq}[{op.kind}] {op.duration * 1e3:.2f}ms "
                 f"(budget {op.budget * 1e3:.1f}ms) {op.subject!r}"
             )
             for key, value in op.detail.items():

@@ -3,8 +3,12 @@ expansion locking, access control."""
 
 from .access import AccessControlManager, Right
 from .groups import TransactionGroup
-from .lock_inheritance import expansion_lock_plan, inherited_lock_plan
-from .locks import LockEntry, LockMode, LockTable, scopes_overlap
+from .lock_inheritance import (
+    expansion_lock_plan,
+    inherited_lock_plan,
+    note_inherited_conflict,
+)
+from .locks import WAIT_BUCKETS, LockEntry, LockMode, LockTable, scopes_overlap
 from .prediction import PredictedConflict, potential_conflicts, relation_between
 from .transactions import Transaction, TransactionManager
 
@@ -14,6 +18,8 @@ __all__ = [
     "TransactionGroup",
     "expansion_lock_plan",
     "inherited_lock_plan",
+    "note_inherited_conflict",
+    "WAIT_BUCKETS",
     "LockEntry",
     "LockMode",
     "LockTable",

@@ -23,7 +23,11 @@ from ..core.objects import DBObject
 from ..core.surrogate import Surrogate
 from .locks import LockMode
 
-__all__ = ["inherited_lock_plan", "expansion_lock_plan"]
+__all__ = [
+    "inherited_lock_plan",
+    "expansion_lock_plan",
+    "note_inherited_conflict",
+]
 
 #: (object, members-to-lock) — members None means the whole object.
 LockPlanItem = Tuple[DBObject, Optional[FrozenSet[str]]]
@@ -48,6 +52,30 @@ def inherited_lock_plan(
         if audit is not None:
             audit.record("lock.inherited_plan", obj, size=len(plan))
     return plan
+
+
+def note_inherited_conflict(obs, obj, transmitter, exc, txn=None) -> None:
+    """Count and audit a conflict hit while acquiring §6 inherited locks.
+
+    Called by the transaction layer when the scoped read lock on a
+    *transmitter* (not the object the session asked for) is what
+    conflicted — the reverse-direction contention lock inheritance
+    creates.  Separating these from direct conflicts is what lets the
+    health rules and ``repro top`` tell "two writers on one object" apart
+    from "a composite reader starved by component writers".
+    """
+    if obs is None:
+        return
+    obs.metrics.counter("locks.conflicts.inherited").inc()
+    audit = obs.audit
+    if audit is not None:
+        audit.record(
+            "lock.inherited_conflict",
+            transmitter,
+            inheritor=repr(obj),
+            holder=getattr(exc, "holder", None),
+            txn=txn,
+        )
 
 
 def _collect(

@@ -15,22 +15,54 @@ member names or ``None`` for the whole object.  Two locks conflict when
 their modes conflict **and** their scopes overlap (``None`` overlaps
 everything).
 
-The manager is non-blocking: a conflicting request raises
-:class:`~repro.errors.LockConflictError` immediately, leaving retry/abort
-policy to the design session — the interactive setting the paper assumes,
-where blocking a designer for hours is worse than telling them who holds
-the lock.
+The manager supports two conflict policies:
+
+* **non-blocking** (the default, ``wait=False``) — a conflicting request
+  raises :class:`~repro.errors.LockConflictError` immediately, leaving
+  retry/abort policy to the design session: the interactive setting the
+  paper assumes, where blocking a designer for hours is worse than telling
+  them who holds the lock;
+* **blocking** (``wait=True``) — the request parks on the table's
+  condition variable until every conflicting holder releases, or until
+  ``timeout`` seconds elapse (:class:`~repro.errors.LockTimeoutError`).
+  This is the service-tier posture: sessions queue instead of failing.
+  Granting never reorders — a woken waiter re-checks against whatever is
+  granted at wake time.
+
+The table is thread-safe (one mutex guards every mutation) and, when an
+:class:`~repro.obs.Observability` bundle is attached, emits the contention
+telemetry the flight recorder and health rules consume: ``locks.*``
+counters, the ``locks.wait_seconds`` histogram, a live **waits-for** edge
+set (:meth:`LockTable.waits_for`), and ``lock.blocked`` / ``lock.granted``
+/ ``lock.timeout`` / ``lock.deadlock`` records on the audit stream.
+Blocking requests that would close a waits-for cycle are refused up front
+with :class:`~repro.errors.DeadlockError` instead of waiting forever.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from time import perf_counter
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..core.surrogate import Surrogate
-from ..errors import LockConflictError
+from ..errors import DeadlockError, LockConflictError, LockTimeoutError
 
-__all__ = ["LockMode", "LockEntry", "LockTable", "scopes_overlap"]
+__all__ = [
+    "LockMode",
+    "LockEntry",
+    "LockTable",
+    "scopes_overlap",
+    "WAIT_BUCKETS",
+]
+
+#: Bucket edges (seconds) for the ``locks.wait_seconds`` histogram —
+#: 100µs to 5s, the plausible span between "woken on the next release"
+#: and "the holder is a design session, give up".
+WAIT_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0,
+)
 
 
 class LockMode:
@@ -76,25 +108,45 @@ class LockTable:
     """All granted locks, indexed by object surrogate.
 
     ``obs`` optionally attaches a :class:`repro.obs.Observability` bundle;
-    when present, grants, conflicts and scope sizes are recorded in its
-    metrics registry (``locks.*``).
+    when present, grants, conflicts, waits, timeouts and scope sizes are
+    recorded in its metrics registry (``locks.*``) and blocking events are
+    stamped onto the audit stream.  ``wait_timeout`` is the default
+    timeout (seconds) for blocking requests that don't pass their own;
+    ``None`` waits forever.
     """
 
-    def __init__(self, obs=None) -> None:
+    def __init__(self, obs=None, wait_timeout: Optional[float] = None) -> None:
         self._locks: Dict[Surrogate, List[LockEntry]] = {}
         self._by_txn: Dict[int, List[Tuple[Surrogate, LockEntry]]] = {}
         #: Cooperative groups: transactions in the same group never
         #: conflict with each other (design teams sharing a checkout,
         #: the "advanced transaction mechanisms" of §6's references).
         self._groups: Dict[int, int] = {}
+        #: One mutex + condition for the whole table: waiters park here
+        #: and every release wakes them for a re-check.  The raw Lock is
+        #: kept alongside the Condition so hot paths enter it directly
+        #: (C-level) instead of through Condition.__enter__'s Python-level
+        #: delegation; both names guard the same lock and no method
+        #: re-enters it.
+        self._mutex = threading.Lock()
+        self._cond = threading.Condition(self._mutex)
+        #: Live waits-for edges: blocked txn -> the holders blocking it.
+        #: Maintained only while a blocking request is parked; drained on
+        #: grant, timeout and deadlock refusal alike.
+        self._waits_for: Dict[int, Set[int]] = {}
+        self.wait_timeout = wait_timeout
         self.obs = obs
 
     def set_group(self, txn_id: int, group_id: Optional[int]) -> None:
         """Place a transaction in a cooperative group (None removes it)."""
-        if group_id is None:
-            self._groups.pop(txn_id, None)
-        else:
-            self._groups[txn_id] = group_id
+        with self._mutex:
+            if group_id is None:
+                self._groups.pop(txn_id, None)
+            else:
+                self._groups[txn_id] = group_id
+            # Group membership relaxes conflicts: parked waiters re-check.
+            if self._waits_for:
+                self._cond.notify_all()
 
     def _same_owner(self, a: int, b: int) -> bool:
         if a == b:
@@ -102,14 +154,69 @@ class LockTable:
         group_a = self._groups.get(a)
         return group_a is not None and group_a == self._groups.get(b)
 
+    # -- conflict machinery (call with the mutex held) ----------------------------
+
+    def _blockers(
+        self,
+        entries: List[LockEntry],
+        txn_id: int,
+        mode: str,
+        scope: Scope,
+    ) -> List[LockEntry]:
+        """Every granted entry the request conflicts with."""
+        return [
+            entry
+            for entry in entries
+            if not self._same_owner(entry.txn_id, txn_id)
+            and entry.conflicts_with(mode, scope)
+        ]
+
+    def _would_deadlock(self, waiter: int, holders: Set[int]) -> bool:
+        """Would parking ``waiter`` behind ``holders`` close a cycle?
+
+        Follows the live waits-for edges from each blocking holder; if any
+        path leads back to the waiter, granting the wait would deadlock.
+        """
+        stack = list(holders)
+        seen: Set[int] = set()
+        while stack:
+            txn = stack.pop()
+            if txn == waiter:
+                return True
+            if txn in seen:
+                continue
+            seen.add(txn)
+            stack.extend(self._waits_for.get(txn, ()))
+        return False
+
+    def _note_conflict(self, mode: str, origin: Optional[str]) -> None:
+        if self.obs is not None:
+            # The non-blocking manager's equivalent of a lock wait.
+            self.obs.metrics.counter("locks.conflicts").inc()
+            self.obs.metrics.counter(f"locks.conflicts.{mode}").inc()
+            if origin is not None:
+                self.obs.metrics.counter(f"locks.conflicts.{origin}").inc()
+
+    def _audit(self, kind: str, subject: Any, **detail: Any) -> None:
+        obs = self.obs
+        if obs is not None:
+            audit = obs.audit
+            if audit is not None:
+                audit.record(kind, subject, **detail)
+
+    # -- acquisition ---------------------------------------------------------------
+
     def acquire(
         self,
         txn_id: int,
         surrogate: Surrogate,
         mode: str,
         scope: Scope = None,
+        wait: bool = False,
+        timeout: Optional[float] = None,
+        origin: Optional[str] = None,
     ) -> LockEntry:
-        """Grant a lock or raise :class:`LockConflictError`.
+        """Grant a lock, or raise — immediately or after waiting.
 
         A transaction's own locks never conflict; re-requests merge into
         the existing entry (scope union, stronger mode), which also
@@ -118,79 +225,267 @@ class LockTable:
         upgrade that strengthens the mode must re-justify the transaction's
         *entire* scope, otherwise a reader of a disjoint member could be
         silently overrun (conservative, and safe).
+
+        ``wait=False`` (default) raises :class:`LockConflictError` on
+        conflict.  ``wait=True`` parks on the table's condition variable
+        until grantable; ``timeout`` (or the table's ``wait_timeout``)
+        bounds the wait (:class:`LockTimeoutError` on expiry), and a
+        request whose wait would close a waits-for cycle raises
+        :class:`DeadlockError` without waiting.  ``origin`` tags conflict
+        and wait counters (``locks.conflicts.<origin>``) so lock-
+        inheritance and expansion contention are separable in metrics.
         """
-        entries = self._locks.setdefault(surrogate, [])
-        own = next((e for e in entries if e.txn_id == txn_id), None)
-        if own is not None:
-            requested_mode = LockMode.stronger(own.mode, mode)
-            if own.scope is None or scope is None:
-                requested_scope: Scope = None
+        with self._mutex:
+            entries = self._locks.setdefault(surrogate, [])
+            own = next((e for e in entries if e.txn_id == txn_id), None)
+            if own is not None:
+                requested_mode = LockMode.stronger(own.mode, mode)
+                if own.scope is None or scope is None:
+                    requested_scope: Scope = None
+                else:
+                    requested_scope = frozenset(own.scope | scope)
             else:
-                requested_scope = frozenset(own.scope | scope)
-        else:
-            requested_mode = mode
-            requested_scope = None if scope is None else frozenset(scope)
-        for entry in entries:
-            if not self._same_owner(entry.txn_id, txn_id) and entry.conflicts_with(
-                requested_mode, requested_scope
-            ):
-                if self.obs is not None:
-                    # The non-blocking manager's equivalent of a lock wait.
-                    self.obs.metrics.counter("locks.conflicts").inc()
-                    self.obs.metrics.counter(
-                        f"locks.conflicts.{requested_mode}"
-                    ).inc()
-                raise LockConflictError(
-                    f"lock {requested_mode} on {surrogate} (scope "
-                    f"{sorted(requested_scope) if requested_scope else 'ALL'}) "
-                    f"conflicts with {entry.mode} held by transaction "
-                    f"{entry.txn_id}",
-                    holder=entry.txn_id,
-                    surrogate=surrogate,
+                requested_mode = mode
+                requested_scope = None if scope is None else frozenset(scope)
+
+            # Inline blocker scan: entries is almost always empty or just
+            # this transaction's own lock, so the uncontended acquire must
+            # not pay a call + list build (this path prices every locked
+            # read in E9).
+            blockers: List[LockEntry] = []
+            for entry in entries:
+                if not self._same_owner(
+                    entry.txn_id, txn_id
+                ) and entry.conflicts_with(requested_mode, requested_scope):
+                    blockers.append(entry)
+            if blockers:
+                self._note_conflict(requested_mode, origin)
+                if not wait:
+                    raise self._conflict_error(
+                        surrogate, requested_mode, requested_scope, blockers[0]
+                    )
+                self._wait_for_grant(
+                    txn_id, surrogate, requested_mode, requested_scope,
+                    blockers, timeout, origin,
                 )
-        if self.obs is not None:
-            self.obs.metrics.counter("locks.acquired").inc()
-            self.obs.metrics.counter(f"locks.acquired.{requested_mode}").inc()
-            if requested_scope is None:
-                self.obs.metrics.counter("locks.whole_object").inc()
-            else:
-                self.obs.metrics.histogram("locks.scope_size").observe(
-                    len(requested_scope)
-                )
-        if own is not None:
-            own.mode = requested_mode
-            own.scope = requested_scope
-            return own
-        entry = LockEntry(txn_id, requested_mode, requested_scope)
-        entries.append(entry)
-        self._by_txn.setdefault(txn_id, []).append((surrogate, entry))
-        return entry
+                # Woken grantable: the entry list may have been replaced
+                # while parked (all locks on the surrogate released).
+                entries = self._locks.setdefault(surrogate, [])
+                own = next((e for e in entries if e.txn_id == txn_id), None)
+
+            if self.obs is not None:
+                self.obs.metrics.counter("locks.acquired").inc()
+                self.obs.metrics.counter(f"locks.acquired.{requested_mode}").inc()
+                if requested_scope is None:
+                    self.obs.metrics.counter("locks.whole_object").inc()
+                else:
+                    self.obs.metrics.histogram("locks.scope_size").observe(
+                        len(requested_scope)
+                    )
+            if own is not None:
+                own.mode = requested_mode
+                own.scope = requested_scope
+                return own
+            entry = LockEntry(txn_id, requested_mode, requested_scope)
+            entries.append(entry)
+            self._by_txn.setdefault(txn_id, []).append((surrogate, entry))
+            return entry
+
+    def _conflict_error(
+        self,
+        surrogate: Surrogate,
+        mode: str,
+        scope: Scope,
+        blocker: LockEntry,
+        timed_out: Optional[float] = None,
+    ) -> LockConflictError:
+        suffix = (
+            f"; timed out after {timed_out:.3f}s" if timed_out is not None else ""
+        )
+        message = (
+            f"lock {mode} on {surrogate} (scope "
+            f"{sorted(scope) if scope else 'ALL'}) "
+            f"conflicts with {blocker.mode} held by transaction "
+            f"{blocker.txn_id}{suffix}"
+        )
+        cls = LockTimeoutError if timed_out is not None else LockConflictError
+        return cls(message, holder=blocker.txn_id, surrogate=surrogate)
+
+    def _wait_for_grant(
+        self,
+        txn_id: int,
+        surrogate: Surrogate,
+        mode: str,
+        scope: Scope,
+        blockers: List[LockEntry],
+        timeout: Optional[float],
+        origin: Optional[str],
+    ) -> None:
+        """Park until no granted entry conflicts (mutex held throughout —
+        :meth:`threading.Condition.wait` releases it while parked).
+
+        Raises :class:`DeadlockError` up front when the new waits-for
+        edges would close a cycle, :class:`LockTimeoutError` on expiry.
+        On every outcome the waiter's edges are drained.
+        """
+        holders = {entry.txn_id for entry in blockers}
+        if self._would_deadlock(txn_id, holders):
+            if self.obs is not None:
+                self.obs.metrics.counter("locks.deadlocks").inc()
+            self._audit(
+                "lock.deadlock", surrogate,
+                txn=txn_id, holders=sorted(holders), mode=mode,
+            )
+            raise DeadlockError(
+                f"granting {mode} on {surrogate} to transaction {txn_id} "
+                f"would close a waits-for cycle through "
+                f"{sorted(holders)}",
+                holder=blockers[0].txn_id,
+                surrogate=surrogate,
+            )
+        if timeout is None:
+            timeout = self.wait_timeout
+        obs = self.obs
+        if obs is not None:
+            obs.metrics.counter("locks.waits").inc()
+            if origin is not None:
+                obs.metrics.counter(f"locks.waits.{origin}").inc()
+            obs.metrics.gauge("locks.waiting").inc()
+        self._audit(
+            "lock.blocked", surrogate,
+            txn=txn_id, holders=sorted(holders), mode=mode,
+            timeout=timeout,
+        )
+        started = perf_counter()
+        deadline = None if timeout is None else started + timeout
+        self._waits_for[txn_id] = holders
+        try:
+            while True:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - perf_counter()
+                    if remaining <= 0:
+                        waited = perf_counter() - started
+                        if obs is not None:
+                            obs.metrics.counter("locks.timeouts").inc()
+                            obs.metrics.histogram(
+                                "locks.wait_seconds", WAIT_BUCKETS
+                            ).observe(waited)
+                        self._audit(
+                            "lock.timeout", surrogate,
+                            txn=txn_id, holders=sorted(holders),
+                            mode=mode, waited=waited,
+                        )
+                        raise self._conflict_error(
+                            surrogate, mode, scope, blockers[0],
+                            timed_out=waited,
+                        )
+                self._cond.wait(remaining)
+                entries = self._locks.get(surrogate, [])
+                blockers = self._blockers(entries, txn_id, mode, scope)
+                if not blockers:
+                    break
+                holders = {entry.txn_id for entry in blockers}
+                self._waits_for[txn_id] = holders
+                if self._would_deadlock(txn_id, holders):
+                    if obs is not None:
+                        obs.metrics.counter("locks.deadlocks").inc()
+                    self._audit(
+                        "lock.deadlock", surrogate,
+                        txn=txn_id, holders=sorted(holders), mode=mode,
+                    )
+                    raise DeadlockError(
+                        f"transaction {txn_id} waiting for {mode} on "
+                        f"{surrogate} entered a waits-for cycle through "
+                        f"{sorted(holders)}",
+                        holder=blockers[0].txn_id,
+                        surrogate=surrogate,
+                    )
+        finally:
+            self._waits_for.pop(txn_id, None)
+            if obs is not None:
+                obs.metrics.gauge("locks.waiting").dec()
+        waited = perf_counter() - started
+        if obs is not None:
+            obs.metrics.histogram(
+                "locks.wait_seconds", WAIT_BUCKETS
+            ).observe(waited)
+            obs.metrics.counter("locks.grants_after_wait").inc()
+        self._audit(
+            "lock.granted", surrogate, txn=txn_id, mode=mode, waited=waited
+        )
+
+    # -- release -------------------------------------------------------------------
 
     def release_all(self, txn_id: int) -> int:
         """Drop every lock of a transaction; returns how many were held."""
-        held = self._by_txn.pop(txn_id, [])
-        if self.obs is not None and held:
-            self.obs.metrics.counter("locks.released").inc(len(held))
-        for surrogate, entry in held:
-            entries = self._locks.get(surrogate)
-            if entries is not None:
-                try:
-                    entries.remove(entry)
-                except ValueError:  # pragma: no cover - defensive
-                    pass
-                if not entries:
-                    del self._locks[surrogate]
-        return len(held)
+        with self._mutex:
+            held = self._by_txn.pop(txn_id, [])
+            if self.obs is not None and held:
+                self.obs.metrics.counter("locks.released").inc(len(held))
+            for surrogate, entry in held:
+                entries = self._locks.get(surrogate)
+                if entries is not None:
+                    try:
+                        entries.remove(entry)
+                    except ValueError:  # pragma: no cover - defensive
+                        pass
+                    if not entries:
+                        del self._locks[surrogate]
+            # Waiters always register their edges under the mutex before
+            # parking, so an empty ``_waits_for`` means nobody to wake.
+            if held and self._waits_for:
+                self._cond.notify_all()
+            return len(held)
+
+    # -- inspection ----------------------------------------------------------------
 
     def holders(self, surrogate: Surrogate) -> List[LockEntry]:
         """Copy of the entries currently granted on one object."""
-        return list(self._locks.get(surrogate, []))
+        with self._mutex:
+            return list(self._locks.get(surrogate, []))
 
     def held_by(self, txn_id: int) -> List[Tuple[Surrogate, LockEntry]]:
-        return list(self._by_txn.get(txn_id, []))
+        with self._mutex:
+            return list(self._by_txn.get(txn_id, []))
 
     def lock_count(self) -> int:
-        return sum(len(entries) for entries in self._locks.values())
+        with self._mutex:
+            return sum(len(entries) for entries in self._locks.values())
 
     def is_locked(self, surrogate: Surrogate) -> bool:
-        return bool(self._locks.get(surrogate))
+        with self._mutex:
+            return bool(self._locks.get(surrogate))
+
+    def waits_for(self) -> Set[Tuple[int, int]]:
+        """The live waits-for edge set: ``(waiter, holder)`` pairs.
+
+        Nonempty exactly while blocking requests are parked; drains as
+        they are granted, time out or are refused as deadlocks.
+        """
+        with self._mutex:
+            return {
+                (waiter, holder)
+                for waiter, holders in self._waits_for.items()
+                for holder in holders
+            }
+
+    def waiting_count(self) -> int:
+        """How many blocking requests are currently parked."""
+        with self._mutex:
+            return len(self._waits_for)
+
+    def contention_snapshot(self) -> Dict[str, Any]:
+        """A point-in-time view of the table for ``repro top``."""
+        with self._mutex:
+            return {
+                "locked_objects": len(self._locks),
+                "granted": sum(len(e) for e in self._locks.values()),
+                "holding_transactions": len(self._by_txn),
+                "waiting": len(self._waits_for),
+                "waits_for": sorted(
+                    (waiter, holder)
+                    for waiter, holders in self._waits_for.items()
+                    for holder in holders
+                ),
+            }

@@ -14,6 +14,15 @@ with three §6-specific features:
   protected standard parts (bolts, nuts, standard cells) are never
   write-locked by a sweep.
 
+Transactions default to the non-blocking conflict policy (a conflicting
+acquisition raises immediately).  ``begin(wait=True, lock_timeout=...)``
+switches a transaction to the blocking policy ahead of the service tier:
+its acquisitions park on the lock table until grantable (bounded by the
+timeout), producing the wait histograms, waits-for edges and blocked/
+timeout audit events of the contention observatory.  Every acquisition is
+tagged with its *origin* (``read``/``write``/``inherited``/``expansion``)
+so §6 lock-inheritance contention is separable in ``locks.*`` metrics.
+
 Aborts undo attribute updates through an in-transaction undo log.  *Design
 transactions* (``persistent=True``) model the long checkout/checkin
 sessions of CAD work: their locks survive :meth:`~Transaction.commit` until
@@ -28,9 +37,13 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.objects import DBObject
 from ..core.slots import UNSET as _UNSET
-from ..errors import TransactionError
+from ..errors import LockConflictError, TransactionError
 from .access import AccessControlManager, Right
-from .lock_inheritance import expansion_lock_plan, inherited_lock_plan
+from .lock_inheritance import (
+    expansion_lock_plan,
+    inherited_lock_plan,
+    note_inherited_conflict,
+)
 from .locks import LockMode, LockTable
 
 __all__ = ["Transaction", "TransactionManager"]
@@ -49,11 +62,18 @@ class Transaction:
         txn_id: int,
         user: Optional[str] = None,
         persistent: bool = False,
+        wait: bool = False,
+        lock_timeout: Optional[float] = None,
     ):
         self.manager = manager
         self.id = txn_id
         self.user = user
         self.persistent = persistent
+        #: Blocking conflict policy: park on conflicting locks instead of
+        #: raising, bounded by ``lock_timeout`` seconds (None = forever,
+        #: or the table's default).
+        self.wait = wait
+        self.lock_timeout = lock_timeout
         self.status = self.ACTIVE
         self._undo: List[Tuple[DBObject, str, Any, bool]] = []
         self._checked_in = not persistent
@@ -103,12 +123,27 @@ class Transaction:
         return obj
 
     def _acquire_read_locks(self, obj: DBObject, scope, audit) -> None:
-        self.lock_table.acquire(self.id, obj.surrogate, LockMode.S, scope)
+        self.lock_table.acquire(
+            self.id, obj.surrogate, LockMode.S, scope,
+            wait=self.wait, timeout=self.lock_timeout, origin="read",
+        )
         for transmitter, visible in inherited_lock_plan(obj, scope):
             self._check_access(transmitter, Right.READ)
-            self.lock_table.acquire(
-                self.id, transmitter.surrogate, LockMode.S, visible
-            )
+            try:
+                self.lock_table.acquire(
+                    self.id, transmitter.surrogate, LockMode.S, visible,
+                    wait=self.wait, timeout=self.lock_timeout,
+                    origin="inherited",
+                )
+            except LockConflictError as exc:
+                # §6 contention in the *reverse* direction of data
+                # inheritance: a component writer blocked this composite
+                # reader.  Attributed separately from direct conflicts.
+                note_inherited_conflict(
+                    getattr(self.manager.database, "obs", None),
+                    obj, transmitter, exc, txn=self.id,
+                )
+                raise
             if audit is not None:
                 audit.record(
                     "lock.inherited",
@@ -133,7 +168,10 @@ class Transaction:
         self._ensure_active()
         self._check_access(obj, Right.WRITE)
         scope = frozenset(members) if members is not None else None
-        self.lock_table.acquire(self.id, obj.surrogate, LockMode.X, scope)
+        self.lock_table.acquire(
+            self.id, obj.surrogate, LockMode.X, scope,
+            wait=self.wait, timeout=self.lock_timeout, origin="write",
+        )
         return obj
 
     def set(self, obj: DBObject, attribute: str, value: Any) -> Any:
@@ -176,7 +214,10 @@ class Transaction:
             granted_mode = requested
             if access is not None:
                 granted_mode = access.cap_mode(self.user, obj, requested)
-            self.lock_table.acquire(self.id, obj.surrogate, granted_mode, scope)
+            self.lock_table.acquire(
+                self.id, obj.surrogate, granted_mode, scope,
+                wait=self.wait, timeout=self.lock_timeout, origin="expansion",
+            )
             count += 1
         return count
 
@@ -288,8 +329,25 @@ class TransactionManager:
         self._active: Dict[int, Transaction] = {}
         database.transactions = self
 
-    def begin(self, user: Optional[str] = None, persistent: bool = False) -> Transaction:
-        txn = Transaction(self, next(self._ids), user=user, persistent=persistent)
+    def begin(
+        self,
+        user: Optional[str] = None,
+        persistent: bool = False,
+        wait: bool = False,
+        lock_timeout: Optional[float] = None,
+    ) -> Transaction:
+        """Start a transaction.
+
+        ``wait=True`` gives it the blocking conflict policy: its lock
+        acquisitions park behind conflicting holders (``lock_timeout``
+        seconds at most, None = the lock table's default) instead of
+        raising immediately — the concurrent-session posture, measured by
+        the contention observatory.
+        """
+        txn = Transaction(
+            self, next(self._ids), user=user, persistent=persistent,
+            wait=wait, lock_timeout=lock_timeout,
+        )
         self._active[txn.id] = txn
         obs = getattr(self.database, "obs", None)
         if obs is not None:

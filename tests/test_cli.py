@@ -334,3 +334,154 @@ class TestMetricsEventsFlag:
         out = capsys.readouterr().out
         assert "event ring (" in out
         assert "trace=" in out
+
+
+class TestFlightCommand:
+    def test_text_output(self, schema_file, paper_image_file, capsys):
+        assert main(
+            ["flight", schema_file, paper_image_file, "--ticks", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "flight recorder: 3 sample(s) buffered" in out
+        assert "rates (/s):" in out
+
+    def test_json_is_stable_schema(self, schema_file, paper_image_file, capsys):
+        assert main(
+            ["flight", schema_file, paper_image_file, "--ticks", "2", "--json"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro.flight/1"
+        assert len(doc["samples"]) == 3
+        sample = doc["samples"][-1]
+        assert sample["rates"]  # the workout produced nonzero deltas
+        assert sample["elapsed"] > 0
+
+
+class TestHealthCommand:
+    def test_healthy_image_exits_zero(self, schema_file, paper_image_file, capsys):
+        assert main(["health", schema_file, paper_image_file]) == 0
+        out = capsys.readouterr().out
+        assert "health: OK" in out
+        assert "lock-timeouts" in out
+
+    def test_json_is_stable_schema(self, schema_file, paper_image_file, capsys):
+        assert main(
+            ["health", schema_file, paper_image_file, "--json"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro.health/1"
+        assert doc["status"] == "ok"
+        assert {rule["name"] for rule in doc["rules"]} >= {
+            "slowlog-rate", "lock-wait-p95", "lock-timeouts",
+        }
+
+
+class TestTopCommand:
+    def test_bounded_frames(self, schema_file, paper_image_file, capsys):
+        assert main([
+            "top", schema_file, paper_image_file,
+            "--count", "2", "--interval", "0.01",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.count("repro top — db=cli") == 2
+        assert "health=OK" in out
+
+
+class TestMetricsWatch:
+    def test_watch_renders_rate_frames(
+        self, schema_file, paper_image_file, capsys
+    ):
+        assert main([
+            "metrics", schema_file, paper_image_file,
+            "--watch", "0.01", "--count", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.count("rates (/s):") == 2
+        assert "sample #" in out
+
+
+class TestSlowlogFilters:
+    def test_kind_and_since(self, schema_file, paper_image_file, capsys):
+        assert main([
+            "slowlog", schema_file, paper_image_file,
+            "--budget-ms", "0", "--json",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["operations"], "zero budget must record the workout"
+        op = doc["operations"][0]
+        assert op["seq"] is not None
+        kind, seq = op["kind"], op["seq"]
+
+        assert main([
+            "slowlog", schema_file, paper_image_file,
+            "--budget-ms", "0", "--json",
+            "--kind", kind, "--since", str(seq),
+        ]) == 0
+        filtered = json.loads(capsys.readouterr().out)
+        assert filtered["operations"]
+        assert all(o["kind"] == kind for o in filtered["operations"])
+        assert all(o["seq"] >= seq for o in filtered["operations"])
+
+    def test_filters_can_match_nothing(
+        self, schema_file, paper_image_file, capsys
+    ):
+        assert main([
+            "slowlog", schema_file, paper_image_file,
+            "--budget-ms", "0", "--kind", "no-such-kind",
+        ]) == 0
+        assert "no operations match" in capsys.readouterr().out
+
+
+class TestBenchBaselineHandling:
+    @pytest.fixture
+    def tiny_suite_dir(self, tmp_path):
+        suite_dir = tmp_path / "suites"
+        suite_dir.mkdir()
+        (suite_dir / "bench_tiny.py").write_text(
+            "def register(suite):\n"
+            "    @suite.case('noop')\n"
+            "    def noop():\n"
+            "        def run():\n"
+            "            return 0\n"
+            "        return run\n"
+        )
+        return str(suite_dir)
+
+    def test_missing_baseline_is_not_an_error(
+        self, tiny_suite_dir, tmp_path, capsys
+    ):
+        root = tmp_path / "fresh"
+        root.mkdir()
+        assert main([
+            "bench", "--quick", "--repeats", "1", "--no-emit", "--compare",
+            "--dir", tiny_suite_dir, "--root", str(root),
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "no prior BENCH_*.json" in err
+
+    def test_empty_baseline_is_not_an_error(
+        self, tiny_suite_dir, tmp_path, capsys
+    ):
+        root = tmp_path / "seeded"
+        root.mkdir()
+        (root / "BENCH_0001.json").write_text("")
+        assert main([
+            "bench", "--quick", "--repeats", "1", "--no-emit", "--compare",
+            "--dir", tiny_suite_dir, "--root", str(root),
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "unusable" in err
+        assert "skipping the regression gate" in err
+
+    def test_malformed_baseline_is_not_an_error(
+        self, tiny_suite_dir, tmp_path, capsys
+    ):
+        root = tmp_path / "corrupt"
+        root.mkdir()
+        (root / "BENCH_0001.json").write_text('{"schema": "wrong/9"}')
+        assert main([
+            "bench", "--quick", "--repeats", "1", "--no-emit", "--compare",
+            "--dir", tiny_suite_dir, "--root", str(root),
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "unusable" in err

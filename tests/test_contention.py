@@ -1,0 +1,208 @@
+"""Threaded tests for the contention observatory: blocking acquisition,
+waits-for edges, wait histograms, timeouts and deadlock refusal."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.surrogate import Surrogate
+from repro.ddl.paper import load_gate_schema
+from repro.engine import Database
+from repro.errors import DeadlockError, LockConflictError, LockTimeoutError
+from repro.txn import LockMode, LockTable, TransactionManager
+
+
+def observed_table(name="contention", **kwargs):
+    db = Database(name, observe=True)
+    return db, LockTable(obs=db.obs, **kwargs)
+
+
+def wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.002)
+    return False
+
+
+class TestBlockingAcquire:
+    def test_waiter_parks_then_is_granted_and_edges_drain(self):
+        db, table = observed_table()
+        s = Surrogate(1)
+        table.acquire(1, s, LockMode.X)
+        granted = threading.Event()
+
+        def waiter():
+            table.acquire(2, s, LockMode.S, wait=True, timeout=5.0,
+                          origin="read")
+            granted.set()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        # The edge appears while the waiter is parked...
+        assert wait_until(lambda: (2, 1) in table.waits_for())
+        assert table.waiting_count() == 1
+        assert not granted.is_set()
+        # ...and drains once the holder releases.
+        table.release_all(1)
+        assert granted.is_set() or wait_until(granted.is_set)
+        thread.join(timeout=5.0)
+        assert table.waits_for() == set()
+        assert table.waiting_count() == 0
+        assert [surrogate for surrogate, _ in table.held_by(2)] == [s]
+
+        metrics = db.obs.metrics
+        assert metrics.counter("locks.waits").value >= 1
+        assert metrics.counter("locks.waits.read").value >= 1
+        assert metrics.counter("locks.grants_after_wait").value >= 1
+        histogram = metrics.histogram("locks.wait_seconds")
+        assert histogram.count >= 1
+        assert histogram.sum > 0.0
+        kinds = {record.kind for record in db.obs.audit.records()}
+        assert {"lock.blocked", "lock.granted"} <= kinds
+
+    def test_timeout_raises_and_counts(self):
+        db, table = observed_table()
+        s = Surrogate(1)
+        table.acquire(1, s, LockMode.X)
+        start = time.monotonic()
+        with pytest.raises(LockTimeoutError) as excinfo:
+            table.acquire(2, s, LockMode.S, wait=True, timeout=0.05)
+        assert time.monotonic() - start >= 0.05
+        assert excinfo.value.holder == 1
+        assert isinstance(excinfo.value, LockConflictError)  # back-compat
+        assert table.waits_for() == set()
+        assert db.obs.metrics.counter("locks.timeouts").value == 1
+        # The timed-out wait is still priced in the histogram.
+        assert db.obs.metrics.histogram("locks.wait_seconds").count >= 1
+        kinds = {record.kind for record in db.obs.audit.records()}
+        assert "lock.timeout" in kinds
+
+    def test_default_table_timeout_applies(self):
+        _, table = observed_table(wait_timeout=0.05)
+        s = Surrogate(1)
+        table.acquire(1, s, LockMode.X)
+        with pytest.raises(LockTimeoutError):
+            table.acquire(2, s, LockMode.S, wait=True)
+
+    def test_non_blocking_default_unchanged(self):
+        _, table = observed_table()
+        s = Surrogate(1)
+        table.acquire(1, s, LockMode.X)
+        with pytest.raises(LockConflictError):
+            table.acquire(2, s, LockMode.S)
+
+    def test_contention_snapshot_shape(self):
+        _, table = observed_table()
+        s = Surrogate(1)
+        table.acquire(1, s, LockMode.X)
+        snap = table.contention_snapshot()
+        assert snap == {
+            "locked_objects": 1,
+            "granted": 1,
+            "holding_transactions": 1,
+            "waiting": 0,
+            "waits_for": [],
+        }
+
+
+class TestDeadlock:
+    def test_cycle_is_refused_up_front(self):
+        db, table = observed_table()
+        a, b = Surrogate(1), Surrogate(2)
+        table.acquire(1, a, LockMode.X)
+        table.acquire(2, b, LockMode.X)
+        first_granted = threading.Event()
+
+        def first_waiter():
+            table.acquire(1, b, LockMode.X, wait=True, timeout=5.0)
+            first_granted.set()
+
+        thread = threading.Thread(target=first_waiter)
+        thread.start()
+        assert wait_until(lambda: (1, 2) in table.waits_for())
+        # txn 2 asking for a would close the cycle 1→2→1: refused
+        # immediately, without parking.
+        with pytest.raises(DeadlockError):
+            table.acquire(2, a, LockMode.X, wait=True, timeout=5.0)
+        assert db.obs.metrics.counter("locks.deadlocks").value == 1
+        kinds = {record.kind for record in db.obs.audit.records()}
+        assert "lock.deadlock" in kinds
+        # The victim backs off; the parked waiter is granted.
+        table.release_all(2)
+        thread.join(timeout=5.0)
+        assert first_granted.is_set()
+        assert table.waits_for() == set()
+
+
+class TestTransactionLevel:
+    @pytest.fixture
+    def db(self):
+        db = Database("txn-contention", observe=True)
+        load_gate_schema(db.catalog)
+        return db
+
+    def make_interface(self, db):
+        iface = db.create_object("GateInterface", Length=10, Width=5)
+        iface.subclass("Pins").create(InOut="IN")
+        return iface
+
+    def test_begin_forwards_wait_and_timeout(self, db):
+        tm = TransactionManager(db)
+        iface = self.make_interface(db)
+        holder = tm.begin()
+        holder.write(iface)
+        waiter = tm.begin(wait=True, lock_timeout=0.05)
+        with pytest.raises(LockTimeoutError):
+            waiter.read(iface)
+        assert db.obs.metrics.counter("locks.timeouts").value >= 1
+        assert db.obs.metrics.counter("locks.waits.read").value >= 1
+        holder.commit()
+        waiter.abort()
+
+    def test_inherited_conflict_is_attributed(self, db):
+        tm = TransactionManager(db)
+        iface = self.make_interface(db)
+        impl = db.create_object("GateImplementation", transmitter=iface)
+        holder = tm.begin()
+        holder.write(iface)
+        reader = tm.begin()
+        # Reading the implementation needs the §6 inherited read lock on
+        # its transmitter, which the writer holds exclusively.
+        with pytest.raises(LockConflictError):
+            reader.read(impl, {"Length"})
+        metrics = db.obs.metrics
+        assert metrics.counter("locks.conflicts.inherited").value >= 1
+        assert metrics.counter("locks.conflicts").value >= 1
+        kinds = {record.kind for record in db.obs.audit.records()}
+        assert "lock.inherited_conflict" in kinds
+        holder.commit()
+        reader.abort()
+
+    def test_blocked_inherited_read_granted_after_commit(self, db):
+        tm = TransactionManager(db)
+        iface = self.make_interface(db)
+        impl = db.create_object("GateImplementation", transmitter=iface)
+        holder = tm.begin()
+        holder.write(iface, {"Length"})
+        iface.set("Length", 30)
+        table = tm.lock_table
+        value = {}
+
+        def blocked_reader():
+            txn = tm.begin(wait=True, lock_timeout=5.0)
+            locked = txn.read(impl, {"Length"})
+            value["Length"] = locked.get_member("Length")
+            txn.commit()
+
+        thread = threading.Thread(target=blocked_reader)
+        thread.start()
+        assert wait_until(lambda: table.waiting_count() > 0)
+        holder.commit()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert value["Length"] == 30
+        assert table.waits_for() == set()
+        assert db.obs.metrics.histogram("locks.wait_seconds").count >= 1

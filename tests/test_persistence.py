@@ -94,6 +94,29 @@ class TestRoundTrip:
         fresh.get(iface.surrogate).set_attribute("Length", 77)
         assert fresh.get(impl.surrogate)["Length"] == 77
 
+    def test_object_contained_in_relationship_round_trips(self):
+        """A plain object's container owner can be a *relationship* (a
+        steel Screwing carries Bolt/Nut in local subclasses); the loader
+        must defer such containers until relationships materialise."""
+        from repro.workloads.steel import generate_structure, steel_database
+
+        db = steel_database("steel-rt")
+        structure, screwings = generate_structure(db)
+        image = dump_image(db)
+
+        fresh = steel_database("steel-rt")
+        load_image(image, fresh)
+        assert fresh.count() == db.count()
+        structure2 = fresh.get(structure.surrogate)
+        screwings2 = structure2.subrel("Screwings").members()
+        assert len(screwings2) == len(screwings)
+        for screwing in screwings2:
+            bolt = screwing.subclass("Bolt").members()[0]
+            nut = screwing.subclass("Nut").members()[0]
+            # The restored slots still inherit the §5-consistent values.
+            assert bolt["Diameter"] == nut["Diameter"]
+            assert bolt.parent is screwing
+
 
 class TestImageValidation:
     def test_load_into_nonempty_database_rejected(self, tmp_path):

@@ -1,0 +1,203 @@
+"""Tests for the flight recorder (repro.obs.recorder)."""
+
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import Database
+from repro.obs import FLIGHT_SCHEMA_VERSION
+from repro.obs.recorder import FlightRecorder, render_sample, recorder_of
+
+
+def make_db(name="flight"):
+    return Database(name, observe=True)
+
+
+class TestTick:
+    def test_first_sample_has_no_rates(self):
+        rec = make_db().obs.recorder
+        sample = rec.tick(now=0.0)
+        assert sample.seq == 1
+        assert sample.elapsed is None
+        assert sample.rates == {}
+
+    def test_rate_is_delta_over_elapsed(self):
+        db = make_db()
+        rec = db.obs.recorder
+        rec.tick(now=0.0)
+        db.obs.metrics.counter("work.done").inc(30)
+        sample = rec.tick(now=2.0)
+        assert sample.elapsed == 2.0
+        assert sample.rate("work.done") == pytest.approx(15.0)
+
+    def test_counter_appearing_mid_flight_rates_from_zero(self):
+        db = make_db()
+        rec = db.obs.recorder
+        rec.tick(now=0.0)
+        db.obs.metrics.counter("late.arrival").inc(4)
+        sample = rec.tick(now=1.0)
+        assert sample.rate("late.arrival") == pytest.approx(4.0)
+
+    def test_non_positive_elapsed_yields_no_rates(self):
+        db = make_db()
+        rec = db.obs.recorder
+        rec.tick(now=5.0)
+        db.obs.metrics.counter("work.done").inc()
+        duplicate = rec.tick(now=5.0)
+        assert duplicate.rates == {}
+        retreat = rec.tick(now=4.0)
+        assert retreat.rates == {}
+
+    def test_gauges_and_histograms_sampled(self):
+        db = make_db()
+        db.obs.metrics.gauge("depth").set(7)
+        db.obs.metrics.histogram("latency").observe(0.5)
+        sample = db.obs.recorder.tick(now=0.0)
+        assert sample.gauges["depth"] == 7
+        summary = sample.histograms["latency"]
+        assert summary["count"] == 1.0
+        assert sample.percentile("latency", "p50") == pytest.approx(0.5)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(make_db(), capacity=1)
+
+
+class TestRingProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        steps=st.lists(
+            st.tuples(
+                st.floats(min_value=0.001, max_value=1000.0,
+                          allow_nan=False, allow_infinity=False),
+                st.integers(min_value=0, max_value=10_000),
+            ),
+            min_size=1,
+            max_size=24,
+        ),
+        capacity=st.integers(min_value=2, max_value=6),
+    )
+    def test_wraparound_keeps_newest_and_rate_math_holds(
+        self, steps, capacity
+    ):
+        """The ring keeps exactly the newest ``capacity`` samples, and
+        every surviving sample's rate equals the counter delta over the
+        (irregular) elapsed interval that produced it."""
+        db = make_db()
+        rec = FlightRecorder(db, capacity=capacity)
+        counter = db.obs.metrics.counter("work.done")
+
+        now = 0.0
+        rec.tick(now=now)
+        expected = {}  # seq -> exact rate
+        total = 0
+        for seq, (dt, inc) in enumerate(steps, start=2):
+            now += dt
+            counter.inc(inc)
+            total += inc
+            expected[seq] = inc / dt
+            rec.tick(now=now)
+
+        samples = rec.samples()
+        taken = len(steps) + 1
+        assert rec.ticks == taken
+        assert len(samples) == min(taken, capacity)
+        # Newest N survive, oldest first.
+        assert [s.seq for s in samples] == list(
+            range(taken - len(samples) + 1, taken + 1)
+        )
+        for sample in samples:
+            if sample.seq == 1:
+                assert sample.rates == {}
+            else:
+                assert sample.rate("work.done") == pytest.approx(
+                    expected[sample.seq]
+                )
+        # Cumulative totals are preserved verbatim.
+        assert samples[-1].counters["work.done"] == float(total)
+
+
+class TestDaemon:
+    def test_start_tick_stop(self):
+        rec = make_db().obs.recorder
+        rec.start(interval=0.005)
+        assert rec.running
+        rec.start(interval=0.005)  # idempotent while running
+        deadline = time.monotonic() + 2.0
+        while rec.ticks < 2 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        rec.stop()
+        assert not rec.running
+        assert rec.ticks >= 2
+        rec.stop()  # no-op when stopped
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            make_db().obs.recorder.start(interval=0.0)
+
+    def test_context_manager_stops(self):
+        rec = make_db().obs.recorder
+        with rec:
+            rec.start(interval=0.005)
+        assert not rec.running
+
+    def test_detach_stops_recorder(self):
+        db = make_db()
+        rec = db.obs.recorder
+        rec.start(interval=0.005)
+        db.disable_observability()
+        assert not rec.running
+
+
+class TestInspection:
+    def test_snapshot_is_stable_schema(self):
+        db = make_db()
+        rec = db.obs.recorder
+        rec.tick(now=0.0)
+        rec.tick(now=1.0)
+        doc = rec.snapshot()
+        assert doc["schema"] == FLIGHT_SCHEMA_VERSION
+        assert doc["database"] == "flight"
+        assert doc["capacity"] == rec.capacity
+        assert doc["ticks"] == 2
+        assert len(doc["samples"]) == 2
+        assert {"seq", "ts", "wall", "elapsed", "counters", "rates",
+                "gauges", "histograms"} <= set(doc["samples"][0])
+
+    def test_window_and_series(self):
+        db = make_db()
+        rec = db.obs.recorder
+        rec.tick(now=0.0)
+        db.obs.metrics.counter("work.done").inc(2)
+        rec.tick(now=1.0)
+        db.obs.metrics.counter("work.done").inc(6)
+        rec.tick(now=2.0)
+        assert [s.seq for s in rec.window(2)] == [2, 3]
+        assert rec.window(0) == []
+        assert rec.rate_series("work.done") == pytest.approx([2.0, 6.0])
+
+    def test_clear_and_len(self):
+        rec = make_db().obs.recorder
+        rec.tick(now=0.0)
+        assert len(rec) == 1
+        rec.clear()
+        assert len(rec) == 0
+        assert rec.latest() is None
+
+    def test_recorder_of(self):
+        db = make_db()
+        assert recorder_of(db) is db.obs.recorder
+        assert recorder_of(Database("dark")) is None
+
+    def test_render_sample(self):
+        db = make_db()
+        rec = db.obs.recorder
+        rec.tick(now=0.0)
+        db.obs.metrics.counter("work.done").inc(10)
+        db.obs.metrics.gauge("depth").set(3)
+        text = render_sample(rec.tick(now=1.0))
+        assert "work.done" in text
+        assert "rates (/s):" in text
+        assert "depth" in text
