@@ -56,7 +56,21 @@ from .rules import (
     run_model_rules,
     run_query_rules,
 )
-from .verify import Disagreement, VerifyReport, verify_against_runtime
+from .engine_lint import EngineLintResult, lint_engine, lint_source
+from .lockorder import (
+    LockOrderReport,
+    analyze_lock_order,
+    cycles_in_wait_edges,
+    find_cycles,
+)
+from .verify import (
+    Disagreement,
+    EngineCheck,
+    EngineVerifyReport,
+    VerifyReport,
+    verify_against_runtime,
+    verify_engine_invariants,
+)
 
 __all__ = [
     "ERROR",
@@ -88,6 +102,16 @@ __all__ = [
     "Disagreement",
     "VerifyReport",
     "verify_against_runtime",
+    "EngineCheck",
+    "EngineVerifyReport",
+    "verify_engine_invariants",
+    "EngineLintResult",
+    "lint_engine",
+    "lint_source",
+    "LockOrderReport",
+    "analyze_lock_order",
+    "cycles_in_wait_edges",
+    "find_cycles",
 ]
 
 Subject = Union[str, ddl_ast.Schema, Catalog, Database]

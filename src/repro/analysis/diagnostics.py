@@ -9,7 +9,12 @@ stable rule code.  Codes are partitioned by namespace:
 * ``REP2xx`` — resolution and permeability (diamonds, holes, shadows);
 * ``REP3xx`` — composition (recursive composites, subrel restrictions);
 * ``REP4xx`` — transactions and lock ordering;
-* ``REP5xx`` — query and index advisories.
+* ``REP5xx`` — query and index advisories;
+* ``REP6xx`` — engine concurrency invariants: the self-lint over the
+  repo's *own source* (``analysis/engine_lint.py``) and the static
+  lock-order analysis (``analysis/lockorder.py``).  These rules anchor in
+  Python source files, not DDL — the same :class:`SourceLocation` carries
+  ``path:line`` either way.
 
 Severities: ``error`` predicts a schema-build or runtime failure,
 ``warning`` flags legal-but-surprising semantics (the engine resolves them
@@ -249,6 +254,33 @@ register_rule("REP504", "constraint-not-compilable", ADVICE,
 register_rule("REP505", "view-ineligible-member", ADVICE,
               "Inherited member cannot materialize into a per-type view "
               "column (container member; queries resolve it per object)")
+
+# REP6xx — engine concurrency invariants (the engine's own source).
+register_rule("REP601", "raw-attrs-write-without-epoch", WARNING,
+              "Direct obj._attrs[...] mutation whose enclosing function "
+              "never bumps _mutation_epoch — memoised readers and value "
+              "indexes will serve the stale value")
+register_rule("REP602", "event-outside-bus", WARNING,
+              "Event constructed outside the event bus — it bypasses the "
+              "cause-stack stamping every audit consumer relies on")
+register_rule("REP603", "lock-release-not-in-finally", ERROR,
+              "Lock acquire/release pair where the release is not in a "
+              "finally block — an exception between them leaks the lock "
+              "and strands every parked waiter")
+register_rule("REP604", "unsnapshotted-shared-iteration", WARNING,
+              "Iteration over shared engine state (_locks/_waits_for/"
+              "_by_txn) outside the table mutex and without snapshotting "
+              "— mutation during iteration raises RuntimeError under "
+              "concurrency")
+register_rule("REP610", "static-lock-order-cycle", WARNING,
+              "Two mutexes are acquired in both orders on different code "
+              "paths — a potential ABBA deadlock")
+register_rule("REP611", "blocking-call-under-lock", WARNING,
+              "Blocking call (sleep/join/wait with no timeout/IO) while "
+              "holding a mutex — stalls every thread contending for it")
+register_rule("REP612", "reentrant-lock-acquire", ERROR,
+              "A non-reentrant mutex may be acquired while already held "
+              "on the same path — self-deadlock")
 
 
 def make(code: str, message: str, *, subject: str = "",

@@ -1,0 +1,613 @@
+"""Static lock-order analysis over the engine's own source.
+
+The dynamic side of PR 9 — :meth:`repro.txn.locks.LockTable.waits_for` —
+shows *transaction*-level wait edges at runtime.  This module covers the
+layer below: the **mutexes of the engine itself** (`threading.Lock` /
+`RLock` / `Condition` attributes and module globals), extracted from the
+AST, with every held region and nested acquisition turned into a
+lock-order graph.
+
+What it extracts
+----------------
+
+* **Lock declarations** — ``self._mutex = threading.Lock()`` in a class
+  body (the decl is named ``Class._mutex``) and module-level
+  ``GUARD = threading.Lock()`` (named ``module.GUARD``).  A
+  ``threading.Condition(self._mutex)`` **aliases** the lock it wraps: the
+  engine's ``_cond``/``_mutex`` pair is one lock with two names, so
+  ``with self._cond`` inside a ``with self._mutex`` region is correctly
+  seen as a re-entry, and ``cond.wait()`` is *not* a blocking call under
+  the lock it releases.
+* **Held regions** — ``with <lock>:`` bodies and explicit
+  ``lock.acquire()`` … ``lock.release()`` spans, tracked per function.
+* **Edges** — acquiring B while holding A adds the order edge A → B.
+  Call summaries propagate transitively: a function called while holding
+  A contributes every lock it (transitively) acquires.  Calls are
+  resolved conservatively — ``self.method`` within the class, bare
+  ``name()`` within the module — so the graph under-approximates rather
+  than hallucinates edges.
+
+What it reports
+---------------
+
+* **REP610** — a cycle in the lock-order graph (ABBA deadlock candidate);
+* **REP611** — a blocking call (``time.sleep``, ``Thread.join``,
+  ``Event.wait``/untimed waits, ``open``…) while a mutex is held;
+* **REP612** — a non-reentrant lock acquired while already held on the
+  same path (self-deadlock), directly or through a resolved call.
+
+:func:`find_cycles` is deliberately generic — the same cycle finder runs
+over the static graph here and over the *runtime* waits-for edge set
+(:func:`cycles_in_wait_edges`), so ``repro lint --engine`` and a live
+:meth:`~repro.txn.locks.LockTable.waits_for` snapshot are directly
+cross-checkable.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .diagnostics import Diagnostic, SourceLocation, make
+
+__all__ = [
+    "LockDecl",
+    "LockOrderEdge",
+    "BlockingCall",
+    "ReentrantAcquire",
+    "LockOrderReport",
+    "analyze_lock_order",
+    "find_cycles",
+    "cycles_in_wait_edges",
+    "default_engine_root",
+]
+
+#: Callables considered blocking when invoked under a held mutex.  Names
+#: match either the called attribute (``x.join``) or a dotted suffix of
+#: the call (``time.sleep``).  ``wait`` is handled specially: a wait on a
+#: Condition aliasing a held lock *releases* that lock and is exempt.
+_BLOCKING_ATTRS = {"sleep", "join", "wait", "wait_for", "recv", "accept"}
+_BLOCKING_NAMES = {"sleep", "open", "input"}
+
+
+def default_engine_root() -> str:
+    """The installed ``repro`` package directory (the default scan root)."""
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+@dataclass(frozen=True)
+class LockDecl:
+    """One engine mutex: a lock-valued attribute or module global."""
+
+    name: str  #: ``Class.attr`` or ``module.GLOBAL``
+    kind: str  #: ``lock`` | ``rlock`` | ``condition``
+    path: str
+    line: int
+    #: For a Condition built over an existing lock: the aliased decl name.
+    aliases: Optional[str] = None
+
+    @property
+    def reentrant(self) -> bool:
+        return self.kind == "rlock"
+
+
+@dataclass(frozen=True)
+class LockOrderEdge:
+    """``held`` → ``acquired`` observed at ``path:line`` in ``function``."""
+
+    held: str
+    acquired: str
+    path: str
+    line: int
+    function: str
+    via: Optional[str] = None  #: callee chain when the edge is transitive
+
+
+@dataclass(frozen=True)
+class BlockingCall:
+    held: str
+    call: str
+    path: str
+    line: int
+    function: str
+
+
+@dataclass(frozen=True)
+class ReentrantAcquire:
+    lock: str
+    path: str
+    line: int
+    function: str
+    via: Optional[str] = None
+
+
+@dataclass
+class LockOrderReport:
+    """Everything the analyzer learned about the engine's mutexes."""
+
+    locks: Dict[str, LockDecl] = field(default_factory=dict)
+    edges: List[LockOrderEdge] = field(default_factory=list)
+    cycles: List[Tuple[str, ...]] = field(default_factory=list)
+    blocking: List[BlockingCall] = field(default_factory=list)
+    reentrant: List[ReentrantAcquire] = field(default_factory=list)
+    files_scanned: int = 0
+
+    def diagnostics(self) -> List[Diagnostic]:
+        out: List[Diagnostic] = []
+        for cycle in self.cycles:
+            chain = " -> ".join(cycle + (cycle[0],))
+            witness = next(
+                (
+                    edge
+                    for edge in self.edges
+                    if edge.held == cycle[0]
+                    and edge.acquired == cycle[1 % len(cycle)]
+                ),
+                None,
+            )
+            out.append(make(
+                "REP610",
+                f"locks are ordered inconsistently: {chain}",
+                subject=cycle[0],
+                location=SourceLocation(witness.path, witness.line)
+                if witness is not None else None,
+                hint="pick one global order for these mutexes and acquire "
+                     "them in it on every path",
+            ))
+        for call in self.blocking:
+            out.append(make(
+                "REP611",
+                f"{call.call}() while holding {call.held} "
+                f"(in {call.function})",
+                subject=call.held,
+                location=SourceLocation(call.path, call.line),
+                hint="move the blocking call outside the held region or "
+                     "bound it with a timeout",
+            ))
+        for acq in self.reentrant:
+            via = f" via {acq.via}" if acq.via else ""
+            out.append(make(
+                "REP612",
+                f"{acq.lock} may be acquired while already held{via} "
+                f"(in {acq.function})",
+                subject=acq.lock,
+                location=SourceLocation(acq.path, acq.line),
+                hint="use an RLock, or restructure so the inner path is "
+                     "only reached with the lock released",
+            ))
+        return out
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "locks": sorted(self.locks),
+            "edges": sorted(
+                {(e.held, e.acquired) for e in self.edges}
+            ),
+            "cycles": [list(cycle) for cycle in self.cycles],
+            "files_scanned": self.files_scanned,
+        }
+
+
+# ---------------------------------------------------------------------------
+# generic cycle finding (shared with the runtime waits-for cross-check)
+# ---------------------------------------------------------------------------
+
+
+def find_cycles(graph: Dict[Hashable, Set[Hashable]]) -> List[Tuple[Hashable, ...]]:
+    """Every elementary cycle of a small directed graph, canonicalised.
+
+    Iterative DFS from each node; a path returning to its origin is a
+    cycle.  Cycles are deduplicated by rotation (the lexically smallest
+    node leads), so A→B→A and B→A→B report once.  Exponential in the
+    worst case — fine for lock graphs and waits-for snapshots, which have
+    tens of nodes.
+    """
+    cycles: Set[Tuple[Hashable, ...]] = set()
+    nodes = sorted(graph, key=repr)
+    for origin in nodes:
+        stack: List[Tuple[Hashable, Tuple[Hashable, ...]]] = [(origin, (origin,))]
+        while stack:
+            node, path = stack.pop()
+            for succ in sorted(graph.get(node, ()), key=repr):
+                if succ == origin:
+                    pivot = min(range(len(path)), key=lambda i: repr(path[i]))
+                    cycles.add(path[pivot:] + path[:pivot])
+                elif succ not in path and len(path) < 16:
+                    stack.append((succ, path + (succ,)))
+    return sorted(cycles, key=repr)
+
+
+def cycles_in_wait_edges(
+    edges: Iterable[Tuple[int, int]],
+) -> List[Tuple[Hashable, ...]]:
+    """Cycles in a runtime ``LockTable.waits_for()`` edge set.
+
+    The cross-check: the static analyzer predicts *possible* inversions
+    (REP610); a cycle in the live edge set is one actually happening.  A
+    non-empty result here on a table whose static graph is acyclic means
+    the deadlock is transaction-level (objects locked in both orders),
+    which is exactly what the table's own pre-check refuses at runtime.
+    """
+    graph: Dict[Hashable, Set[Hashable]] = {}
+    for waiter, holder in edges:
+        graph.setdefault(waiter, set()).add(holder)
+    return find_cycles(graph)
+
+
+# ---------------------------------------------------------------------------
+# extraction
+# ---------------------------------------------------------------------------
+
+
+def _call_name(node: ast.AST) -> str:
+    """Dotted name of a call target, best effort (``a.b.c`` or ``name``)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _lock_kind(value: ast.expr) -> Optional[str]:
+    """``lock``/``rlock``/``condition`` when ``value`` constructs one."""
+    if not isinstance(value, ast.Call):
+        return None
+    name = _call_name(value.func)
+    tail = name.rsplit(".", maxsplit=1)[-1]
+    if tail == "Lock":
+        return "lock"
+    if tail == "RLock":
+        return "rlock"
+    if tail == "Condition":
+        return "condition"
+    return None
+
+
+@dataclass
+class _Function:
+    """Per-function extraction: what it acquires, calls and blocks on."""
+
+    qualname: str  #: ``module.Class.method`` or ``module.function``
+    path: str
+    #: Locks acquired at function entry depth (decl name -> first line).
+    acquires: Dict[str, int] = field(default_factory=dict)
+    #: Direct order edges observed inside this function.
+    edges: List[LockOrderEdge] = field(default_factory=list)
+    #: Calls made while holding locks: (held decls, callee, line).
+    held_calls: List[Tuple[Tuple[str, ...], str, int]] = field(default_factory=list)
+    blocking: List[BlockingCall] = field(default_factory=list)
+    reentrant: List[ReentrantAcquire] = field(default_factory=list)
+
+
+class _ModuleScanner:
+    """Extract lock decls and per-function summaries from one module."""
+
+    def __init__(self, path: str, module_name: str, tree: ast.Module) -> None:
+        self.path = path
+        self.module = module_name
+        self.tree = tree
+        self.locks: Dict[str, LockDecl] = {}
+        self.functions: Dict[str, _Function] = {}
+
+    # -- pass 1: declarations -------------------------------------------------
+
+    def collect_decls(self) -> None:
+        for node in self.tree.body:
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                kind = _lock_kind(node.value)
+                if kind is not None and isinstance(target, ast.Name):
+                    name = f"{self.module}.{target.id}"
+                    self.locks[name] = LockDecl(
+                        name, kind, self.path, node.lineno,
+                        self._alias_of(node.value, owner=None),
+                    )
+            elif isinstance(node, ast.ClassDef):
+                self._collect_class_decls(node)
+
+    def _collect_class_decls(self, cls: ast.ClassDef) -> None:
+        for item in ast.walk(cls):
+            if not isinstance(item, ast.Assign) or len(item.targets) != 1:
+                continue
+            target = item.targets[0]
+            kind = _lock_kind(item.value)
+            if kind is None or not isinstance(target, ast.Attribute):
+                continue
+            if not (isinstance(target.value, ast.Name)
+                    and target.value.id == "self"):
+                continue
+            name = f"{cls.name}.{target.attr}"
+            self.locks[name] = LockDecl(
+                name, kind, self.path, item.lineno,
+                self._alias_of(item.value, owner=cls.name),
+            )
+
+    def _alias_of(self, value: ast.expr, owner: Optional[str]) -> Optional[str]:
+        """``threading.Condition(self._mutex)`` aliases ``Class._mutex``."""
+        if not (isinstance(value, ast.Call) and value.args):
+            return None
+        if _lock_kind(value) != "condition":
+            return None
+        arg = value.args[0]
+        if (owner is not None and isinstance(arg, ast.Attribute)
+                and isinstance(arg.value, ast.Name) and arg.value.id == "self"):
+            return f"{owner}.{arg.attr}"
+        if isinstance(arg, ast.Name):
+            return f"{self.module}.{arg.id}"
+        return None
+
+    def _resolve(self, expr: ast.expr, owner: Optional[str]) -> Optional[LockDecl]:
+        """The decl an expression refers to (``self._mutex`` / ``GUARD``)."""
+        if (isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name)
+                and expr.value.id == "self" and owner is not None):
+            decl = self.locks.get(f"{owner}.{expr.attr}")
+        elif isinstance(expr, ast.Name):
+            decl = self.locks.get(f"{self.module}.{expr.id}")
+        else:
+            decl = None
+        return decl
+
+    def _canonical(self, decl: LockDecl) -> LockDecl:
+        """Follow Condition aliasing to the underlying lock."""
+        seen = {decl.name}
+        while decl.aliases is not None and decl.aliases in self.locks:
+            if decl.aliases in seen:  # pragma: no cover - defensive
+                break
+            seen.add(decl.aliases)
+            decl = self.locks[decl.aliases]
+        return decl
+
+    # -- pass 2: function summaries -------------------------------------------
+
+    def collect_functions(self) -> None:
+        for node in self.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._scan_function(node, owner=None)
+            elif isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        self._scan_function(item, owner=node.name)
+
+    def _scan_function(
+        self, fn: ast.FunctionDef | ast.AsyncFunctionDef, owner: Optional[str]
+    ) -> None:
+        qual = (f"{self.module}.{owner}.{fn.name}" if owner
+                else f"{self.module}.{fn.name}")
+        summary = _Function(qual, self.path)
+        self.functions[qual] = summary
+        self._scan_body(fn.body, owner, summary, held=())
+
+    def _note_acquire(
+        self,
+        decl: LockDecl,
+        held: Tuple[str, ...],
+        line: int,
+        summary: _Function,
+    ) -> None:
+        canonical = self._canonical(decl)
+        if canonical.name in held:
+            if not canonical.reentrant:
+                summary.reentrant.append(ReentrantAcquire(
+                    canonical.name, self.path, line,
+                    summary.qualname,
+                ))
+            return
+        for holder in held:
+            summary.edges.append(LockOrderEdge(
+                holder, canonical.name, self.path, line, summary.qualname,
+            ))
+        if not held:
+            summary.acquires.setdefault(canonical.name, line)
+
+    def _scan_body(
+        self,
+        body: Sequence[ast.stmt],
+        owner: Optional[str],
+        summary: _Function,
+        held: Tuple[str, ...],
+    ) -> None:
+        for stmt in body:
+            self._scan_stmt(stmt, owner, summary, held)
+
+    def _scan_stmt(
+        self,
+        stmt: ast.stmt,
+        owner: Optional[str],
+        summary: _Function,
+        held: Tuple[str, ...],
+    ) -> None:
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            inner = held
+            for item in stmt.items:
+                decl = self._resolve(item.context_expr, owner)
+                if decl is not None:
+                    canonical = self._canonical(decl)
+                    self._note_acquire(decl, inner, stmt.lineno, summary)
+                    if canonical.name not in inner:
+                        inner = inner + (canonical.name,)
+                else:
+                    self._scan_expr(item.context_expr, owner, summary, held)
+            self._scan_body(stmt.body, owner, summary, inner)
+            return
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested function: analysed at its definition point with the
+            # *current* held set — the common case is an inline closure
+            # invoked in place (the engine has no lock-crossing closures).
+            self._scan_body(stmt.body, owner, summary, held)
+            return
+        held_here = held
+        for node in ast.iter_child_nodes(stmt):
+            if isinstance(node, ast.stmt):
+                self._scan_stmt(node, owner, summary, held_here)
+            else:
+                self._scan_expr(node, owner, summary, held_here)
+
+    def _scan_expr(
+        self,
+        expr: ast.AST,
+        owner: Optional[str],
+        summary: _Function,
+        held: Tuple[str, ...],
+    ) -> None:
+        for node in ast.walk(expr):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = _call_name(func)
+            if isinstance(func, ast.Attribute):
+                receiver_decl = self._resolve(func.value, owner)
+                if receiver_decl is not None and func.attr == "acquire":
+                    self._note_acquire(
+                        receiver_decl, held, node.lineno, summary
+                    )
+                    continue
+                if receiver_decl is not None and func.attr in (
+                    "release", "notify", "notify_all", "locked",
+                ):
+                    continue
+                if receiver_decl is not None and func.attr == "wait":
+                    # Condition.wait releases the aliased mutex: not a
+                    # blocking call *under* that lock.
+                    canonical = self._canonical(receiver_decl)
+                    if canonical.name in held:
+                        continue
+            if held and self._is_blocking(func, name, owner):
+                summary.blocking.append(BlockingCall(
+                    held[-1], name or "<call>", self.path, node.lineno,
+                    summary.qualname,
+                ))
+                continue
+            if held:
+                callee = self._callee_qualname(func, owner)
+                if callee is not None:
+                    summary.held_calls.append((held, callee, node.lineno))
+
+    def _is_blocking(
+        self, func: ast.expr, name: str, owner: Optional[str]
+    ) -> bool:
+        if isinstance(func, ast.Name):
+            return func.id in _BLOCKING_NAMES
+        if isinstance(func, ast.Attribute):
+            if func.attr not in _BLOCKING_ATTRS:
+                return False
+            # ``self.anything(...)`` resolves through the call graph
+            # instead (it is a method, not a known blocking primitive) —
+            # unless the receiver is a known non-aliased Condition/lock,
+            # handled by the caller.
+            if (isinstance(func.value, ast.Name)
+                    and func.value.id == "self"):
+                return False
+            return True
+        return False
+
+    def _callee_qualname(
+        self, func: ast.expr, owner: Optional[str]
+    ) -> Optional[str]:
+        """Resolve ``self.method`` / bare ``name`` to a scanned qualname."""
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "self" and owner is not None):
+            return f"{self.module}.{owner}.{func.attr}"
+        if isinstance(func, ast.Name):
+            return f"{self.module}.{func.id}"
+        return None
+
+
+# ---------------------------------------------------------------------------
+# whole-tree analysis
+# ---------------------------------------------------------------------------
+
+
+def _iter_sources(root: str) -> List[Tuple[str, str]]:
+    """(path, module name) for every ``.py`` under ``root``, sorted."""
+    out: List[Tuple[str, str]] = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(
+            d for d in dirnames if not d.startswith((".", "__pycache__"))
+        )
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                path = os.path.join(dirpath, filename)
+                out.append((path, os.path.splitext(filename)[0]))
+    return out
+
+
+def analyze_lock_order(root: Optional[str] = None) -> LockOrderReport:
+    """Scan a source tree and build the lock-order report.
+
+    ``root`` defaults to the installed ``repro`` package, covering
+    ``txn/`` and ``engine/`` and every other engine mutex
+    (``obs/recorder.py``, ``core/surrogate.py``, the sanitizer itself).
+    """
+    report = LockOrderReport()
+    scanners: List[_ModuleScanner] = []
+    functions: Dict[str, _Function] = {}
+    for path, module_name in _iter_sources(root or default_engine_root()):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                tree = ast.parse(handle.read(), filename=path)
+        except (OSError, SyntaxError):
+            continue
+        report.files_scanned += 1
+        scanner = _ModuleScanner(path, module_name, tree)
+        scanner.collect_decls()
+        if scanner.locks:
+            scanner.collect_functions()
+            scanners.append(scanner)
+            report.locks.update(scanner.locks)
+            functions.update(scanner.functions)
+
+    # Transitive acquisition summaries: what does each function acquire,
+    # directly or through resolved calls?  Fixpoint over the call graph.
+    acquired: Dict[str, Set[str]] = {
+        qual: set(fn.acquires) for qual, fn in functions.items()
+    }
+    calls: Dict[str, Set[str]] = {
+        qual: {callee for _held, callee, _line in fn.held_calls}
+        for qual, fn in functions.items()
+    }
+    # Also propagate through *unheld* calls — a function that merely
+    # calls an acquirer is itself an acquirer for ordering purposes.
+    # (held_calls only records held-context calls; unheld call edges
+    # do not create order edges, so the held-context set suffices.)
+    changed = True
+    while changed:
+        changed = False
+        for qual, callees in calls.items():
+            bucket = acquired[qual]
+            before = len(bucket)
+            for callee in callees:
+                bucket |= acquired.get(callee, set())
+            if len(bucket) != before:
+                changed = True
+
+    # Direct edges + transitive edges through held calls.
+    for fn in functions.values():
+        report.edges.extend(fn.edges)
+        report.blocking.extend(fn.blocking)
+        report.reentrant.extend(fn.reentrant)
+        for held, callee, line in fn.held_calls:
+            for lock in sorted(acquired.get(callee, ())):
+                if lock in held:
+                    decl = report.locks.get(lock)
+                    if decl is not None and not decl.reentrant:
+                        report.reentrant.append(ReentrantAcquire(
+                            lock, fn.path, line, fn.qualname, via=callee,
+                        ))
+                    continue
+                for holder in held:
+                    report.edges.append(LockOrderEdge(
+                        holder, lock, fn.path, line, fn.qualname, via=callee,
+                    ))
+
+    graph: Dict[Hashable, Set[Hashable]] = {}
+    for edge in report.edges:
+        graph.setdefault(edge.held, set()).add(edge.acquired)
+    report.cycles = [
+        tuple(str(node) for node in cycle) for cycle in find_cycles(graph)
+    ]
+    return report

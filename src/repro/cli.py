@@ -187,6 +187,15 @@ def cmd_lint(args: argparse.Namespace) -> int:
         verify_against_runtime,
     )
 
+    if args.engine:
+        return _lint_engine(args)
+    if args.schema is None:
+        print(
+            "error: repro lint needs a schema file (or --engine)",
+            file=sys.stderr,
+        )
+        return 1
+
     with open(args.schema) as f:
         source = f.read()
 
@@ -235,6 +244,54 @@ def cmd_lint(args: argparse.Namespace) -> int:
         print(json.dumps(to_sarif(findings), indent=2))
     else:
         print(render_text(findings))
+
+    if args.fail_on != "never":
+        threshold = severity_rank(args.fail_on)
+        if any(severity_rank(d.severity) <= threshold for d in findings):
+            return 2
+    return 0
+
+
+def _lint_engine(args: argparse.Namespace) -> int:
+    """``repro lint --engine``: the REP6xx self-lint + lock-order pass."""
+    from .analysis import (
+        analyze_lock_order,
+        filter_diagnostics,
+        lint_engine,
+        render_text,
+        severity_rank,
+        sort_diagnostics,
+        to_json,
+        to_sarif,
+        verify_engine_invariants,
+    )
+
+    if args.verify:
+        report = verify_engine_invariants()
+        print(report.render())
+        return 0 if report.ok else 2
+
+    result = lint_engine(args.engine_root)
+    lock_report = analyze_lock_order(args.engine_root)
+    findings = sort_diagnostics(filter_diagnostics(
+        result.diagnostics + lock_report.diagnostics(),
+        _split_codes(args.select),
+        _split_codes(args.ignore),
+    ))
+
+    if args.format == "json":
+        print(json.dumps(to_json(findings), indent=2))
+    elif args.format == "sarif":
+        print(json.dumps(to_sarif(findings), indent=2))
+    else:
+        print(render_text(findings))
+        print(
+            f"engine lint: {result.files_scanned} files, "
+            f"{len(lock_report.locks)} mutex(es), "
+            f"{len(lock_report.cycles)} lock-order cycle(s), "
+            f"{result.suppressed} pragma-suppressed",
+            file=sys.stderr,
+        )
 
     if args.fail_on != "never":
         threshold = severity_rank(args.fail_on)
@@ -593,6 +650,37 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return code
 
 
+def cmd_race(args: argparse.Namespace) -> int:
+    from .obs import race
+
+    command = list(args.raced)
+    if command and command[0] == "--":
+        command = command[1:]
+    if not command:
+        print("error: repro race needs a command to run", file=sys.stderr)
+        return 1
+    if command[0] == "race":
+        print("error: refusing to sanitize the sanitizer", file=sys.stderr)
+        return 1
+    raced = build_parser().parse_args(command)
+    sanitizer = race.enable(stack_depth=args.stack_depth)
+    try:
+        code = raced.func(raced)
+    finally:
+        race.disable()
+    if args.json:
+        print(json.dumps(sanitizer.snapshot(), indent=2))
+    else:
+        print(sanitizer.render(), file=sys.stderr)
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(sanitizer.snapshot(), f, indent=1)
+        print(f"wrote {args.out} (repro.race/1)", file=sys.stderr)
+    if sanitizer.reports:
+        return 2
+    return code
+
+
 def cmd_slowlog(args: argparse.Namespace) -> int:
     from .obs.report import exercise
     from .obs.slowlog import DEFAULT_BUDGETS
@@ -669,7 +757,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="static schema analysis: predict runtime failures before "
         "execution (REP1xx-REP5xx), or lint a live image (adds REP0xx)",
     )
-    p_lint.add_argument("schema", help="path to a .ddl schema file")
+    p_lint.add_argument(
+        "schema",
+        nargs="?",
+        help="path to a .ddl schema file (omit with --engine)",
+    )
     p_lint.add_argument(
         "image",
         nargs="?",
@@ -718,6 +810,20 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="with --verify: disable the REP100 safety net so only "
         "specific rules may predict build failures",
+    )
+    p_lint.add_argument(
+        "--engine",
+        action="store_true",
+        help="lint the engine's own source instead of a schema: the "
+        "REP6xx concurrency invariants plus the static lock-order "
+        "analysis (with --verify: run the seeded-defect differential "
+        "harness)",
+    )
+    p_lint.add_argument(
+        "--engine-root",
+        metavar="PATH",
+        help="source tree to scan with --engine (default: the installed "
+        "repro package)",
     )
     p_lint.set_defaults(func=cmd_lint)
 
@@ -948,6 +1054,37 @@ def build_parser() -> argparse.ArgumentParser:
         "bench --quick --only e14",
     )
     p_profile.set_defaults(func=cmd_profile)
+
+    p_race = sub.add_parser(
+        "race",
+        help="run another repro command under the lockset race sanitizer; "
+        "race reports on stderr, exit 2 if any race was observed",
+    )
+    p_race.add_argument(
+        "--stack-depth",
+        type=int,
+        default=12,
+        help="frames to keep per access stack (default: 12)",
+    )
+    p_race.add_argument(
+        "--json",
+        action="store_true",
+        help="print the repro.race/1 snapshot to stdout instead of the "
+        "rendered report",
+    )
+    p_race.add_argument(
+        "--out",
+        metavar="PATH",
+        help="also write the repro.race/1 JSON document here",
+    )
+    p_race.add_argument(
+        "raced",
+        nargs=argparse.REMAINDER,
+        metavar="COMMAND ...",
+        help="the repro command line to sanitize, e.g. "
+        "bench --quick --only e21",
+    )
+    p_race.set_defaults(func=cmd_race)
 
     p_slowlog = sub.add_parser(
         "slowlog",

@@ -74,6 +74,10 @@ __all__ = [
 #: :mod:`repro.core.objects`; bump only through :func:`bump_schema_epoch`.
 _SCHEMA_EPOCH = 0
 
+#: Race-sanitizer guard (:mod:`repro.obs.race`): ``None`` when dark, the
+#: active sanitizer while enabled.
+TSAN: Any = None
+
 
 def schema_epoch() -> int:
     """The current global schema epoch."""
@@ -87,6 +91,9 @@ def bump_schema_epoch() -> int:
     eagerly recompiled — each is refreshed lazily the next time it is used.
     """
     global _SCHEMA_EPOCH
+    san = TSAN
+    if san is not None:
+        san.write(("schema_epoch",), label="schema_epoch")
     _SCHEMA_EPOCH += 1
     return _SCHEMA_EPOCH
 

@@ -48,6 +48,11 @@ from .interning import intern_name
 
 __all__ = ["UNSET", "TypeStore", "AttrsView", "store_for"]
 
+#: Race-sanitizer guard (:mod:`repro.obs.race`): ``None`` when dark, the
+#: active sanitizer while enabled.  Call sites pay one global load + branch
+#: when dark — the slowlog guard idiom.
+TSAN: Any = None
+
 
 class _UnsetType:
     """Sentinel for "no local value in this cell" (never leaks to users)."""
@@ -87,6 +92,9 @@ class TypeStore:
 
     def alloc(self) -> int:
         """A fresh (or recycled) row with every cell UNSET."""
+        san = TSAN
+        if san is not None:
+            san.write(("store", id(self)), label=f"store:{self.type.name}")
         free = self.free
         if free:
             return free.pop()
@@ -103,6 +111,9 @@ class TypeStore:
         overflow dict so deleted objects keep reporting their last local
         state, while the row is recycled for new objects.
         """
+        san = TSAN
+        if san is not None:
+            san.write(("store", id(self)), label=f"store:{self.type.name}")
         spilled: Dict[str, Any] = {}
         for name, column in zip(self.names, self.columns):
             value = column[row]
@@ -125,6 +136,9 @@ class TypeStore:
         """
         if self.epoch == plan.schema_epoch:
             return
+        san = TSAN
+        if san is not None:
+            san.write(("store", id(self)), label=f"store:{self.type.name}")
         old_slot_of = self.slot_of
         old_columns = self.columns
         names = [intern_name(n) for n in plan.attribute_names]
@@ -215,6 +229,9 @@ class AttrsView(MutableMapping[str, Any]):
 
     def __setitem__(self, name: str, value: Any) -> None:
         obj = self._obj
+        san = TSAN
+        if san is not None:
+            san.write(("cell", obj.surrogate, name), label=f"cell:{name}")
         row = obj._row
         if row >= 0:
             store = obj._store
@@ -231,6 +248,9 @@ class AttrsView(MutableMapping[str, Any]):
 
     def __delitem__(self, name: str) -> None:
         obj = self._obj
+        san = TSAN
+        if san is not None:
+            san.write(("cell", obj.surrogate, name), label=f"cell:{name}")
         row = obj._row
         if row >= 0:
             store = self._store()

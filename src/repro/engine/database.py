@@ -52,6 +52,14 @@ __all__ = ["Database"]
 TypeRef = Union[str, TypeBase]
 
 
+def _sanitize_by_env() -> bool:
+    """True when ``REPRO_TSAN`` asks for the race sanitizer (cheap: no
+    import of :mod:`repro.obs.race` unless it does)."""
+    import os
+
+    return os.environ.get("REPRO_TSAN", "") not in ("", "0")
+
+
 class Database:
     """One object database: schema, extents, objects, events."""
 
@@ -60,11 +68,19 @@ class Database:
         name: str = "db",
         record_events: bool = False,
         observe: bool = False,
+        sanitize: bool = False,
     ):
         # Imported here, not at module level: repro.query imports this
         # module for the executor, so the package edges meet at runtime.
         from ..query.indexes import IndexManager
         from ..query.views import ViewManager
+
+        if sanitize or _sanitize_by_env():
+            # Process-global by nature (the instrumented structures are
+            # shared engine code, not per-database); idempotent.
+            from ..obs import race
+
+            race.enable()
 
         self.name = name
         self.surrogates = SurrogateGenerator(name)

@@ -154,7 +154,9 @@ def _restore_attrs(obj: DBObject, attrs: Dict[str, Any]) -> None:
     for name, encoded in attrs.items():
         decoded = _decode_value(encoded)
         spec = obj.object_type.effective_attribute(name)
-        obj._attrs[name] = spec.validate(decoded) if spec is not None else decoded
+        # Freshly loaded objects: no reader has memoised anything yet, so
+        # the epoch can stay at its initial value.
+        obj._attrs[name] = spec.validate(decoded) if spec is not None else decoded  # lint: allow(REP601)
 
 
 def _restore_container(obj: DBObject, ref, by_surrogate) -> None:

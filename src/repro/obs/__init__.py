@@ -93,11 +93,15 @@ from .provenance import (
     ValueProvenance,
     explain_value,
 )
+from .race import RACE_SCHEMA_VERSION, RaceReport, RaceSanitizer
 from .report import SCHEMA_VERSION, derived_stats, exercise, render_table, snapshot
 from .tap import EventTap
 from .tracing import NULL_SPAN, Span, Tracer, format_span_tree
 
 __all__ = [
+    "RACE_SCHEMA_VERSION",
+    "RaceReport",
+    "RaceSanitizer",
     "Observability",
     "observability_of",
     "maybe_span",

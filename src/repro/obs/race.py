@@ -1,0 +1,640 @@
+"""Dynamic data-race sanitizer: Eraser locksets + vector-clock filtering.
+
+The engine's shared structures — :class:`~repro.core.slots.TypeStore`
+columns, :class:`~repro.query.views.ViewManager` tables,
+:class:`~repro.query.indexes.IndexManager` entries, the global schema
+epoch and the :class:`~repro.txn.locks.LockTable` state — were written
+single-caller.  Before the concurrent service tier puts real threads
+through them, this module makes sharing violations *observable*: every
+instrumented write is checked against the classic Eraser discipline
+("every shared location is protected by some fixed lock"), with a
+vector-clock happens-before layer that filters the lockset algorithm's
+known false positives (fork/join hand-offs, lock-passing ownership
+transfer).
+
+How it works
+------------
+
+* Each thread carries a **vector clock**; engine lock grants and releases
+  (:meth:`RaceSanitizer.lock_acquired` / :meth:`lock_released`), thread
+  ``start``/``join`` (patched while the sanitizer is enabled) and
+  explicitly declared sync points (the ``sync=`` argument) transfer
+  clocks, building the happens-before order actually enforced at runtime.
+* Each instrumented address keeps Eraser shadow state: *virgin* →
+  *exclusive* (one thread) → *shared* / *shared-modified*, plus the
+  **candidate lockset** — intersected with the accessing thread's held
+  locks on every access once a second thread appears.
+* A **candidate race** is reported when a write is involved, the lockset
+  has shrunk to empty, **and** no happens-before edge orders the two
+  accesses.  Both stacks (previous access and current access) and the
+  shrinking lockset are captured in the :class:`RaceReport`.
+
+Cost model
+----------
+
+Call sites are guarded like the PR-6 slow-op log: each instrumented
+module holds a module-global ``TSAN`` (``None`` when dark), so the
+disabled path costs one global load and a branch.  :func:`enable`
+patches the sanitizer into every site module; :func:`disable` restores
+``None``.  ``Database(sanitize=True)`` or ``REPRO_TSAN=1`` in the
+environment turns it on; ``repro race -- <command>`` wraps any CLI
+command (the :mod:`repro.cli` face).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from importlib import import_module
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+__all__ = [
+    "RACE_SCHEMA_VERSION",
+    "RaceReport",
+    "RaceSanitizer",
+    "ACTIVE",
+    "ENV_VAR",
+    "enable",
+    "disable",
+    "active",
+    "sandbox",
+    "enabled_by_env",
+]
+
+RACE_SCHEMA_VERSION = "repro.race/1"
+
+#: Environment switch: any value but ""/"0" enables the sanitizer the
+#: first time a :class:`~repro.engine.database.Database` is constructed
+#: (and at pytest session start via the test suite's conftest hook).
+ENV_VAR = "REPRO_TSAN"
+
+#: The process-global sanitizer, or None when dark.  Engine call sites do
+#: not read this — they read their own module-global ``TSAN`` mirror,
+#: which :func:`enable`/:func:`disable` keep in step.
+ACTIVE: Optional["RaceSanitizer"] = None
+
+#: Modules carrying a ``TSAN`` call-site guard the sanitizer must patch.
+_SITE_MODULES: Tuple[str, ...] = (
+    "repro.core.slots",
+    "repro.core.resolution",
+    "repro.query.views",
+    "repro.query.indexes",
+    "repro.txn.locks",
+)
+
+#: Eraser shadow states.
+_VIRGIN = 0
+_EXCLUSIVE = 1
+_SHARED = 2
+_SHARED_MODIFIED = 3
+
+_STATE_NAMES = {
+    _VIRGIN: "virgin",
+    _EXCLUSIVE: "exclusive",
+    _SHARED: "shared",
+    _SHARED_MODIFIED: "shared-modified",
+}
+
+Stack = Tuple[str, ...]
+Clock = Dict[int, int]
+
+#: Stable per-thread logical ids.  ``threading.get_ident()`` is recycled
+#: by the OS as soon as a thread exits, so two short-lived workers that
+#: never overlap can share an ident — the sanitizer would then see one
+#: thread and miss the race.  A ``threading.local`` slot dies with the
+#: thread, so every thread lifetime gets a fresh id.
+_TID_LOCAL = threading.local()
+_TID_COUNTER = iter(range(1, 2**63))
+
+
+def _logical_tid() -> int:
+    tid: Optional[int] = getattr(_TID_LOCAL, "tid", None)
+    if tid is None:
+        tid = _TID_LOCAL.tid = next(_TID_COUNTER)
+    return tid
+
+
+def enabled_by_env(environ: Optional[Dict[str, str]] = None) -> bool:
+    """True when ``REPRO_TSAN`` asks for the sanitizer."""
+    env = os.environ if environ is None else environ
+    return env.get(ENV_VAR, "") not in ("", "0")
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    """One candidate race: two unordered accesses with no common lock."""
+
+    #: Human label of the address ("cell:GateInterface.Length", …).
+    label: str
+    #: The shadow address key (diagnostic; shape depends on the site).
+    addr: Hashable
+    #: Whether the *current* (second) access was a write.
+    write: bool
+    #: Whether the prior conflicting access was a write.
+    prior_write: bool
+    thread: int
+    prior_thread: int
+    #: The candidate lockset after shrinking (empty by construction).
+    lockset: Tuple[str, ...]
+    #: Stack of the access that triggered the report (innermost first).
+    stack: Stack
+    #: Stack of the prior conflicting access.
+    prior_stack: Stack
+    #: Eraser state the address was in when the report fired.
+    state: str = "shared-modified"
+
+    def render(self) -> str:
+        kind = ("write" if self.write else "read") + "/" + (
+            "write" if self.prior_write else "read"
+        )
+        lines = [
+            f"RACE {self.label} ({kind}, state={self.state}, "
+            f"lockset={list(self.lockset) or '{}'})",
+            f"  thread {self.thread} accessed here:",
+        ]
+        lines.extend(f"    {frame}" for frame in self.stack or ("<no stack>",))
+        lines.append(f"  thread {self.prior_thread} previously accessed here:")
+        lines.extend(
+            f"    {frame}" for frame in self.prior_stack or ("<no stack>",)
+        )
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "write": self.write,
+            "prior_write": self.prior_write,
+            "thread": self.thread,
+            "prior_thread": self.prior_thread,
+            "lockset": list(self.lockset),
+            "stack": list(self.stack),
+            "prior_stack": list(self.prior_stack),
+            "state": self.state,
+        }
+
+
+class _Shadow:
+    """Eraser + happens-before shadow state of one address."""
+
+    __slots__ = (
+        "label",
+        "state",
+        "owner",
+        "lockset",
+        "write_thread",
+        "write_tick",
+        "write_stack",
+        "write_locks",
+        "reads",
+        "reported",
+    )
+
+    def __init__(self, label: str, owner: int) -> None:
+        self.label = label
+        self.state = _EXCLUSIVE
+        self.owner = owner
+        #: Candidate lockset; ``None`` until the second thread arrives
+        #: (Eraser: C(v) starts as "all locks", realised lazily).
+        self.lockset: Optional[Set[Hashable]] = None
+        self.write_thread: Optional[int] = None
+        self.write_tick = 0
+        self.write_stack: Stack = ()
+        self.write_locks: Tuple[str, ...] = ()
+        #: Last read per thread: tid -> (tick, stack).
+        self.reads: Dict[int, Tuple[int, Stack]] = {}
+        self.reported = False
+
+
+@dataclass
+class _ThreadState:
+    """Per-thread vector clock and held-lock set."""
+
+    clock: Clock = field(default_factory=dict)
+    held: Set[Hashable] = field(default_factory=set)
+
+
+class RaceSanitizer:
+    """Process-wide lockset/vector-clock race detector.
+
+    Thread-safe: one internal mutex guards the shadow maps; it is a leaf
+    lock (the sanitizer never calls back into the engine while holding
+    it), so instrumenting code that itself runs under engine mutexes
+    cannot invert lock order.
+    """
+
+    def __init__(self, stack_depth: int = 12, max_shadow: int = 1_000_000):
+        self.stack_depth = stack_depth
+        self.max_shadow = max_shadow
+        self._mutex = threading.Lock()
+        self._shadow: Dict[Hashable, _Shadow] = {}
+        self._threads: Dict[int, _ThreadState] = {}
+        #: Per-sync-object release clocks (engine locks, mutex sync keys,
+        #: thread fork/join hand-offs).
+        self._sync: Dict[Hashable, Clock] = {}
+        self.reports: List[RaceReport] = []
+        self.accesses = 0
+        self.syncs = 0
+        self.dropped = 0
+
+    # -- internals (mutex held) -------------------------------------------------
+
+    def _thread(self, tid: int) -> _ThreadState:
+        state = self._threads.get(tid)
+        if state is None:
+            state = self._threads[tid] = _ThreadState(clock={tid: 1})
+        return state
+
+    @staticmethod
+    def _join(into: Clock, other: Optional[Clock]) -> None:
+        if not other:
+            return
+        for tid, tick in other.items():
+            if into.get(tid, 0) < tick:
+                into[tid] = tick
+
+    def _tick(self, state: _ThreadState, tid: int) -> None:
+        state.clock[tid] = state.clock.get(tid, 0) + 1
+
+    def _capture(self) -> Stack:
+        """A trimmed stack (innermost first), skipping sanitizer frames."""
+        frame = sys._getframe(2)
+        out: List[str] = []
+        while frame is not None and len(out) < self.stack_depth:
+            code = frame.f_code
+            filename = code.co_filename
+            if filename != __file__:
+                out.append(
+                    f"{os.path.basename(filename)}:{frame.f_lineno}:"
+                    f"{code.co_name}"
+                )
+            frame = frame.f_back
+        return tuple(out)
+
+    @staticmethod
+    def _lock_names(locks: Set[Hashable]) -> Tuple[str, ...]:
+        return tuple(sorted(str(lock) for lock in locks))
+
+    # -- sync API (engine locks, mutex serialisation, fork/join) ----------------
+
+    def lock_acquired(self, key: Hashable) -> None:
+        """The current thread now holds engine lock ``key`` (HB: joins the
+        clock stored by the releasing thread)."""
+        tid = _logical_tid()
+        with self._mutex:
+            self.syncs += 1
+            state = self._thread(tid)
+            state.held.add(key)
+            self._join(state.clock, self._sync.get(key))
+
+    def lock_released(self, key: Hashable) -> None:
+        """The current thread dropped ``key`` (HB: publishes its clock to
+        the next acquirer)."""
+        tid = _logical_tid()
+        with self._mutex:
+            self.syncs += 1
+            state = self._thread(tid)
+            state.held.discard(key)
+            self._sync[key] = dict(state.clock)
+            self._tick(state, tid)
+
+    @contextmanager
+    def holding(self, key: Hashable) -> Iterator[None]:
+        """Scope a lock acquisition (test/tool convenience)."""
+        self.lock_acquired(key)
+        try:
+            yield
+        finally:
+            self.lock_released(key)
+
+    def handoff(self, key: Hashable) -> None:
+        """Publish the current thread's clock under ``key`` (fork edge)."""
+        tid = _logical_tid()
+        with self._mutex:
+            self.syncs += 1
+            state = self._thread(tid)
+            self._sync[key] = dict(state.clock)
+            self._tick(state, tid)
+
+    def receive(self, key: Hashable) -> None:
+        """Join the clock published under ``key`` (join edge)."""
+        tid = _logical_tid()
+        with self._mutex:
+            self.syncs += 1
+            self._join(self._thread(tid).clock, self._sync.pop(key, None))
+
+    # -- the access checker -----------------------------------------------------
+
+    def write(
+        self,
+        addr: Hashable,
+        label: str = "",
+        sync: Optional[Hashable] = None,
+        held_extra: Tuple[Hashable, ...] = (),
+    ) -> None:
+        self.access(addr, True, label=label, sync=sync, held_extra=held_extra)
+
+    def read(
+        self,
+        addr: Hashable,
+        label: str = "",
+        sync: Optional[Hashable] = None,
+        held_extra: Tuple[Hashable, ...] = (),
+    ) -> None:
+        self.access(addr, False, label=label, sync=sync, held_extra=held_extra)
+
+    def access(
+        self,
+        addr: Hashable,
+        write: bool,
+        label: str = "",
+        sync: Optional[Hashable] = None,
+        held_extra: Tuple[Hashable, ...] = (),
+    ) -> None:
+        """Check one access against the lockset + happens-before state.
+
+        ``sync`` names a serialisation point the call site is known to
+        hold (e.g. the lock table's own mutex): accesses through the same
+        sync key are clock-ordered, exactly as the mutex orders them at
+        runtime.  ``held_extra`` adds locks the sanitizer cannot see being
+        acquired (same use case) to the lockset.
+        """
+        tid = _logical_tid()
+        stack = self._capture()
+        with self._mutex:
+            self.accesses += 1
+            state = self._thread(tid)
+            if sync is not None:
+                # Serialise with every previous access through this sync
+                # point: join its clock now, publish ours on the way out.
+                self._join(state.clock, self._sync.get(sync))
+            held: Set[Hashable] = set(state.held)
+            held.update(held_extra)
+            if sync is not None:
+                held.add(sync)
+
+            shadow = self._shadow.get(addr)
+            if shadow is None:
+                if len(self._shadow) >= self.max_shadow:
+                    self.dropped += 1
+                else:
+                    shadow = self._shadow[addr] = _Shadow(
+                        label or str(addr), tid
+                    )
+                    self._record(shadow, tid, write, stack, state, held)
+                if sync is not None:
+                    self._sync[sync] = dict(state.clock)
+                    self._tick(state, tid)
+                return
+
+            if tid != shadow.owner or shadow.state >= _SHARED:
+                # Second thread (or already shared): Eraser transition +
+                # lockset refinement.
+                if shadow.state == _EXCLUSIVE:
+                    shadow.state = _SHARED_MODIFIED if write else _SHARED
+                    # C(v) initialises to the *union* of what protected
+                    # the exclusive phase and what protects now — the
+                    # lazy stand-in for "all locks".
+                    shadow.lockset = set(shadow.write_locks) | held
+                elif write and shadow.state == _SHARED:
+                    shadow.state = _SHARED_MODIFIED
+                if shadow.lockset is None:
+                    shadow.lockset = set(held)
+                else:
+                    shadow.lockset &= held
+                if (
+                    shadow.state == _SHARED_MODIFIED
+                    and not shadow.lockset
+                    and not shadow.reported
+                ):
+                    self._maybe_report(shadow, addr, tid, write, stack, state)
+            self._record(shadow, tid, write, stack, state, held)
+            if sync is not None:
+                self._sync[sync] = dict(state.clock)
+                self._tick(state, tid)
+
+    def _record(
+        self,
+        shadow: _Shadow,
+        tid: int,
+        write: bool,
+        stack: Stack,
+        state: _ThreadState,
+        held: Set[Hashable],
+    ) -> None:
+        tick = state.clock.get(tid, 0)
+        if write:
+            shadow.write_thread = tid
+            shadow.write_tick = tick
+            shadow.write_stack = stack
+            shadow.write_locks = self._lock_names(held)
+        else:
+            shadow.reads[tid] = (tick, stack)
+
+    def _ordered_after(
+        self, state: _ThreadState, tid: int, prior_tid: int, prior_tick: int
+    ) -> bool:
+        """Does the current access happen-after (prior_tid, prior_tick)?"""
+        if tid == prior_tid:
+            return True
+        return state.clock.get(prior_tid, 0) >= prior_tick
+
+    def _maybe_report(
+        self,
+        shadow: _Shadow,
+        addr: Hashable,
+        tid: int,
+        write: bool,
+        stack: Stack,
+        state: _ThreadState,
+    ) -> None:
+        """Lockset empty in shared-modified state: report unless every
+        conflicting prior access is happens-before ordered."""
+        prior: Optional[Tuple[int, int, Stack, bool]] = None
+        if shadow.write_thread is not None and shadow.write_thread != tid:
+            if not self._ordered_after(
+                state, tid, shadow.write_thread, shadow.write_tick
+            ):
+                prior = (
+                    shadow.write_thread,
+                    shadow.write_tick,
+                    shadow.write_stack,
+                    True,
+                )
+        if prior is None and write:
+            for read_tid, (read_tick, read_stack) in shadow.reads.items():
+                if read_tid == tid:
+                    continue
+                if not self._ordered_after(state, tid, read_tid, read_tick):
+                    prior = (read_tid, read_tick, read_stack, False)
+                    break
+        if prior is None:
+            return
+        shadow.reported = True
+        self.reports.append(
+            RaceReport(
+                label=shadow.label,
+                addr=addr,
+                write=write,
+                prior_write=prior[3],
+                thread=tid,
+                prior_thread=prior[0],
+                lockset=(),
+                stack=stack,
+                prior_stack=prior[2],
+                state=_STATE_NAMES[shadow.state],
+            )
+        )
+
+    # -- reporting ----------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The ``repro.race/1`` machine-readable report."""
+        with self._mutex:
+            return {
+                "schema": RACE_SCHEMA_VERSION,
+                "accesses": self.accesses,
+                "syncs": self.syncs,
+                "addresses": len(self._shadow),
+                "dropped": self.dropped,
+                "races": [report.as_dict() for report in self.reports],
+            }
+
+    def render(self) -> str:
+        with self._mutex:
+            reports = list(self.reports)
+            header = (
+                f"race sanitizer: {self.accesses} access(es), "
+                f"{self.syncs} sync op(s), {len(self._shadow)} address(es), "
+                f"{len(reports)} candidate race(s)"
+            )
+        if not reports:
+            return header
+        return "\n".join([header] + [report.render() for report in reports])
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+
+# ---------------------------------------------------------------------------
+# enable / disable / sandbox — site-module patching + thread fork/join HB
+# ---------------------------------------------------------------------------
+
+_PATCH_GUARD = threading.Lock()
+_ORIGINALS: Dict[str, Callable[..., Any]] = {}
+
+
+def _broadcast(value: Optional[RaceSanitizer]) -> None:
+    for name in _SITE_MODULES:
+        module = import_module(name)
+        module.TSAN = value  # type: ignore[attr-defined]
+
+
+def _patch_threading(sanitizer: RaceSanitizer) -> None:
+    """Model thread start/join happens-before edges while enabled.
+
+    ``Thread.start`` publishes the parent's clock under a per-thread key;
+    the first bootstrap inside the child (wrapped ``run``) joins it.
+    ``Thread.join`` joins the finished child's clock into the joiner.
+    Class-level patches, restored by :func:`_unpatch_threading`.
+    """
+    original_start = threading.Thread.start
+    original_run = threading.Thread.run
+    original_join = threading.Thread.join
+    _ORIGINALS["start"] = original_start
+    _ORIGINALS["run"] = original_run
+    _ORIGINALS["join"] = original_join
+
+    def start(self: threading.Thread) -> None:
+        sanitizer.handoff(("fork", id(self)))
+        original_start(self)
+
+    def run(self: threading.Thread) -> None:
+        sanitizer.receive(("fork", id(self)))
+        try:
+            original_run(self)
+        finally:
+            # Keyed by the Thread *object*, not ``self.ident``: idents are
+            # recycled across thread lifetimes, which could hand one
+            # thread's exit clock to an unrelated joiner.
+            sanitizer.handoff(("thread-exit", id(self)))
+
+    def join(self: threading.Thread, timeout: Optional[float] = None) -> None:
+        original_join(self, timeout)
+        if not self.is_alive():
+            sanitizer.receive(("thread-exit", id(self)))
+
+    threading.Thread.start = start  # type: ignore[method-assign]
+    threading.Thread.run = run  # type: ignore[method-assign]
+    threading.Thread.join = join  # type: ignore[method-assign]
+
+
+def _unpatch_threading() -> None:
+    if _ORIGINALS:
+        threading.Thread.start = _ORIGINALS.pop("start")  # type: ignore[method-assign]
+        threading.Thread.run = _ORIGINALS.pop("run")  # type: ignore[method-assign]
+        threading.Thread.join = _ORIGINALS.pop("join")  # type: ignore[method-assign]
+
+
+def enable(**options: Any) -> RaceSanitizer:
+    """Install (or return the already-active) process-global sanitizer."""
+    global ACTIVE
+    with _PATCH_GUARD:
+        if ACTIVE is None:
+            ACTIVE = RaceSanitizer(**options)
+            _broadcast(ACTIVE)
+            _patch_threading(ACTIVE)
+        return ACTIVE
+
+
+def disable() -> Optional[RaceSanitizer]:
+    """Dark again: restore every site guard; returns the old sanitizer."""
+    global ACTIVE
+    with _PATCH_GUARD:
+        sanitizer, ACTIVE = ACTIVE, None
+        if sanitizer is not None:
+            _broadcast(None)
+            _unpatch_threading()
+        return sanitizer
+
+
+def active() -> Optional[RaceSanitizer]:
+    return ACTIVE
+
+
+@contextmanager
+def sandbox(**options: Any) -> Iterator[RaceSanitizer]:
+    """A temporary private sanitizer (tests, the differential harness).
+
+    Whatever was active before — including nothing — is restored on exit,
+    so seeded races never leak into a surrounding ``REPRO_TSAN`` session.
+    """
+    global ACTIVE
+    with _PATCH_GUARD:
+        previous = ACTIVE
+        if previous is not None:
+            ACTIVE = None
+            _broadcast(None)
+            _unpatch_threading()
+    try:
+        sanitizer = enable(**options)
+        yield sanitizer
+    finally:
+        disable()
+        with _PATCH_GUARD:
+            if previous is not None:
+                ACTIVE = previous
+                _broadcast(previous)
+                _patch_threading(previous)

@@ -63,6 +63,10 @@ from ..errors import UnknownAttributeError
 
 __all__ = ["IndexManager", "ValueIndex"]
 
+#: Race-sanitizer guard (:mod:`repro.obs.race`): ``None`` when dark, the
+#: active sanitizer while enabled.
+TSAN: Any = None
+
 #: Value-kind tags used to guard range sargability (mixed-kind comparisons
 #: raise in the expression language, so a range scan is only offered when
 #: the whole index is comparable with the literal).
@@ -161,6 +165,9 @@ class ValueIndex:
                 self.insert(obj)
 
     def insert(self, obj) -> None:
+        san = TSAN
+        if san is not None:
+            san.write(("index", id(self)), label=f"index:{self.source_name}.{self.attr}")
         surrogate = obj.surrogate
         if surrogate in self._entries:
             self._remove_entry(surrogate)
@@ -199,6 +206,9 @@ class ValueIndex:
         self._remove_entry(obj.surrogate)
 
     def _remove_entry(self, surrogate) -> None:
+        san = TSAN
+        if san is not None:
+            san.write(("index", id(self)), label=f"index:{self.source_name}.{self.attr}")
         entry = self._entries.pop(surrogate, None)
         if entry is None:
             return
@@ -370,6 +380,9 @@ class IndexManager:
     # -- object-registry hooks (synchronous, always on) ------------------------
 
     def object_adopted(self, obj) -> None:
+        san = TSAN
+        if san is not None:
+            san.write(("extents", id(self)), label="extents")
         self._adopt_order[obj.surrogate] = next(self._adoption_seq)
         bucket = self._by_type.get(obj.object_type)
         if bucket is None:
@@ -383,6 +396,9 @@ class IndexManager:
                     self._bump("index.maintenance")
 
     def object_forgotten(self, obj) -> None:
+        san = TSAN
+        if san is not None:
+            san.write(("extents", id(self)), label="extents")
         self._adopt_order.pop(obj.surrogate, None)
         bucket = self._by_type.get(obj.object_type)
         if bucket is not None:

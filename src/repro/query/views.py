@@ -65,6 +65,10 @@ from .indexes import IndexManager
 
 __all__ = ["TypeView", "ViewManager", "view_eligible_names"]
 
+#: Race-sanitizer guard (:mod:`repro.obs.race`): ``None`` when dark, the
+#: active sanitizer while enabled.
+TSAN: Any = None
+
 #: Member-entry kinds a view column can materialize.  ``attribute`` with
 #: rels is the declared inherited attribute (interface data flattened
 #: into the implementation row); ``inherited`` is the synthetic entry for
@@ -240,6 +244,9 @@ class TypeView:
     # -- row maintenance -----------------------------------------------------
 
     def _fill_row(self, obj: Any, row: int) -> None:
+        san = TSAN
+        if san is not None:
+            san.write(("view", id(self)), label=f"view:{self.type.name}")
         surrogate = obj.surrogate
         try:
             for name, column in zip(self.names, self.columns):
@@ -261,6 +268,9 @@ class TypeView:
         self._fill_row(obj, row)
 
     def remove(self, obj: Any) -> None:
+        san = TSAN
+        if san is not None:
+            san.write(("view", id(self)), label=f"view:{self.type.name}")
         row = self.row_of.pop(obj.surrogate, None)
         self.tainted.discard(obj.surrogate)
         if row is None:
@@ -274,6 +284,9 @@ class TypeView:
         row = self.row_of.get(obj.surrogate)
         if col is None or row is None:
             return False
+        san = TSAN
+        if san is not None:
+            san.write(("view", id(self)), label=f"view:{self.type.name}")
         try:
             self.columns[col][row] = _extract_cell(obj, name)
         except Exception:  # noqa: BLE001 — see _fill_row

@@ -57,6 +57,13 @@ __all__ = [
     "WAIT_BUCKETS",
 ]
 
+#: Race-sanitizer guard (:mod:`repro.obs.race`): ``None`` when dark, the
+#: active sanitizer while enabled.  The table reports its own state
+#: mutations (serialised through the mutex sync key) and models grants
+#: and releases as happens-before edges, so code protected by *engine*
+#: locks is race-clean to the sanitizer exactly when it is in reality.
+TSAN: Any = None
+
 #: Bucket edges (seconds) for the ``locks.wait_seconds`` histogram —
 #: 100µs to 5s, the plausible span between "woken on the next release"
 #: and "the holder is a design session, give up".
@@ -231,11 +238,22 @@ class LockTable:
         until grantable; ``timeout`` (or the table's ``wait_timeout``)
         bounds the wait (:class:`LockTimeoutError` on expiry), and a
         request whose wait would close a waits-for cycle raises
-        :class:`DeadlockError` without waiting.  ``origin`` tags conflict
-        and wait counters (``locks.conflicts.<origin>``) so lock-
-        inheritance and expansion contention are separable in metrics.
+        :class:`DeadlockError` without waiting.  A ``timeout`` of zero
+        (or negative) is a **non-blocking probe**: try once, then
+        :class:`LockTimeoutError` — it never parks, never registers a
+        waits-for edge and is exempt from the deadlock pre-check (a
+        probe cannot close a cycle because it never waits).  ``origin``
+        tags conflict and wait counters (``locks.conflicts.<origin>``)
+        so lock-inheritance and expansion contention are separable in
+        metrics.
         """
+        san = TSAN
         with self._mutex:
+            if san is not None:
+                san.write(
+                    ("locktable", id(self)), label="locktable",
+                    sync=("mutex", id(self)),
+                )
             entries = self._locks.setdefault(surrogate, [])
             own = next((e for e in entries if e.txn_id == txn_id), None)
             if own is not None:
@@ -264,6 +282,24 @@ class LockTable:
                     raise self._conflict_error(
                         surrogate, requested_mode, requested_scope, blockers[0]
                     )
+                effective = timeout if timeout is not None else self.wait_timeout
+                if effective is not None and effective <= 0:
+                    # try-once probe: no parking, no waits-for edge, no
+                    # deadlock pre-check, no lock.blocked audit — the
+                    # request never waits, so none of the parked-waiter
+                    # machinery applies.
+                    if self.obs is not None:
+                        self.obs.metrics.counter("locks.timeouts").inc()
+                    self._audit(
+                        "lock.timeout", surrogate,
+                        txn=txn_id,
+                        holders=sorted({e.txn_id for e in blockers}),
+                        mode=requested_mode, waited=0.0,
+                    )
+                    raise self._conflict_error(
+                        surrogate, requested_mode, requested_scope,
+                        blockers[0], timed_out=0.0,
+                    )
                 self._wait_for_grant(
                     txn_id, surrogate, requested_mode, requested_scope,
                     blockers, timeout, origin,
@@ -282,6 +318,8 @@ class LockTable:
                     self.obs.metrics.histogram("locks.scope_size").observe(
                         len(requested_scope)
                     )
+            if san is not None:
+                san.lock_acquired(("lock", id(self), surrogate))
             if own is not None:
                 own.mode = requested_mode
                 own.scope = requested_scope
@@ -419,8 +457,17 @@ class LockTable:
 
     def release_all(self, txn_id: int) -> int:
         """Drop every lock of a transaction; returns how many were held."""
+        san = TSAN
         with self._mutex:
+            if san is not None:
+                san.write(
+                    ("locktable", id(self)), label="locktable",
+                    sync=("mutex", id(self)),
+                )
             held = self._by_txn.pop(txn_id, [])
+            if san is not None:
+                for surrogate, _entry in held:
+                    san.lock_released(("lock", id(self), surrogate))
             if self.obs is not None and held:
                 self.obs.metrics.counter("locks.released").inc(len(held))
             for surrogate, entry in held:

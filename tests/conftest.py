@@ -2,11 +2,67 @@
 
 Types are mutable (``inheritor-in`` declarations attach to them), so every
 test gets its own copies.
+
+Session-level switches (both off by default):
+
+* ``HYPOTHESIS_SEED`` — registers and activates a derandomised hypothesis
+  profile seeded from the value, so CI property runs are reproducible and
+  a failing seed can be replayed locally
+  (``HYPOTHESIS_SEED=20260808 pytest tests/``).
+* ``REPRO_TSAN=1`` — enables the lockset race sanitizer for the whole
+  session and fails it at exit if any candidate race was observed or the
+  static lock-order analysis finds a cycle in the engine.
 """
 
+import os
 from types import SimpleNamespace
 
 import pytest
+
+_HYPOTHESIS_SEED = os.environ.get("HYPOTHESIS_SEED", "")
+if _HYPOTHESIS_SEED:
+    from hypothesis import settings as _hyp_settings
+
+    _hyp_settings.register_profile(
+        "repro-ci",
+        derandomize=True,
+        print_blob=True,
+    )
+    _hyp_settings.load_profile("repro-ci")
+
+
+def pytest_sessionstart(session):
+    from repro.obs import race
+
+    if race.enabled_by_env():
+        race.enable()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    from repro.obs import race
+
+    sanitizer = race.active()
+    if sanitizer is None:
+        return
+    race.disable()
+    reporter = session.config.pluginmanager.get_plugin("terminalreporter")
+    lines = [sanitizer.render()]
+    failed = bool(sanitizer.reports)
+    from repro.analysis import analyze_lock_order
+
+    lock_report = analyze_lock_order()
+    if lock_report.cycles:
+        failed = True
+        lines.append(
+            f"lock-order analysis: {len(lock_report.cycles)} cycle(s) "
+            "in the engine"
+        )
+    if reporter is not None:
+        reporter.write_sep("=", "race sanitizer (REPRO_TSAN)")
+        for line in lines:
+            reporter.write_line(line)
+    if failed and session.exitstatus == 0:
+        session.exitstatus = 1
 
 from repro.core import (
     BOOLEAN,

@@ -137,6 +137,97 @@ class TestDeadlock:
         assert table.waits_for() == set()
 
 
+class TestTryOnceProbe:
+    """``timeout=0`` (or ``<= 0``) is a *probe*: try once, never park."""
+
+    def test_probe_raises_immediately_without_parking(self):
+        db, table = observed_table()
+        s = Surrogate(1)
+        table.acquire(1, s, LockMode.X)
+        start = time.monotonic()
+        with pytest.raises(LockTimeoutError) as excinfo:
+            table.acquire(2, s, LockMode.S, wait=True, timeout=0)
+        # No sleep happened: the probe returns in microseconds, not after
+        # a scheduler round-trip.
+        assert time.monotonic() - start < 0.25
+        assert excinfo.value.holder == 1
+        # The probe never entered the waiter machinery: no waits-for edge,
+        # no parked-waiter metrics, no lock.blocked audit record.
+        assert table.waits_for() == set()
+        assert table.waiting_count() == 0
+        metrics = db.obs.metrics
+        assert metrics.counter("locks.waits").value == 0
+        assert metrics.counter("locks.timeouts").value == 1
+        kinds = {record.kind for record in db.obs.audit.records()}
+        assert "lock.timeout" in kinds
+        assert "lock.blocked" not in kinds
+
+    def test_probe_never_reports_deadlock(self):
+        # txn2 is parked waiting on txn1 (edge 2→1) while holding s3.
+        # txn1 probing s3 with timeout=0 *would* close the cycle 1→2→1 if
+        # the probe consulted the deadlock detector — but a probe backs
+        # off instead of parking, so it must raise LockTimeoutError.
+        _, table = observed_table()
+        s1, s3 = Surrogate(1), Surrogate(3)
+        table.acquire(1, s1, LockMode.X)
+        table.acquire(2, s3, LockMode.X)
+        parked = threading.Event()
+
+        def waiter():
+            table.acquire(2, s1, LockMode.S, wait=True, timeout=5.0)
+            parked.set()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        assert wait_until(lambda: (2, 1) in table.waits_for())
+        with pytest.raises(LockTimeoutError):
+            table.acquire(1, s3, LockMode.S, wait=True, timeout=0)
+        assert (1, 2) not in table.waits_for()
+        table.release_all(1)
+        thread.join(timeout=5.0)
+        assert parked.is_set()
+        table.release_all(2)
+
+    def test_probe_grants_when_uncontended(self):
+        _, table = observed_table()
+        s = Surrogate(1)
+        entry = table.acquire(1, s, LockMode.X, wait=True, timeout=0)
+        assert entry.mode is LockMode.X
+
+    def test_begin_lock_timeout_zero_is_a_probe(self):
+        db = Database("txn-probe", observe=True)
+        load_gate_schema(db.catalog)
+        tm = TransactionManager(db)
+        iface = db.create_object("GateInterface", Length=10, Width=5)
+        holder = tm.begin()
+        holder.write(iface)
+        prober = tm.begin(wait=True, lock_timeout=0)
+        start = time.monotonic()
+        with pytest.raises(LockTimeoutError):
+            prober.read(iface)
+        assert time.monotonic() - start < 0.25
+        assert tm.lock_table.waits_for() == set()
+        assert db.obs.metrics.counter("locks.waits").value == 0
+        assert db.obs.metrics.counter("locks.timeouts").value == 1
+        holder.commit()
+        prober.abort()
+
+    def test_probe_succeeds_after_holder_commits(self):
+        db = Database("txn-probe-retry", observe=True)
+        load_gate_schema(db.catalog)
+        tm = TransactionManager(db)
+        iface = db.create_object("GateInterface", Length=10, Width=5)
+        holder = tm.begin()
+        holder.write(iface)
+        prober = tm.begin(wait=True, lock_timeout=0)
+        with pytest.raises(LockTimeoutError):
+            prober.read(iface)
+        holder.commit()
+        locked = prober.read(iface)
+        assert locked.get_member("Length") == 10
+        prober.commit()
+
+
 class TestTransactionLevel:
     @pytest.fixture
     def db(self):
